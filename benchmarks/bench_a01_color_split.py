@@ -1,0 +1,39 @@
+"""A1 — ablation: COLOR's (N, k) split for a fixed module budget."""
+
+from repro.analysis import family_cost
+from repro.bench.ablations import a1_color_split
+from repro.core import ColorMapping
+from repro.templates import PTemplate, STemplate
+
+
+def test_a1_claim_holds():
+    result = a1_color_split("quick")
+    assert result.holds, str(result)
+
+
+def test_a1_paper_split_dominates(tree14):
+    """k = m-1 must not be beaten on max(S(M), P(M)) by any other split."""
+    M = 15
+    worst = {}
+    for k in range(1, 5):
+        K = (1 << k) - 1
+        N = M - K + k
+        if N <= k:
+            continue
+        mapping = ColorMapping(tree14, N=N, k=k)
+        s = family_cost(mapping, STemplate(M))
+        p = family_cost(mapping, PTemplate(min(M, tree14.num_levels)))
+        worst[k] = max(s, p)
+    assert worst[3] == min(worst.values())  # k = m - 1 = 3
+
+
+def test_bench_split_sweep(benchmark, tree14):
+    def sweep():
+        out = []
+        for k in (1, 2, 3):
+            K = (1 << k) - 1
+            mapping = ColorMapping(tree14, N=15 - K + k, k=k)
+            out.append(family_cost(mapping, STemplate(15)))
+        return out
+
+    benchmark(sweep)

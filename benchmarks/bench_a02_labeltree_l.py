@@ -1,0 +1,16 @@
+"""A2 — ablation: LABEL-TREE's block parameter l."""
+
+from repro.bench.ablations import a2_labeltree_l
+from repro.core import micro_label_index_array
+
+
+def test_a2_claim_holds():
+    result = a2_labeltree_l("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_micro_pattern_across_l(benchmark):
+    def sweep():
+        return [micro_label_index_array(8, l).max() for l in range(1, 8)]
+
+    benchmark(sweep)

@@ -1,0 +1,42 @@
+"""A3 — ablation: the MACRO/ROTATE reconstruction choices."""
+
+from repro.analysis import family_cost, load_report
+from repro.bench.ablations import a3_macro_rotate
+from repro.core import LabelTreeMapping
+from repro.templates import LTemplate
+
+
+def test_a3_claim_holds():
+    result = a3_macro_rotate("quick")
+    assert result.holds, str(result)
+
+
+def test_a3_shipped_policy_pareto_dominates(tree14):
+    """diagonal+unit must be at least as good as every ablated variant on
+    both load ratio and level conflicts (it is the shipped default)."""
+    scores = {}
+    for macro in ("diagonal", "layer"):
+        for rotate in ("unit", "none"):
+            lt = LabelTreeMapping(tree14, 31, macro_policy=macro, rotate_policy=rotate)
+            scores[(macro, rotate)] = (
+                load_report(lt).ratio,
+                family_cost(lt, LTemplate(31)),
+            )
+    best_ratio, best_l = scores[("diagonal", "unit")]
+    for key, (ratio, l_cost) in scores.items():
+        assert best_ratio <= ratio + 1e-9, key
+        assert best_l <= l_cost, key
+
+
+def test_bench_policy_grid(benchmark, tree12):
+    def grid():
+        out = []
+        for macro in ("diagonal", "layer"):
+            for rotate in ("unit", "none"):
+                lt = LabelTreeMapping(
+                    tree12, 31, macro_policy=macro, rotate_policy=rotate
+                )
+                out.append(load_report(lt).ratio)
+        return out
+
+    benchmark(grid)

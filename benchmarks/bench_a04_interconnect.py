@@ -1,0 +1,38 @@
+"""A4 — ablation: interconnect width under application workloads."""
+
+import pytest
+
+from repro.bench.ablations import a4_interconnect
+from repro.bench.workloads import heap_workload
+from repro.core import ColorMapping
+from repro.memory import Crossbar, MultiBus, ParallelMemorySystem, SharedBus
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = CompleteBinaryTree(10)
+    trace = heap_workload(tree, ops=150)
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+    return mapping, trace
+
+
+def test_a4_claim_holds():
+    result = a4_interconnect("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_crossbar(benchmark, setup):
+    mapping, trace = setup
+    benchmark(lambda: ParallelMemorySystem(mapping, interconnect=Crossbar()).run_trace(trace))
+
+
+def test_bench_multibus(benchmark, setup):
+    mapping, trace = setup
+    benchmark(lambda: ParallelMemorySystem(mapping, interconnect=MultiBus(4)).run_trace(trace))
+
+
+def test_bench_shared_bus(benchmark, setup):
+    mapping, trace = setup
+    benchmark(lambda: ParallelMemorySystem(mapping, interconnect=SharedBus()).run_trace(trace))

@@ -1,0 +1,21 @@
+"""A5 — ablation: module counts that are not 2**m - 1."""
+
+from repro.analysis import family_cost
+from repro.bench.ablations import a5_general_M
+from repro.core import ColorMapping
+from repro.templates import LTemplate
+
+
+def test_a5_claim_holds():
+    result = a5_general_M("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_general_M_sweep(benchmark, tree12):
+    def sweep():
+        return [
+            family_cost(ColorMapping.for_modules(tree12, M), LTemplate(M))
+            for M in (15, 18, 21, 25, 31)
+        ]
+
+    benchmark(sweep)

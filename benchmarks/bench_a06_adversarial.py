@@ -1,0 +1,27 @@
+"""A6 — ablation: adversarial vs random composites against Theorem 6."""
+
+import numpy as np
+
+from repro.analysis import bounds, greedy_adversarial_composite, instance_conflicts
+from repro.bench.ablations import a6_adversarial
+from repro.core import ColorMapping
+
+
+def test_a6_claim_holds():
+    result = a6_adversarial("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_greedy_adversary(benchmark, tree12):
+    mapping = ColorMapping.max_parallelism(tree12, 4)
+    colors = mapping.color_array()
+    M = mapping.num_modules
+
+    def attack():
+        rng = np.random.default_rng(11)
+        comp = greedy_adversarial_composite(mapping, 4, 8 * M, rng, candidates=8)
+        got = instance_conflicts(colors, comp)
+        assert got <= bounds.thm6_composite_bound(comp.size, M, 4)
+        return got
+
+    benchmark(attack)

@@ -1,0 +1,33 @@
+"""E1 — Theorems 1, 3: COLOR is (N+K-k)-CF on S(K) and P(N).
+
+Times the COLOR coloring construction and the exhaustive conflict check.
+"""
+
+from repro.analysis import family_cost
+from repro.bench.experiments import e01_cf_elementary
+from repro.core import ColorMapping, color_array
+from repro.templates import PTemplate, STemplate
+
+
+def test_e01_claim_holds():
+    result = e01_cf_elementary("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_color_construction(benchmark, tree14):
+    """Kernel: vectorized COLOR coloring of a 16k-node tree."""
+    out = benchmark(color_array, tree14.num_levels, 6, 2)
+    assert out.size == tree14.num_nodes
+
+
+def test_bench_exhaustive_cf_verification(benchmark, tree14):
+    """Kernel: exhaustive S(K)+P(N) conflict check (the E1 inner loop)."""
+    mapping = ColorMapping(tree14, N=6, k=2)
+    mapping.color_array()  # precompute outside the timer
+
+    def verify():
+        return max(
+            family_cost(mapping, STemplate(3)), family_cost(mapping, PTemplate(6))
+        )
+
+    assert benchmark(verify) == 0

@@ -1,0 +1,32 @@
+"""E2 — Theorem 2: N + K - k modules are necessary (exact search).
+
+Times the exact chromatic-number computation on the conflict graph.
+"""
+
+from repro.analysis import cf_modules_required, chromatic_number, conflict_graph
+from repro.bench.experiments import e02_lower_bound
+from repro.templates import PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+def test_e02_claim_holds():
+    result = e02_lower_bound("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_exact_chromatic_number(benchmark):
+    """Kernel: DSATUR branch-and-bound on the S(3)+P(4) conflict graph."""
+    tree = CompleteBinaryTree(4)
+
+    def solve():
+        return cf_modules_required(tree, [STemplate(3), PTemplate(4)])
+
+    assert benchmark(solve) == 5  # N + K - k = 4 + 3 - 2
+
+
+def test_bench_conflict_graph_build(benchmark):
+    tree = CompleteBinaryTree(6)
+    instances = list(STemplate(7).instances(tree)) + list(PTemplate(6).instances(tree))
+
+    adj = benchmark(conflict_graph, instances, tree.num_nodes)
+    assert len(adj) == tree.num_nodes

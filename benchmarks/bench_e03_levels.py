@@ -1,0 +1,26 @@
+"""E3 — Lemma 2: BASIC-COLOR cost <= 1 on L(K)."""
+
+from repro.analysis import family_cost
+from repro.bench.experiments import e03_levels
+from repro.core import BasicColorMapping, basic_color_array
+from repro.templates import LTemplate
+from repro.trees import CompleteBinaryTree
+
+
+def test_e03_claim_holds():
+    result = e03_levels("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_basic_color_construction(benchmark):
+    out = benchmark(basic_color_array, 14, 3)
+    assert out.size == (1 << 14) - 1
+
+
+def test_bench_level_window_verification(benchmark):
+    tree = CompleteBinaryTree(13)
+    mapping = BasicColorMapping(tree, 3)
+    mapping.color_array()
+
+    cost = benchmark(family_cost, mapping, LTemplate(7))
+    assert cost <= 1

@@ -1,0 +1,29 @@
+"""E4 — Theorems 4, 5: one conflict at maximum parallelism."""
+
+from repro.analysis import family_cost
+from repro.bench.experiments import e04_max_parallelism
+from repro.core import ColorMapping
+from repro.templates import PTemplate, STemplate
+
+
+def test_e04_claim_holds():
+    result = e04_max_parallelism("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_full_parallelism_verification(benchmark):
+    """Kernel: exhaustive S(M)+P(M) check at M = 15 on a 65k-node tree
+    (P(M) needs at least M tree levels)."""
+    from repro.trees import CompleteBinaryTree
+
+    tree = CompleteBinaryTree(16)
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+    M = mapping.num_modules
+
+    def verify():
+        return max(
+            family_cost(mapping, STemplate(M)), family_cost(mapping, PTemplate(M))
+        )
+
+    assert benchmark(verify) == 1

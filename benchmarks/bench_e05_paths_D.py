@@ -1,0 +1,24 @@
+"""E5 — Lemma 3: COLOR on P(D) <= 2*ceil(D/M) - 1."""
+
+from repro.analysis import bounds, family_cost
+from repro.bench.experiments import e05_paths_D
+from repro.core import ColorMapping
+from repro.templates import PTemplate
+
+
+def test_e05_claim_holds():
+    result = e05_paths_D("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_long_path_sweep(benchmark, tree14):
+    """Kernel: the P(D) sweep at M=3 over D/M = 1..4."""
+    mapping = ColorMapping.max_parallelism(tree14, 2)
+    mapping.color_array()
+
+    def sweep():
+        return [family_cost(mapping, PTemplate(D)) for D in (3, 6, 9, 12)]
+
+    costs = benchmark(sweep)
+    for D, got in zip((3, 6, 9, 12), costs):
+        assert got <= bounds.lemma3_path_bound(D, 3)

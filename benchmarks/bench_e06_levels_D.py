@@ -1,0 +1,24 @@
+"""E6 — Lemma 4: COLOR on L(D) <= 4*ceil(D/M)."""
+
+from repro.analysis import bounds, family_cost
+from repro.bench.experiments import e06_levels_D
+from repro.core import ColorMapping
+from repro.templates import LTemplate
+
+
+def test_e06_claim_holds():
+    result = e06_levels_D("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_wide_window_sweep(benchmark, tree14):
+    mapping = ColorMapping.max_parallelism(tree14, 3)
+    mapping.color_array()
+    M = mapping.num_modules
+
+    def sweep():
+        return [family_cost(mapping, LTemplate(r * M)) for r in (1, 2, 4, 8)]
+
+    costs = benchmark(sweep)
+    for r, got in zip((1, 2, 4, 8), costs):
+        assert got <= bounds.lemma4_level_bound(r * M, M)

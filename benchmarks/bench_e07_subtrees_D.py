@@ -1,0 +1,24 @@
+"""E7 — Lemma 5: COLOR on S(D) <= 4*ceil(D/M) - 1."""
+
+from repro.analysis import bounds, family_cost
+from repro.bench.experiments import e07_subtrees_D
+from repro.core import ColorMapping
+from repro.templates import STemplate
+
+
+def test_e07_claim_holds():
+    result = e07_subtrees_D("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_large_subtree_sweep(benchmark, tree14):
+    mapping = ColorMapping.max_parallelism(tree14, 3)
+    mapping.color_array()
+    M = mapping.num_modules
+
+    def sweep():
+        return [family_cost(mapping, STemplate((1 << d) - 1)) for d in (3, 5, 7, 9)]
+
+    costs = benchmark(sweep)
+    for d, got in zip((3, 5, 7, 9), costs):
+        assert got <= bounds.lemma5_subtree_bound((1 << d) - 1, M)

@@ -1,0 +1,34 @@
+"""E8 — Theorem 6: COLOR on composites C(D, c) <= 4*D/M + c."""
+
+import numpy as np
+
+from repro.analysis import bounds
+from repro.analysis.conflicts import instance_conflicts
+from repro.bench.experiments import e08_composite_color
+from repro.core import ColorMapping
+from repro.templates import CompositeSampler
+
+
+def test_e08_claim_holds():
+    result = e08_composite_color("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_composite_sampling_and_check(benchmark, tree14):
+    """Kernel: draw-and-measure loop over random C(8M, 4) instances."""
+    mapping = ColorMapping.max_parallelism(tree14, 4)
+    colors = mapping.color_array()
+    M = mapping.num_modules
+    sampler = CompositeSampler(tree14)
+
+    def round_trip():
+        rng = np.random.default_rng(99)
+        worst = 0
+        for _ in range(10):
+            comp = sampler.sample(4, target_size=8 * M, rng=rng)
+            got = instance_conflicts(colors, comp)
+            assert got <= bounds.thm6_composite_bound(comp.size, M, 4)
+            worst = max(worst, got)
+        return worst
+
+    benchmark(round_trip)

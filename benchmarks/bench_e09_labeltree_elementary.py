@@ -1,0 +1,34 @@
+"""E9 — Lemmas 6, 7: LABEL-TREE costs O(D/sqrt(M log M)) on elementary templates."""
+
+from repro.analysis import bounds, family_cost
+from repro.bench.experiments import e09_labeltree_elementary
+from repro.core import LabelTreeMapping
+from repro.templates import LTemplate
+
+
+def test_e09_claim_holds():
+    result = e09_labeltree_elementary("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_labeltree_construction(benchmark, tree14):
+    """Kernel: LABEL-TREE coloring of a 16k-node tree at M = 31."""
+
+    def build():
+        return LabelTreeMapping(tree14, 31).color_array()
+
+    out = benchmark(build)
+    assert out.size == tree14.num_nodes
+
+
+def test_bench_labeltree_level_sweep(benchmark, tree14):
+    mapping = LabelTreeMapping(tree14, 31)
+    mapping.color_array()
+    M = 31
+
+    def sweep():
+        return [family_cost(mapping, LTemplate(r * M)) for r in (1, 2, 4, 8)]
+
+    costs = benchmark(sweep)
+    for r, got in zip((1, 2, 4, 8), costs):
+        assert got <= 4 * bounds.labeltree_elementary_scale(r * M, M) + 2

@@ -1,0 +1,23 @@
+"""E11 — Theorem 7 (load): LABEL-TREE load ratio is 1 + o(1)."""
+
+from repro.analysis import load_report
+from repro.bench.experiments import e11_load_balance
+from repro.core import ColorMapping, LabelTreeMapping
+
+
+def test_e11_claim_holds():
+    result = e11_load_balance("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_load_histograms(benchmark, tree14):
+    lt = LabelTreeMapping(tree14, 31)
+    cm = ColorMapping.max_parallelism(tree14, 4)
+    lt.color_array()
+    cm.color_array()
+
+    def measure():
+        return load_report(lt).ratio, load_report(cm).ratio
+
+    lt_ratio, cm_ratio = benchmark(measure)
+    assert lt_ratio < 1.25 < cm_ratio

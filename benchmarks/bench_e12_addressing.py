@@ -1,0 +1,61 @@
+"""E12 — Addressing cost: the time side of the paper's trade-off.
+
+These benches time single-node address retrieval under each scheme; the
+ordering LABEL-TREE-table < LABEL-TREE-chain < COLOR-table < COLOR-chain is
+the paper's addressing-complexity story made measurable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import e12_addressing
+from repro.core import (
+    ChaseTable,
+    LabelTreeMapping,
+    max_parallelism_params,
+    resolve_color,
+    resolve_color_with_table,
+)
+from repro.trees import CompleteBinaryTree
+
+H = 18
+N, K_, M = max_parallelism_params(4)
+
+
+@pytest.fixture(scope="module")
+def tree18():
+    return CompleteBinaryTree(H)
+
+
+@pytest.fixture(scope="module")
+def nodes(tree18):
+    rng = np.random.default_rng(1)
+    return [int(v) for v in rng.integers(tree18.num_nodes // 2, tree18.num_nodes, 256)]
+
+
+def test_e12_claim_holds():
+    result = e12_addressing("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_color_chain_no_table(benchmark, nodes):
+    benchmark(lambda: [resolve_color(v, N, K_) for v in nodes])
+
+
+def test_bench_color_chase_table(benchmark, nodes):
+    table = ChaseTable.build(N, K_)
+    benchmark(lambda: [resolve_color_with_table(v, table) for v in nodes])
+
+
+def test_bench_labeltree_no_table(benchmark, tree18, nodes):
+    lt = LabelTreeMapping(tree18, M)
+    benchmark(lambda: [lt.module_of_no_table(v) for v in nodes])
+
+
+def test_bench_labeltree_table(benchmark, tree18, nodes):
+    lt = LabelTreeMapping(tree18, M)
+    benchmark(lambda: [lt.module_of(v) for v in nodes])
+
+
+def test_bench_chase_table_build(benchmark):
+    benchmark(ChaseTable.build, N, K_)

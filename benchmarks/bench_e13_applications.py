@@ -1,0 +1,63 @@
+"""E13 — Application workloads end-to-end through the memory simulator."""
+
+import pytest
+
+from repro.bench.experiments import e13_applications
+from repro.bench.workloads import heap_workload, range_query_workload
+from repro.core import ColorMapping, LabelTreeMapping, ModuloMapping
+from repro.memory import ParallelMemorySystem
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return CompleteBinaryTree(11)
+
+
+@pytest.fixture(scope="module")
+def heap_trace(tree):
+    return heap_workload(tree, ops=300)
+
+
+@pytest.fixture(scope="module")
+def rq_trace(tree):
+    return range_query_workload(tree, queries=40)
+
+
+def test_e13_claim_holds():
+    result = e13_applications("quick")
+    assert result.holds, str(result)
+
+
+def _run(mapping, trace):
+    return ParallelMemorySystem(mapping).run_trace(trace).total_cycles
+
+
+def test_bench_heap_under_color(benchmark, tree, heap_trace):
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+    cycles = benchmark(_run, mapping, heap_trace)
+    assert cycles == len(heap_trace)  # conflict-free: one round per access
+
+
+def test_bench_heap_under_labeltree(benchmark, tree, heap_trace):
+    mapping = LabelTreeMapping(tree, 15)
+    mapping.color_array()
+    benchmark(_run, mapping, heap_trace)
+
+
+def test_bench_heap_under_modulo(benchmark, tree, heap_trace):
+    mapping = ModuloMapping(tree, 15)
+    mapping.color_array()
+    benchmark(_run, mapping, heap_trace)
+
+
+def test_bench_range_query_under_color(benchmark, tree, rq_trace):
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+    benchmark(_run, mapping, rq_trace)
+
+
+def test_bench_trace_generation(benchmark, tree):
+    trace = benchmark(heap_workload, tree, 200)
+    assert len(trace) > 0

@@ -1,0 +1,26 @@
+"""E14 — COLOR vs single-template CF mappings (Section 1.2 context)."""
+
+from repro.analysis import family_cost
+from repro.bench.experiments import e14_single_template_baselines
+from repro.core import PathOnlyMapping, SubtreeOnlyMapping
+from repro.templates import STemplate
+
+
+def test_e14_claim_holds():
+    result = e14_single_template_baselines("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_subtree_only_construction(benchmark, tree14):
+    def build():
+        return SubtreeOnlyMapping(tree14, 3).color_array()
+
+    out = benchmark(build)
+    assert out.size == tree14.num_nodes
+
+
+def test_bench_path_only_verification(benchmark, tree14):
+    mapping = PathOnlyMapping(tree14, 7)
+    mapping.color_array()
+    cost = benchmark(family_cost, mapping, STemplate(7))
+    assert cost > 0  # path-only fails subtrees: the gap COLOR closes

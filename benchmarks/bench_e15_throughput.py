@@ -1,0 +1,42 @@
+"""E15 — latency vs throughput: Theorem 7's balance as a throughput figure."""
+
+import pytest
+
+from repro.apps import level_sweep_trace
+from repro.bench.experiments import e15_throughput_vs_latency
+from repro.core import ColorMapping, LabelTreeMapping
+from repro.memory import ParallelMemorySystem
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = CompleteBinaryTree(11)
+    return tree, level_sweep_trace(tree, window=15)
+
+
+def test_e15_claim_holds():
+    result = e15_throughput_vs_latency("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_pipelined_scan_under_color(benchmark, setup):
+    tree, trace = setup
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+
+    def drain():
+        return ParallelMemorySystem(mapping).run_trace(trace, pipelined=True).total_cycles
+
+    benchmark(drain)
+
+
+def test_bench_pipelined_scan_under_labeltree(benchmark, setup):
+    tree, trace = setup
+    mapping = LabelTreeMapping(tree, 15)
+    mapping.color_array()
+
+    def drain():
+        return ParallelMemorySystem(mapping).run_trace(trace, pipelined=True).total_cycles
+
+    benchmark(drain)

@@ -1,0 +1,26 @@
+"""E16 — random-baseline calibration: measurement vs exact theory."""
+
+from repro.analysis.spectrum import conflict_spectrum
+from repro.analysis.theory import expected_max_load, max_load_pmf
+from repro.bench.experiments import e16_random_calibration
+from repro.core import RandomMapping
+from repro.templates import LTemplate
+
+
+def test_e16_claim_holds():
+    result = e16_random_calibration("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_exact_max_load_distribution(benchmark):
+    """Kernel: exact balls-in-bins pmf via polynomial powers."""
+    pmf = benchmark(max_load_pmf, 120, 31)
+    assert abs(pmf.sum() - 1.0) < 1e-9
+
+
+def test_bench_spectrum_computation(benchmark, tree12):
+    mapping = RandomMapping(tree12, 15, seed=0)
+    mapping.color_array()
+
+    spec = benchmark(conflict_spectrum, mapping, LTemplate(30))
+    assert abs(spec.mean - expected_max_load(30, 15) + 1) < 0.5

@@ -1,0 +1,26 @@
+"""E17 — the paper's criteria matrix, plus trace-profile diagnostics."""
+
+from repro.bench.experiments import e17_criteria_matrix
+from repro.bench.workloads import heap_workload
+from repro.memory import profile_trace
+from repro.trees import CompleteBinaryTree
+
+
+def test_e17_claim_holds():
+    result = e17_criteria_matrix("quick")
+    assert result.holds, str(result)
+
+
+def test_heap_trace_is_root_biased():
+    """The workload fact behind E15/E17: every heap access touches the root."""
+    tree = CompleteBinaryTree(11)
+    profile = profile_trace(heap_workload(tree, ops=200))
+    assert profile.root_bias == 1.0
+    assert profile.hottest_node == 0
+
+
+def test_bench_criteria_matrix(benchmark):
+    result = benchmark.pedantic(
+        e17_criteria_matrix, args=("quick",), rounds=3, iterations=1
+    )
+    assert result.holds

@@ -1,0 +1,104 @@
+"""Performance microbenchmarks for the library's computational kernels.
+
+Not tied to a paper claim — these track construction/verification/simulation
+throughput across sizes so regressions in the hot paths are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import matrix_conflicts
+from repro.core import ColorMapping, LabelTreeMapping, color_array
+from repro.memory import ParallelMemorySystem
+from repro.templates import PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.mark.parametrize("H", [14, 17, 20])
+def test_bench_color_construction_scaling(benchmark, H):
+    """COLOR coloring cost grows linearly in tree size (vectorized levels)."""
+    out = benchmark(color_array, H, 6, 2)
+    assert out.size == (1 << H) - 1
+
+
+@pytest.mark.parametrize("H", [14, 17, 20])
+def test_bench_labeltree_construction_scaling(benchmark, H):
+    tree = CompleteBinaryTree(H)
+
+    def build():
+        return LabelTreeMapping(tree, 31).color_array()
+
+    assert benchmark(build).size == tree.num_nodes
+
+
+@pytest.mark.parametrize("size", [7, 31, 127])
+def test_bench_matrix_conflicts_by_instance_size(benchmark, size):
+    tree = CompleteBinaryTree(15)
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    colors = mapping.color_array()
+    fam = STemplate(size)
+    matrix = fam.instance_matrix(tree)
+
+    out = benchmark(matrix_conflicts, colors, matrix, mapping.num_modules)
+    assert out.size == matrix.shape[0]
+
+
+def test_bench_path_matrix_enumeration(benchmark):
+    tree = CompleteBinaryTree(18)
+    fam = PTemplate(10)
+
+    matrix = benchmark(fam.instance_matrix, tree)
+    assert matrix.shape == (fam.count(tree), 10)
+
+
+def test_bench_dary_color_construction(benchmark):
+    from repro.dary import DaryTree, dary_color_array
+
+    tree = DaryTree(3, 11)  # ~88k nodes
+
+    out = benchmark(dary_color_array, tree, 5, 2)
+    assert out.size == tree.num_nodes
+
+
+def test_bench_hypercube_syndrome(benchmark):
+    from repro.hypercube import Hypercube, SyndromeMapping
+
+    cube = Hypercube(17)  # 131k nodes
+
+    def build():
+        return SyndromeMapping.for_subcubes(cube, 2).color_array()
+
+    assert benchmark(build).size == cube.num_nodes
+
+
+def test_bench_binomial_heap_ops(benchmark):
+    import numpy as np
+
+    from repro.binomial import BinomialHeapApp
+
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 10**6, 400)
+
+    def session():
+        heap = BinomialHeapApp(order=10)
+        for v in keys:
+            heap.insert(int(v))
+        for _ in range(200):
+            heap.extract_min()
+        return len(heap)
+
+    assert benchmark(session) == 200
+
+
+def test_bench_simulator_access_throughput(benchmark):
+    tree = CompleteBinaryTree(14)
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+    pms = ParallelMemorySystem(mapping)
+    rng = np.random.default_rng(0)
+    batches = [rng.integers(0, tree.num_nodes, 15) for _ in range(50)]
+
+    def run():
+        return sum(pms.access(batch).cycles for batch in batches)
+
+    benchmark(run)

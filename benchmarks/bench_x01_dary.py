@@ -1,0 +1,39 @@
+"""X1 — extension: COLOR on complete d-ary trees."""
+
+from repro.analysis.conflicts import instance_conflicts
+from repro.bench.ablations import x1_dary_extension
+from repro.dary import (
+    DaryColorMapping,
+    DaryTree,
+    dary_color_array,
+    dary_subtree_instances,
+)
+
+
+def test_x1_claim_holds():
+    result = x1_dary_extension("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_ternary_color_construction(benchmark):
+    tree = DaryTree(3, 8)  # 3280 nodes
+
+    def build():
+        return dary_color_array(tree, N=5, k=2)
+
+    out = benchmark(build)
+    assert out.size == tree.num_nodes
+
+
+def test_bench_ternary_exhaustive_verification(benchmark):
+    tree = DaryTree(3, 7)
+    mapping = DaryColorMapping(tree, N=4, k=2)
+    colors = mapping.color_array()
+
+    def verify():
+        return max(
+            instance_conflicts(colors, inst)
+            for inst in dary_subtree_instances(tree, 2)
+        )
+
+    assert benchmark(verify) == 0

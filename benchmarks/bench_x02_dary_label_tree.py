@@ -1,0 +1,23 @@
+"""X2 — extension: LABEL-TREE on complete d-ary trees."""
+
+from repro.bench.ablations import x2_dary_label_tree
+from repro.dary import DaryLabelTreeMapping, DaryTree, dary_micro_label_index_array
+
+
+def test_x2_claim_holds():
+    result = x2_dary_label_tree("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_dary_pattern_construction(benchmark):
+    idx = benchmark(dary_micro_label_index_array, 7, 3, 3)
+    assert idx.size == (3**7 - 1) // 2
+
+
+def test_bench_dary_labeltree_coloring(benchmark):
+    tree = DaryTree(3, 7)  # 1093 nodes
+
+    def build():
+        return DaryLabelTreeMapping(tree, 13).color_array()
+
+    assert benchmark(build).size == tree.num_nodes

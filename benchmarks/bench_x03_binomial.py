@@ -1,0 +1,41 @@
+"""X3 — extension: CF template access in binomial trees."""
+
+from repro.analysis.conflicts import instance_conflicts
+from repro.bench.ablations import x3_binomial_trees
+from repro.binomial import (
+    BinomialTree,
+    TwistedMapping,
+    binomial_path_instances,
+    binomial_subtree_instances,
+)
+
+
+def test_x3_claim_holds():
+    result = x3_binomial_trees("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_twisted_coloring_construction(benchmark):
+    tree = BinomialTree(18)  # 262k nodes
+
+    def build():
+        return TwistedMapping(tree, 3, 4).color_array()
+
+    out = benchmark(build)
+    assert out.size == tree.num_nodes
+
+
+def test_bench_binomial_exhaustive_verification(benchmark):
+    tree = BinomialTree(12)
+    mapping = TwistedMapping(tree, 3, 4)
+    colors = mapping.color_array()
+
+    def verify():
+        return max(
+            max(instance_conflicts(colors, i)
+                for i in binomial_subtree_instances(tree, 3)),
+            max(instance_conflicts(colors, i)
+                for i in binomial_path_instances(tree, 4)),
+        )
+
+    assert benchmark(verify) == 0

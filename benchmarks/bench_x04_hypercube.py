@@ -1,0 +1,34 @@
+"""X4 — extension: CF subcube access in hypercubes via code syndromes."""
+
+from repro.analysis.conflicts import instance_conflicts
+from repro.bench.ablations import x4_hypercube_subcubes
+from repro.hypercube import Hypercube, SyndromeMapping, subcube_instances
+
+
+def test_x4_claim_holds():
+    result = x4_hypercube_subcubes("quick")
+    assert result.holds, str(result)
+
+
+def test_bench_syndrome_coloring_construction(benchmark):
+    cube = Hypercube(18)  # 262k nodes
+
+    def build():
+        return SyndromeMapping.for_subcubes(cube, 2).color_array()
+
+    out = benchmark(build)
+    assert out.size == cube.num_nodes
+
+
+def test_bench_subcube_exhaustive_verification(benchmark):
+    cube = Hypercube(10)
+    mapping = SyndromeMapping.for_subcubes(cube, 2)
+    colors = mapping.color_array()
+
+    def verify():
+        return max(
+            instance_conflicts(colors, inst)
+            for inst in subcube_instances(cube, 2)
+        )
+
+    assert benchmark(verify) == 0

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_eNN_*.py`` file regenerates one paper result (see DESIGN.md,
+Section 5): it asserts the claim at quick scale and times the computational
+kernel behind it with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="session")
+def tree14():
+    return CompleteBinaryTree(14)
+
+
+@pytest.fixture(scope="session")
+def tree12():
+    return CompleteBinaryTree(12)

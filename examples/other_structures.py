@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Beyond complete binary trees: d-ary trees, binomial trees, hypercubes.
+
+The paper's reference line (Das-Pinotti, Creutzburg) extends conflict-free
+template access to other structures; this example tours the repo's
+implementations of all three extensions and their verified guarantees.
+
+Run:  python examples/other_structures.py
+"""
+
+import numpy as np
+
+from repro.analysis.conflicts import instance_conflicts
+from repro.bench.report import render_table
+
+
+def dary_section() -> None:
+    from repro.dary import (
+        DaryColorMapping,
+        DaryPTemplate,
+        DarySTemplate,
+        DaryTree,
+    )
+    from repro.analysis import family_cost
+
+    print("1. d-ary trees — COLOR generalizes (X1)\n")
+    rows = []
+    for d in (2, 3, 4):
+        tree = DaryTree(d, 6)
+        mapping = DaryColorMapping(tree, N=4, k=2)
+        rows.append((
+            d, tree.num_nodes, mapping.K, mapping.num_modules,
+            family_cost(mapping, DarySTemplate(d, 2)),
+            family_cost(mapping, DaryPTemplate(d, 4)),
+        ))
+    print(render_table(
+        ["d", "nodes", "K", "M = N+K-k", "cost S(K)", "cost P(N)"], rows))
+    print("\nthe sibling-donor identity (d-1)·(subtree top) = block − 1 makes")
+    print("the same construction conflict-free at every arity.\n")
+
+
+def binomial_section() -> None:
+    from repro.binomial import (
+        BinomialHeapApp,
+        BinomialTree,
+        TwistedMapping,
+        binomial_path_instances,
+        binomial_subtree_instances,
+    )
+
+    print("2. binomial trees — bitmask addressing (X3)\n")
+    tree = BinomialTree(8)
+    mapping = TwistedMapping(tree, k=3, P=4)
+    colors = mapping.color_array()
+    ws = max(instance_conflicts(colors, i)
+             for i in binomial_subtree_instances(tree, 3))
+    wp = max(instance_conflicts(colors, i)
+             for i in binomial_path_instances(tree, 4))
+    print(f"B_8, twisted coloring with {mapping.num_modules} modules: "
+          f"B_3 subtrees {ws} conflicts, 4-node paths {wp} conflicts")
+
+    heap = BinomialHeapApp(order=8)
+    rng = np.random.default_rng(1)
+    vals = rng.integers(0, 10**6, 200).tolist()
+    for v in vals:
+        heap.insert(int(v))
+    out = [heap.extract_min() for _ in range(200)]
+    assert out == sorted(vals)
+    print(f"binomial heap: 400 ops verified; trace = {len(heap.trace)} "
+          f"aligned-block (B_k template) accesses\n")
+
+
+def hypercube_section() -> None:
+    from repro.hypercube import (
+        Hypercube,
+        SyndromeMapping,
+        code_min_distance,
+        subcube_instances,
+    )
+
+    print("3. hypercubes — conflict-freeness is coding theory (X4)\n")
+    rows = []
+    for n, k in [(7, 1), (7, 2), (7, 3)]:
+        cube = Hypercube(n)
+        mapping = SyndromeMapping.for_subcubes(cube, k)
+        colors = mapping.color_array()
+        worst = max(instance_conflicts(colors, inst)
+                    for inst in subcube_instances(cube, k))
+        loads = mapping.module_loads()
+        rows.append((
+            f"Q_{n}", k, mapping.num_modules,
+            code_min_distance(mapping.check), worst,
+            f"{loads.max()}/{loads.min()}",
+        ))
+    print(render_table(
+        ["cube", "k", "M (= 2^r syndromes)", "code distance", "conflicts",
+         "load max/min"], rows))
+    print("\nnodes share a k-subcube iff Hamming distance <= k, so color")
+    print("classes must be distance-(k+1) codes; Hamming syndromes deliver")
+    print("conflict-freedom with PERFECTLY balanced modules.")
+
+
+def main() -> None:
+    dary_section()
+    binomial_section()
+    hypercube_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Adversarial worst-case search over composite templates.
+
+Random sampling (E8/E10) under-estimates a mapping's worst case on ``C(D, c)``
+— the family is astronomically large and bad instances are rare.  This module
+attacks the bound the way an adversary would:
+
+* :func:`greedy_adversarial_composite` — build the composite one component at
+  a time, each time drawing several candidates and keeping the one that
+  maximizes the running conflict count (concentrating components on the
+  mapping's currently most-loaded color);
+* :func:`local_search_composite` — then hill-climb: repeatedly resample one
+  component and keep the swap if conflicts do not decrease.
+
+The ablation bench A6 compares random vs. adversarial maxima against
+Theorem 6's / Theorem 8's bounds: the bounds must survive the adversary too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.templates.composite import CompositeInstance, CompositeSampler, make_composite
+
+__all__ = ["greedy_adversarial_composite", "local_search_composite"]
+
+
+def _conflicts(colors: np.ndarray, num_modules: int, parts) -> int:
+    counts = np.zeros(num_modules, dtype=np.int64)
+    for part in parts:
+        counts += np.bincount(colors[part.nodes], minlength=num_modules)
+    return int(counts.max() - 1)
+
+
+def greedy_adversarial_composite(
+    mapping: TreeMapping,
+    c: int,
+    target_size: int,
+    rng: np.random.Generator,
+    candidates: int = 12,
+    sampler: CompositeSampler | None = None,
+) -> CompositeInstance:
+    """Greedy adversary: pick each component to maximize running conflicts."""
+    if candidates < 1:
+        raise ValueError(f"candidates must be >= 1, got {candidates}")
+    sampler = sampler or CompositeSampler(mapping.tree)
+    colors = mapping.color_array()
+    M = mapping.num_modules
+    used: set[int] = set()
+    parts = []
+    for t in range(c):
+        budget = max(1, (target_size - sum(p.size for p in parts)) // (c - t))
+        best, best_score = None, -1
+        for _ in range(candidates):
+            cand = sampler._draw_component(budget, used, rng)
+            score = _conflicts(colors, M, parts + [cand])
+            if score > best_score:
+                best, best_score = cand, score
+        parts.append(best)
+        used |= best.node_set()
+    return make_composite(parts)
+
+
+def local_search_composite(
+    mapping: TreeMapping,
+    start: CompositeInstance,
+    rng: np.random.Generator,
+    iters: int = 100,
+    sampler: CompositeSampler | None = None,
+) -> CompositeInstance:
+    """Hill-climb from ``start``: swap single components while conflicts rise."""
+    sampler = sampler or CompositeSampler(mapping.tree)
+    colors = mapping.color_array()
+    M = mapping.num_modules
+    parts = list(start.components)
+    best_score = _conflicts(colors, M, parts)
+    for _ in range(iters):
+        idx = int(rng.integers(len(parts)))
+        rest = parts[:idx] + parts[idx + 1 :]
+        used = set().union(*(p.node_set() for p in rest)) if rest else set()
+        try:
+            cand = sampler._draw_component(parts[idx].size, used, rng)
+        except RuntimeError:
+            continue
+        trial = rest[:idx] + [cand] + rest[idx:]
+        score = _conflicts(colors, M, trial)
+        if score >= best_score:
+            parts, best_score = trial, score
+    return make_composite(parts)

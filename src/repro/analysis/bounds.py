@@ -1,0 +1,85 @@
+"""Theoretical bounds from the paper, as checkable formulas.
+
+Each function returns the paper's *claimed* ceiling on conflicts for the
+corresponding result; the experiment harness compares measured maxima against
+these.  Exact bounds (Theorems 1-4, Lemmas 2-5, Theorem 6) are stated with
+their constants; asymptotic ones (Lemma 6/7, Theorems 7/8) are exposed as
+scale functions for shape fitting.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "trivial_lower_bound",
+    "cf_optimal_modules",
+    "thm1_bound",
+    "lemma2_bound",
+    "thm4_bound",
+    "lemma3_path_bound",
+    "lemma4_level_bound",
+    "lemma5_subtree_bound",
+    "thm6_composite_bound",
+    "labeltree_elementary_scale",
+    "labeltree_composite_scale",
+]
+
+
+def trivial_lower_bound(D: int, M: int) -> int:
+    """Any mapping of a size-``D`` instance on ``M`` modules has
+    ``>= ceil(D/M) - 1`` conflicts (Section 2)."""
+    return math.ceil(D / M) - 1
+
+
+def cf_optimal_modules(N: int, k: int) -> int:
+    """Theorem 2: the minimum module count for CF access to ``S(K)`` and
+    ``P(N)`` is ``N + K - k``."""
+    return N + ((1 << k) - 1) - k
+
+
+def thm1_bound() -> int:
+    """Theorems 1/3: COLOR on ``S(K)`` and ``P(N)`` is conflict-free."""
+    return 0
+
+
+def lemma2_bound() -> int:
+    """Lemma 2: BASIC-COLOR on ``L(K)`` has at most one conflict."""
+    return 1
+
+
+def thm4_bound() -> int:
+    """Theorem 4: COLOR at maximum parallelism on ``S(M)``/``P(M)``: one conflict."""
+    return 1
+
+
+def lemma3_path_bound(D: int, M: int) -> int:
+    """Lemma 3: COLOR on ``P(D)``: ``<= 2*ceil(D/M) - 1`` conflicts (``D >= M``)."""
+    return 2 * math.ceil(D / M) - 1
+
+
+def lemma4_level_bound(D: int, M: int) -> int:
+    """Lemma 4: COLOR on ``L(D)``: ``<= 4*ceil(D/M)`` conflicts (``D >= M``)."""
+    return 4 * math.ceil(D / M)
+
+
+def lemma5_subtree_bound(D: int, M: int) -> int:
+    """Lemma 5: COLOR on ``S(D)``: ``<= 4*ceil(D/M) - 1`` conflicts (``D >= M``)."""
+    return 4 * math.ceil(D / M) - 1
+
+
+def thm6_composite_bound(D: int, M: int, c: int) -> float:
+    """Theorem 6: COLOR on ``C(D, c)``: ``<= 4*D/M + c`` conflicts."""
+    return 4 * D / M + c
+
+
+def labeltree_elementary_scale(D: int, M: int) -> float:
+    """Lemma 7 shape: LABEL-TREE on elementary templates of size ``D`` is
+    ``O(D / sqrt(M log M))``; this returns the scale term (constant = 1)."""
+    return D / math.sqrt(M * math.log2(M))
+
+
+def labeltree_composite_scale(D: int, M: int, c: int) -> float:
+    """Theorem 8 shape: LABEL-TREE on ``C(D, c)`` is
+    ``O(D / sqrt(M log M) + c)``."""
+    return labeltree_elementary_scale(D, M) + c

@@ -1,0 +1,107 @@
+"""Conflict cost functions (paper Section 2).
+
+For a coloring ``chi`` and a template instance ``I``, the number of conflicts
+is ``max_r |{u in I : chi(u) = r}| - 1`` — the extra memory rounds the access
+needs.  The cost of a mapping on a template family is the max over its
+instances, and the cost on a set of families is the max over families.
+
+The heavy lifting is :func:`matrix_conflicts`: per-row conflict counts over an
+``(instances, size)`` matrix of heap ids, computed with chunked bincounts so
+exhaustive verification of ~10^6 instances stays in bounded memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.templates.base import TemplateFamily, TemplateInstance
+
+__all__ = [
+    "instance_conflicts",
+    "matrix_conflicts",
+    "family_cost",
+    "family_cost_distribution",
+    "mapping_cost",
+    "sampled_family_cost",
+]
+
+_CHUNK_CELL_BUDGET = 1 << 24  # ~16M int64 cells per bincount chunk
+
+
+def instance_conflicts(colors: np.ndarray, instance: TemplateInstance | np.ndarray) -> int:
+    """Conflicts of a single instance under the node-indexed ``colors`` array."""
+    nodes = instance.nodes if isinstance(instance, TemplateInstance) else np.asarray(instance)
+    inst_colors = colors[nodes]
+    return int(np.bincount(inst_colors).max() - 1)
+
+
+def matrix_conflicts(
+    colors: np.ndarray, matrix: np.ndarray, num_modules: int
+) -> np.ndarray:
+    """Per-instance conflicts for an ``(R, size)`` matrix of heap ids.
+
+    Returns an int64 array of length ``R``.  Internally processes row chunks
+    of ``~16M`` cells: each chunk builds a ``(rows, M)`` histogram via one
+    flat ``bincount`` keyed by ``row * M + color``.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError(f"instance matrix must be 2-D, got shape {matrix.shape}")
+    R = matrix.shape[0]
+    if R == 0:
+        return np.empty(0, dtype=np.int64)
+    rows_per_chunk = max(1, _CHUNK_CELL_BUDGET // max(1, num_modules + matrix.shape[1]))
+    out = np.empty(R, dtype=np.int64)
+    for lo in range(0, R, rows_per_chunk):
+        hi = min(R, lo + rows_per_chunk)
+        chunk = colors[matrix[lo:hi]]
+        rows = hi - lo
+        keys = np.arange(rows, dtype=np.int64)[:, None] * num_modules + chunk
+        hist = np.bincount(keys.ravel(), minlength=rows * num_modules)
+        out[lo:hi] = hist.reshape(rows, num_modules).max(axis=1) - 1
+    return out
+
+
+def family_cost(mapping: TreeMapping, family: TemplateFamily) -> int:
+    """The paper's ``C_U(T, family, M)``: max conflicts over all instances."""
+    matrix = family.instance_matrix(mapping.tree)
+    if matrix.shape[0] == 0:
+        raise ValueError(f"{family!r} has no instances in {mapping.tree!r}")
+    return int(
+        matrix_conflicts(mapping.color_array(), matrix, mapping.num_modules).max()
+    )
+
+
+def family_cost_distribution(
+    mapping: TreeMapping, family: TemplateFamily
+) -> np.ndarray:
+    """Histogram of per-instance conflict counts (index = conflicts)."""
+    matrix = family.instance_matrix(mapping.tree)
+    conflicts = matrix_conflicts(mapping.color_array(), matrix, mapping.num_modules)
+    return np.bincount(conflicts)
+
+
+def mapping_cost(mapping: TreeMapping, families: Iterable[TemplateFamily]) -> int:
+    """The paper's ``Cost(T, U, I, M)``: max cost over the template families."""
+    costs = [family_cost(mapping, fam) for fam in families]
+    if not costs:
+        raise ValueError("at least one template family is required")
+    return max(costs)
+
+
+def sampled_family_cost(
+    mapping: TreeMapping,
+    family: TemplateFamily,
+    samples: int,
+    rng: np.random.Generator,
+) -> int:
+    """Max conflicts over ``samples`` random instances (for huge families)."""
+    colors = mapping.color_array()
+    worst = 0
+    for _ in range(samples):
+        inst = family.sample(mapping.tree, rng)
+        worst = max(worst, instance_conflicts(colors, inst))
+    return worst

@@ -1,0 +1,56 @@
+"""Memory-load metrics (paper Theorem 7: LABEL-TREE's load is ``1 + o(1)``).
+
+The *load* of a module is the number of tree nodes mapped to it; the paper's
+balance figure is the ratio between the largest and smallest load.  COLOR
+deliberately overloads a few modules (the ``Sigma`` colors of the top levels
+are re-inherited throughout the tree), which is one side of the trade-off the
+paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+
+__all__ = ["LoadReport", "load_report"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Summary of how many nodes each module stores."""
+
+    loads: np.ndarray
+    max_load: int
+    min_load: int
+    mean_load: float
+    ratio: float
+    """``max_load / min_load`` (``inf`` when some module is empty)."""
+    imbalance: float
+    """``max_load / mean_load - 1``: relative overload of the busiest module."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"load max={self.max_load} min={self.min_load} "
+            f"mean={self.mean_load:.1f} ratio={self.ratio:.4f} "
+            f"imbalance={self.imbalance:.4f}"
+        )
+
+
+def load_report(mapping: TreeMapping) -> LoadReport:
+    """Compute the load distribution of a mapping."""
+    loads = mapping.module_loads()
+    max_load = int(loads.max())
+    min_load = int(loads.min())
+    mean = float(loads.mean())
+    ratio = float("inf") if min_load == 0 else max_load / min_load
+    return LoadReport(
+        loads=loads,
+        max_load=max_load,
+        min_load=min_load,
+        mean_load=mean,
+        ratio=ratio,
+        imbalance=max_load / mean - 1.0,
+    )

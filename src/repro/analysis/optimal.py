@@ -1,0 +1,153 @@
+"""Exact conflict-free colorability (Theorem 2's lower bound, made checkable).
+
+A mapping is CF on a set of template instances iff no two nodes sharing an
+instance share a color — i.e. iff the *conflict graph* (one clique per
+instance) is properly ``M``-colorable.  Theorem 2 states that CF access to
+``S(K)`` and ``P(N)`` needs ``M >= N + K - k`` modules; on small trees we can
+*prove* this computationally by showing the conflict graph's chromatic number
+equals ``N + K - k``.
+
+The solver is an exact DSATUR branch-and-bound: it decides
+``M``-colorability, and :func:`chromatic_number` binary-searches the decision
+between a clique lower bound and a greedy upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.templates.base import TemplateFamily, TemplateInstance
+from repro.trees import CompleteBinaryTree
+
+__all__ = [
+    "conflict_graph",
+    "greedy_colors",
+    "is_colorable",
+    "chromatic_number",
+    "cf_modules_required",
+]
+
+
+def conflict_graph(
+    instances: Iterable[TemplateInstance | np.ndarray], num_nodes: int
+) -> list[set[int]]:
+    """Adjacency sets of the conflict graph: a clique per instance."""
+    adj: list[set[int]] = [set() for _ in range(num_nodes)]
+    for inst in instances:
+        nodes = inst.nodes if isinstance(inst, TemplateInstance) else np.asarray(inst)
+        items = [int(v) for v in nodes]
+        for a_idx, a in enumerate(items):
+            for b in items[a_idx + 1 :]:
+                adj[a].add(b)
+                adj[b].add(a)
+    return adj
+
+
+def greedy_colors(adj: Sequence[set[int]]) -> int:
+    """Colors used by greedy coloring in descending-degree order (upper bound)."""
+    n = len(adj)
+    order = sorted(range(n), key=lambda v: -len(adj[v]))
+    color = [-1] * n
+    used = 0
+    for v in order:
+        taken = {color[u] for u in adj[v] if color[u] >= 0}
+        c = 0
+        while c in taken:
+            c += 1
+        color[v] = c
+        used = max(used, c + 1)
+    return used
+
+
+def is_colorable(adj: Sequence[set[int]], M: int, max_steps: int = 50_000_000) -> bool:
+    """Exact decision: does a proper ``M``-coloring of the graph exist?
+
+    DSATUR branch-and-bound with first-fresh-color symmetry breaking.
+    Raises :class:`RuntimeError` if the search exceeds ``max_steps``
+    branchings (so callers never mistake a timeout for an answer).
+    """
+    n = len(adj)
+    if M >= n:
+        return True
+    color = [-1] * n
+    neighbor_colors: list[set[int]] = [set() for _ in range(n)]
+    steps = 0
+
+    def pick() -> int:
+        best, best_key = -1, (-1, -1)
+        for v in range(n):
+            if color[v] < 0:
+                key = (len(neighbor_colors[v]), len(adj[v]))
+                if key > best_key:
+                    best, best_key = v, key
+        return best
+
+    def assign(v: int, c: int) -> list[int]:
+        color[v] = c
+        touched = []
+        for u in adj[v]:
+            if color[u] < 0 and c not in neighbor_colors[u]:
+                neighbor_colors[u].add(c)
+                touched.append(u)
+        return touched
+
+    def undo(v: int, c: int, touched: list[int]) -> None:
+        color[v] = -1
+        for u in touched:
+            neighbor_colors[u].discard(c)
+
+    def solve(colored: int, max_used: int) -> bool:
+        nonlocal steps
+        if colored == n:
+            return True
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(f"exact coloring search exceeded {max_steps} steps")
+        v = pick()
+        if len(neighbor_colors[v]) >= M:
+            return False
+        # try existing colors, then exactly one fresh color (symmetry breaking)
+        limit = min(M, max_used + 1)
+        for c in range(limit):
+            if c in neighbor_colors[v]:
+                continue
+            touched = assign(v, c)
+            if solve(colored + 1, max(max_used, c + 1)):
+                return True
+            undo(v, c, touched)
+        return False
+
+    return solve(0, 0)
+
+
+def chromatic_number(adj: Sequence[set[int]], lower: int = 1) -> int:
+    """Exact chromatic number via repeated :func:`is_colorable` decisions."""
+    upper = greedy_colors(adj)
+    lo = max(1, lower)
+    while lo < upper:
+        mid = (lo + upper) // 2
+        if is_colorable(adj, mid):
+            upper = mid
+        else:
+            lo = mid + 1
+    return upper
+
+
+def cf_modules_required(
+    tree: CompleteBinaryTree, families: Iterable[TemplateFamily]
+) -> int:
+    """Minimum module count for a CF mapping of ``tree`` on the given families.
+
+    Exact (exponential in the worst case) — intended for the small trees of
+    the Theorem 2 experiment.
+    """
+    instances: list[TemplateInstance] = []
+    max_clique = 1
+    for fam in families:
+        for inst in fam.instances(tree):
+            instances.append(inst)
+            max_clique = max(max_clique, inst.size)
+    adj = conflict_graph(instances, tree.num_nodes)
+    return chromatic_number(adj, lower=max_clique)

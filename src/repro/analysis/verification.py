@@ -1,0 +1,89 @@
+"""Exhaustive verification helpers: measured costs vs. claimed bounds.
+
+These wrap :mod:`repro.analysis.conflicts` into pass/fail reports the tests
+and the experiment harness share, so "the theorem holds" is a single object
+with the numbers attached rather than a bare assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.analysis.conflicts import (
+    family_cost,
+    family_cost_distribution,
+    instance_conflicts,
+)
+from repro.core.mapping import TreeMapping
+from repro.templates.base import TemplateFamily, TemplateInstance
+
+__all__ = ["BoundCheck", "check_family_bound", "check_conflict_free", "worst_instances"]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of comparing a measured worst case against a claimed bound."""
+
+    description: str
+    measured: int
+    bound: float
+    instances_checked: int
+
+    @property
+    def holds(self) -> bool:
+        return self.measured <= self.bound
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "OK" if self.holds else "VIOLATED"
+        return (
+            f"{self.description}: measured={self.measured} bound={self.bound} "
+            f"({self.instances_checked} instances) {flag}"
+        )
+
+
+def check_family_bound(
+    mapping: TreeMapping,
+    family: TemplateFamily,
+    bound: float,
+    description: str | None = None,
+) -> BoundCheck:
+    """Exhaustively measure a family's worst case and compare to ``bound``."""
+    measured = family_cost(mapping, family)
+    return BoundCheck(
+        description=description or f"{type(mapping).__name__} on {family!r}",
+        measured=measured,
+        bound=bound,
+        instances_checked=family.count(mapping.tree),
+    )
+
+
+def check_conflict_free(
+    mapping: TreeMapping,
+    families: Iterable[TemplateFamily],
+    description: str | None = None,
+) -> list[BoundCheck]:
+    """One conflict-freeness check per family."""
+    return [
+        check_family_bound(mapping, fam, 0.0, description=description) for fam in families
+    ]
+
+
+def worst_instances(
+    mapping: TreeMapping, family: TemplateFamily, top: int = 3
+) -> list[tuple[int, TemplateInstance]]:
+    """The ``top`` instances with the most conflicts, for debugging reports."""
+    tree = mapping.tree
+    colors = mapping.color_array()
+    scored = []
+    for inst in family.instances(tree):
+        scored.append((instance_conflicts(colors, inst), inst))
+    scored.sort(key=lambda pair: -pair[0])
+    return scored[:top]
+
+
+def conflict_histogram(mapping: TreeMapping, family: TemplateFamily) -> np.ndarray:
+    """Distribution of conflicts over the family's instances."""
+    return family_cost_distribution(mapping, family)

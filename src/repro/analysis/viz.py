@@ -1,0 +1,43 @@
+"""ASCII rendering of tree colorings — for docs, examples, and debugging.
+
+Prints the top levels of a colored tree with each node's module number, so a
+human can eyeball mapping structure (e.g. BASIC-COLOR's Sigma rainbow on the
+top ``k`` levels, or where Gamma colors first appear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+
+__all__ = ["render_coloring", "render_module_histogram"]
+
+
+def render_coloring(mapping: TreeMapping, max_levels: int = 6) -> str:
+    """Render the top ``max_levels`` levels with per-node module numbers."""
+    colors = mapping.color_array()
+    levels = min(max_levels, mapping.tree.num_levels)
+    width = max(2, len(str(int(colors[: (1 << levels) - 1].max()))))
+    cell = width + 1
+    total = (1 << (levels - 1)) * cell
+    lines = []
+    for j in range(levels):
+        n = 1 << j
+        slot = total // n
+        row = "".join(
+            str(int(colors[(1 << j) - 1 + i])).center(slot) for i in range(n)
+        )
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def render_module_histogram(mapping: TreeMapping, width: int = 50) -> str:
+    """Horizontal bar chart of per-module loads."""
+    loads = mapping.module_loads()
+    peak = max(1, int(loads.max()))
+    lines = []
+    for module, load in enumerate(loads):
+        bar = "#" * max(0, round(int(load) / peak * width))
+        lines.append(f"module {module:3d} |{bar:<{width}}| {int(load)}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Motivating applications (paper Section 1.1), instrumented to record traces.
+
+* :class:`ParallelMinHeap` — heap operations as leaf-to-root path accesses;
+* :class:`RangeQueryTree` — B-tree-style range queries as composite accesses;
+* :mod:`repro.apps.sweep` — level-parallel tree algorithms (L-template).
+"""
+
+from repro.apps.dictionary import StaticDictionary
+from repro.apps.dijkstra import dijkstra_trace, random_graph, reference_dijkstra
+from repro.apps.heap import IndexedMinHeap, ParallelMinHeap
+from repro.apps.parallel_queue import BatchParallelQueue
+from repro.apps.range_query import RangeQueryTree
+from repro.apps.sweep import level_sweep_trace, reduction_trace
+
+__all__ = [
+    "BatchParallelQueue",
+    "IndexedMinHeap",
+    "ParallelMinHeap",
+    "RangeQueryTree",
+    "StaticDictionary",
+    "dijkstra_trace",
+    "level_sweep_trace",
+    "random_graph",
+    "reduction_trace",
+    "reference_dijkstra",
+]

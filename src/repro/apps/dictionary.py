@@ -1,0 +1,68 @@
+"""A static dictionary over a complete search tree: point lookups as paths.
+
+The other half of the paper's B-tree motivation: a point lookup walks one
+root-to-leaf search path — a P-template instance read top-down — and a batch
+of independent lookups issued together forms a composite of paths.
+:class:`StaticDictionary` answers membership / predecessor queries and
+records every parallel access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.trace import AccessTrace
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["StaticDictionary"]
+
+
+class StaticDictionary:
+    """Sorted static key set with path-access lookups."""
+
+    def __init__(self, tree: CompleteBinaryTree, keys: np.ndarray):
+        from repro.apps.search_common import build_separators, validate_leaf_keys
+
+        self.tree = tree
+        self.keys = validate_leaf_keys(tree, keys)
+        self._leaf_base = tree.level_start(tree.last_level)
+        self.node_key = build_separators(tree, self.keys)
+        self.trace = AccessTrace()
+
+    def _descend(self, key: int) -> list[int]:
+        node, path = 0, [0]
+        while node < self._leaf_base:
+            node = 2 * node + 1 if key <= self.node_key[node] else 2 * node + 2
+            path.append(node)
+        return path
+
+    def contains(self, key: int) -> bool:
+        """Membership test; records the search-path access."""
+        path = self._descend(key)
+        self.trace.add(np.array(path, dtype=np.int64), label="dict-lookup")
+        return int(self.keys[path[-1] - self._leaf_base]) == key
+
+    def predecessor(self, key: int) -> int | None:
+        """Largest stored key ``<= key`` (``None`` if below the minimum)."""
+        path = self._descend(key)
+        self.trace.add(np.array(path, dtype=np.int64), label="dict-predecessor")
+        leaf_index = path[-1] - self._leaf_base
+        if self.keys[leaf_index] <= key:
+            return int(self.keys[leaf_index])
+        return int(self.keys[leaf_index - 1]) if leaf_index else None
+
+    def batch_contains(self, keys: np.ndarray) -> np.ndarray:
+        """Independent lookups issued as one composite parallel access."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            raise ValueError("batch must be non-empty")
+        hits = np.empty(keys.size, dtype=bool)
+        nodes: set[int] = set()
+        for idx, key in enumerate(keys):
+            path = self._descend(int(key))
+            nodes.update(path)
+            hits[idx] = int(self.keys[path[-1] - self._leaf_base]) == int(key)
+        self.trace.add(
+            np.array(sorted(nodes), dtype=np.int64), label="dict-batch-lookup"
+        )
+        return hits

@@ -1,0 +1,217 @@
+"""A binary min-heap whose operations access leaf-to-root paths in parallel.
+
+The paper's first motivating workload (Section 1.1): in a tree-stored heap,
+``insert`` and ``decrease-key`` walk a leaf-to-root path, and (following
+Das-Pinotti [9], [14]) ``delete-min`` can also be implemented as one
+root-to-leaf path access.  On a parallel memory system the whole path is
+fetched *in one parallel access* — a P-template instance — and the sift then
+runs on local copies.
+
+:class:`ParallelMinHeap` is a real heap (complete with invariants the tests
+check); every operation records the node set it fetched into an
+:class:`~repro.memory.trace.AccessTrace`, which the simulator replays under
+any mapping to compare conflict behaviour on a faithful workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.trace import AccessTrace
+from repro.trees import CompleteBinaryTree, coords
+
+__all__ = ["ParallelMinHeap"]
+
+
+class ParallelMinHeap:
+    """Fixed-capacity binary min-heap over the nodes of a complete tree."""
+
+    def __init__(self, tree: CompleteBinaryTree):
+        self.tree = tree
+        self.capacity = tree.num_nodes
+        self.keys = np.empty(self.capacity, dtype=np.int64)
+        self.size = 0
+        self.trace = AccessTrace()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _record_path_to_root(self, node: int, label: str) -> None:
+        """Record the parallel fetch of the path from ``node`` up to the root."""
+        path = [node, *coords.ancestors_iter(node)]
+        self.trace.add(np.array(path, dtype=np.int64), label=label)
+
+    def _swap(self, a: int, b: int) -> None:
+        """Exchange heap slots ``a`` and ``b`` (hook for indexed subclasses)."""
+        self.keys[a], self.keys[b] = self.keys[b], self.keys[a]
+
+    def _sift_up(self, pos: int) -> int:
+        keys = self.keys
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if keys[parent] <= keys[pos]:
+                break
+            self._swap(parent, pos)
+            pos = parent
+        return pos
+
+    def _sift_down(self, pos: int) -> int:
+        keys, size = self.keys, self.size
+        while True:
+            left = 2 * pos + 1
+            if left >= size:
+                break
+            smallest = left
+            right = left + 1
+            if right < size and keys[right] < keys[left]:
+                smallest = right
+            if keys[pos] <= keys[smallest]:
+                break
+            self._swap(pos, smallest)
+            pos = smallest
+        return pos
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, key: int) -> None:
+        """Insert ``key``; accesses the path from the new slot to the root."""
+        if self.size >= self.capacity:
+            raise OverflowError(f"heap full (capacity {self.capacity})")
+        pos = self.size
+        self.keys[pos] = key
+        self.size += 1
+        self._record_path_to_root(pos, "heap-insert")
+        self._sift_up(pos)
+
+    def peek_min(self) -> int:
+        if self.size == 0:
+            raise IndexError("peek on empty heap")
+        return int(self.keys[0])
+
+    def extract_min(self) -> int:
+        """Remove the minimum; accesses the root-to-leaf sift path."""
+        if self.size == 0:
+            raise IndexError("extract on empty heap")
+        top = int(self.keys[0])
+        self.size -= 1
+        if self.size:
+            self.keys[0] = self.keys[self.size]
+            # the parallel fetch covers the full potential sift path:
+            # root down to the last heap level, chosen greedily by the sift
+            final = self._sift_down(0)
+            path = [final, *coords.ancestors_iter(final)] if final else [0]
+            self.trace.add(np.array(path, dtype=np.int64), label="heap-extract-min")
+        return top
+
+    def decrease_key(self, pos: int, new_key: int) -> None:
+        """Lower the key at heap slot ``pos``; accesses its path to the root."""
+        if not 0 <= pos < self.size:
+            raise IndexError(f"slot {pos} outside heap of size {self.size}")
+        if new_key > self.keys[pos]:
+            raise ValueError(
+                f"decrease_key must not increase the key ({new_key} > {self.keys[pos]})"
+            )
+        self.keys[pos] = new_key
+        self._record_path_to_root(pos, "heap-decrease-key")
+        self._sift_up(pos)
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariant(self) -> None:
+        """Raise if the heap property is violated anywhere."""
+        keys, size = self.keys, self.size
+        for pos in range(1, size):
+            parent = (pos - 1) >> 1
+            if keys[parent] > keys[pos]:
+                raise AssertionError(
+                    f"heap violated at slot {pos}: parent {keys[parent]} > {keys[pos]}"
+                )
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class IndexedMinHeap(ParallelMinHeap):
+    """A min-heap with item handles: supports ``decrease_key`` *by item*.
+
+    This is the form Dijkstra-style algorithms need (the paper cites heap
+    machinery as the canonical P-template workload).  Every slot carries an
+    item id; ``position_of`` tracks where each item currently lives, and the
+    sift swaps keep it current.
+    """
+
+    def __init__(self, tree):
+        super().__init__(tree)
+        self.items = np.empty(self.capacity, dtype=np.int64)
+        self.position_of: dict[int, int] = {}
+
+    def _swap(self, a: int, b: int) -> None:
+        super()._swap(a, b)
+        self.items[a], self.items[b] = self.items[b], self.items[a]
+        self.position_of[int(self.items[a])] = a
+        self.position_of[int(self.items[b])] = b
+
+    def insert_item(self, item: int, key: int) -> None:
+        """Insert ``item`` with priority ``key``."""
+        if item in self.position_of:
+            raise ValueError(f"item {item} already in heap")
+        if self.size >= self.capacity:
+            raise OverflowError(f"heap full (capacity {self.capacity})")
+        pos = self.size
+        self.keys[pos] = key
+        self.items[pos] = item
+        self.position_of[item] = pos
+        self.size += 1
+        self._record_path_to_root(pos, "heap-insert")
+        self._sift_up(pos)
+
+    def extract_min_item(self) -> tuple[int, int]:
+        """Remove and return ``(key, item)`` of the minimum."""
+        if self.size == 0:
+            raise IndexError("extract on empty heap")
+        top_key = int(self.keys[0])
+        top_item = int(self.items[0])
+        del self.position_of[top_item]
+        self.size -= 1
+        if self.size:
+            last = self.size
+            self.keys[0] = self.keys[last]
+            self.items[0] = self.items[last]
+            self.position_of[int(self.items[0])] = 0
+            final = self._sift_down(0)
+            path = [final]
+            node = final
+            while node:
+                node = (node - 1) >> 1
+                path.append(node)
+            self.trace.add(np.array(path, dtype=np.int64), label="heap-extract-min")
+        return top_key, top_item
+
+    def decrease_key_item(self, item: int, new_key: int) -> None:
+        """Lower ``item``'s priority to ``new_key``."""
+        if item not in self.position_of:
+            raise KeyError(f"item {item} not in heap")
+        pos = self.position_of[item]
+        if new_key > self.keys[pos]:
+            raise ValueError(
+                f"decrease_key must not increase the key ({new_key} > {self.keys[pos]})"
+            )
+        self.keys[pos] = new_key
+        self._record_path_to_root(pos, "heap-decrease-key")
+        self._sift_up(pos)
+
+    def key_of(self, item: int) -> int:
+        return int(self.keys[self.position_of[item]])
+
+    def __contains__(self, item: int) -> bool:
+        return item in self.position_of
+
+    # the un-indexed operations would desynchronize position_of; route callers
+    # to the *_item variants instead
+    def insert(self, key: int) -> None:  # pragma: no cover - guard
+        raise TypeError("IndexedMinHeap requires insert_item(item, key)")
+
+    def extract_min(self) -> int:  # pragma: no cover - guard
+        raise TypeError("IndexedMinHeap requires extract_min_item()")
+
+    def decrease_key(self, pos: int, new_key: int) -> None:  # pragma: no cover - guard
+        raise TypeError("IndexedMinHeap requires decrease_key_item(item, new_key)")

@@ -1,0 +1,87 @@
+"""Batch parallel priority queue — the workload of the paper's reference [10].
+
+Das-Pinotti-Sarkar's parallel priority queues perform *batched* operations:
+``M`` processors insert ``M`` keys in one step, or extract the ``M`` smallest
+keys together.  On a parallel memory system a batch insert touches the union
+of the affected leaf-to-root paths — a composite of paths — in a constant
+number of parallel accesses; good mappings make each access cheap.
+
+:class:`BatchParallelQueue` implements the batched semantics on top of an
+ordinary array heap (correct by construction: batch ops are equivalent to
+the corresponding sequence of sequential ops), and records one composite
+access per batch wave, which is how a SIMD machine would fetch it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.memory.trace import AccessTrace
+from repro.trees import CompleteBinaryTree, coords
+
+__all__ = ["BatchParallelQueue"]
+
+
+class BatchParallelQueue:
+    """A min priority queue with batched, trace-recorded operations."""
+
+    def __init__(self, tree: CompleteBinaryTree):
+        self.tree = tree
+        self.capacity = tree.num_nodes
+        self._heap: list[int] = []
+        self.trace = AccessTrace()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _record_wave(self, slots: list[int], label: str) -> None:
+        """Record the parallel fetch of the paths above the given heap slots."""
+        nodes: set[int] = set()
+        for slot in slots:
+            nodes.add(slot)
+            nodes.update(coords.ancestors_iter(slot))
+        self.trace.add(np.array(sorted(nodes), dtype=np.int64), label=label)
+
+    def batch_insert(self, keys: np.ndarray) -> None:
+        """Insert a batch of keys in one wave of parallel path accesses."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            raise ValueError("batch must be non-empty")
+        if len(self._heap) + keys.size > self.capacity:
+            raise OverflowError(
+                f"batch of {keys.size} overflows capacity {self.capacity}"
+            )
+        first = len(self._heap)
+        slots = list(range(first, first + keys.size))
+        self._record_wave(slots, "queue-batch-insert")
+        for key in keys:
+            heapq.heappush(self._heap, int(key))
+
+    def batch_extract_min(self, count: int) -> np.ndarray:
+        """Extract the ``count`` smallest keys in one parallel wave."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if count > len(self._heap):
+            raise IndexError(f"cannot extract {count} of {len(self._heap)} keys")
+        # the extracted keys occupy (a superset of) the top ceil(log2)+... of
+        # the heap; the wave touches the paths that the refill sifts traverse
+        touched = list(range(min(2 * count, len(self._heap))))
+        self._record_wave(touched, "queue-batch-extract")
+        return np.array(
+            [heapq.heappop(self._heap) for _ in range(count)], dtype=np.int64
+        )
+
+    def peek_min(self) -> int:
+        if not self._heap:
+            raise IndexError("peek on empty queue")
+        return self._heap[0]
+
+    def drain_sorted(self) -> np.ndarray:
+        """Empty the queue; returns all keys ascending (for verification)."""
+        out = np.array(
+            [heapq.heappop(self._heap) for _ in range(len(self._heap))],
+            dtype=np.int64,
+        )
+        return out

@@ -1,0 +1,141 @@
+"""Range queries over a complete search tree — the paper's B-tree workload.
+
+The paper's second motivating example (Section 1.1): in a tree-structured
+index, a range query touches "a set of complete subtrees and a path" — a
+composite (C) template.  :class:`RangeQueryTree` stores sorted keys at the
+leaves of a complete binary tree (internal nodes hold separator keys, segment
+-tree style).  A query ``[lo, hi]`` is answered by the *canonical
+decomposition*: the O(log n) maximal complete subtrees exactly covering the
+matching leaf range, plus the two boundary root-to-leaf search paths — and
+that node set is recorded as one composite parallel access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.trace import AccessTrace
+from repro.templates import TemplateInstance, make_composite
+from repro.templates.composite import CompositeInstance
+from repro.trees import CompleteBinaryTree, coords, subtree_nodes
+
+__all__ = ["RangeQueryTree"]
+
+
+class RangeQueryTree:
+    """A static sorted index over ``2**(H-1)`` keys with composite-template queries."""
+
+    def __init__(self, tree: CompleteBinaryTree, keys: np.ndarray):
+        from repro.apps.search_common import build_separators, validate_leaf_keys
+
+        self.tree = tree
+        self.keys = validate_leaf_keys(tree, keys)
+        self.node_key = build_separators(tree, self.keys)
+        self.trace = AccessTrace()
+
+    # -- canonical decomposition ---------------------------------------------
+
+    def _leaf_id(self, leaf_index: int) -> int:
+        return self.tree.level_start(self.tree.last_level) + leaf_index
+
+    def decompose(self, lo_leaf: int, hi_leaf: int) -> list[tuple[int, int]]:
+        """Maximal complete subtrees covering leaves ``lo_leaf .. hi_leaf``.
+
+        Returns ``(root, levels)`` pairs, left to right — the classic
+        segment-tree canonical cover (O(log n) subtrees).
+        """
+        if not 0 <= lo_leaf <= hi_leaf < self.tree.num_leaves:
+            raise ValueError(
+                f"leaf range [{lo_leaf}, {hi_leaf}] outside 0..{self.tree.num_leaves - 1}"
+            )
+        out: list[tuple[int, int]] = []
+        lo, hi = lo_leaf, hi_leaf + 1  # half-open
+        level = self.tree.last_level
+        # climb: at each height, peel off-boundary-aligned blocks
+        height = 0
+        while lo < hi:
+            if lo & 1:
+                out.append((self._aligned_root(lo, height), height + 1))
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                out.append((self._aligned_root(hi, height), height + 1))
+            lo >>= 1
+            hi >>= 1
+            height += 1
+        return sorted(out, key=lambda rl: coords.leftmost_leaf(rl[0], self.tree.num_levels))
+
+    def _aligned_root(self, block_index: int, height: int) -> int:
+        """Root of the complete subtree covering the ``block_index``-th aligned
+        run of ``2**height`` leaves."""
+        level = self.tree.last_level - height
+        return coords.coord_to_id(block_index, level)
+
+    # -- queries -----------------------------------------------------------------
+
+    def search_path(self, key: int) -> list[int]:
+        """Root-to-leaf path followed when searching for ``key``."""
+        node = 0
+        path = [0]
+        while not self.tree.is_leaf(node):
+            node = 2 * node + 1 if key <= self.node_key[node] else 2 * node + 2
+            path.append(node)
+        return path
+
+    def query(self, lo: int, hi: int) -> np.ndarray:
+        """Keys in ``[lo, hi]``; records the composite parallel access.
+
+        The access consists of the two boundary search paths plus every node
+        of each canonical subtree (the subtree contents are fetched in
+        parallel to report all matches).
+        """
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        lo_leaf = int(np.searchsorted(self.keys, lo, side="left"))
+        hi_leaf = int(np.searchsorted(self.keys, hi, side="right")) - 1
+        path_lo = self.search_path(lo)
+        path_hi = self.search_path(hi)
+        accessed: list[np.ndarray] = [
+            np.array(path_lo, dtype=np.int64),
+            np.array(path_hi, dtype=np.int64),
+        ]
+        if lo_leaf <= hi_leaf:
+            for root, levels in self.decompose(lo_leaf, hi_leaf):
+                accessed.append(subtree_nodes(root, levels))
+        nodes = np.unique(np.concatenate(accessed))
+        self.trace.add(nodes, label="range-query")
+        if lo_leaf > hi_leaf:
+            return np.empty(0, dtype=np.int64)
+        return self.keys[lo_leaf : hi_leaf + 1].copy()
+
+    def composite_instance(self, lo: int, hi: int) -> CompositeInstance:
+        """The query's access pattern as an explicit C-template instance.
+
+        Components: the canonical subtrees (S-instances) plus the *disjoint
+        remainders* of the two boundary paths (P-instances), matching the
+        paper's description of a range query as "a set of complete subtrees
+        and a path".
+        """
+        lo_leaf = int(np.searchsorted(self.keys, lo, side="left"))
+        hi_leaf = int(np.searchsorted(self.keys, hi, side="right")) - 1
+        if lo_leaf > hi_leaf:
+            raise ValueError(f"range [{lo}, {hi}] matches no keys")
+        used: set[int] = set()
+        components: list[TemplateInstance] = []
+        for root, levels in self.decompose(lo_leaf, hi_leaf):
+            nodes = subtree_nodes(root, levels)
+            components.append(TemplateInstance(kind="subtree", nodes=nodes, anchor=root))
+            used.update(int(v) for v in nodes)
+        for path in (self.search_path(lo), self.search_path(hi)):
+            remainder = [v for v in reversed(path) if v not in used]
+            # the unused suffix of a root-to-leaf path is itself an ascending path
+            if remainder:
+                components.append(
+                    TemplateInstance(
+                        kind="path",
+                        nodes=np.array(remainder, dtype=np.int64),
+                        anchor=remainder[0],
+                    )
+                )
+                used.update(remainder)
+        return make_composite(components)

@@ -1,0 +1,43 @@
+"""Shared search-tree machinery for the dictionary and range-query apps.
+
+Both apps store sorted keys at the leaves of a complete binary tree with
+internal *separators*: node ``v`` holds the maximum key of its left subtree,
+so a search for ``key`` goes left iff ``key <= separator``.  Because keys are
+sorted, the separator is simply the key at the left child's rightmost leaf.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["build_separators", "validate_leaf_keys"]
+
+
+def validate_leaf_keys(tree: CompleteBinaryTree, keys: np.ndarray) -> np.ndarray:
+    """Check a sorted leaf-key array against the tree geometry."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.shape != (tree.num_leaves,):
+        raise ValueError(
+            f"need exactly {tree.num_leaves} keys for a {tree.num_levels}-level "
+            f"tree, got {keys.shape}"
+        )
+    if np.any(np.diff(keys) < 0):
+        raise ValueError("keys must be sorted ascending")
+    return keys
+
+
+def build_separators(tree: CompleteBinaryTree, keys: np.ndarray) -> np.ndarray:
+    """Per-node separator array: leaves hold their key, internal nodes the
+    max key of their left subtree."""
+    node_key = np.empty(tree.num_nodes, dtype=np.int64)
+    leaf_base = tree.level_start(tree.last_level)
+    node_key[tree.leaves()] = keys
+    for j in range(tree.num_levels - 2, -1, -1):
+        ids = tree.level_nodes(j)
+        left = 2 * ids + 1
+        depth = tree.last_level - (j + 1)
+        rightmost = ((left + 2) << depth) - 2  # rightmost leaf of left child
+        node_key[ids] = keys[rightmost - leaf_base]
+    return node_key

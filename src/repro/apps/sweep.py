@@ -1,0 +1,49 @@
+"""Level-sweep workloads: tree algorithms that read levels in parallel windows.
+
+Many data-parallel tree algorithms (tree contraction, BFS layers, tournament
+reduction) process one level at a time, fetching ``W`` consecutive nodes per
+parallel step — L-template accesses.  These generators produce such traces
+for the application benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.trace import AccessTrace
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["level_sweep_trace", "reduction_trace"]
+
+
+def level_sweep_trace(
+    tree: CompleteBinaryTree, window: int, top_down: bool = True
+) -> AccessTrace:
+    """Scan every level in windows of ``window`` consecutive nodes.
+
+    Levels narrower than the window are fetched whole.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    trace = AccessTrace()
+    levels = range(tree.num_levels) if top_down else range(tree.num_levels - 1, -1, -1)
+    for j in levels:
+        ids = tree.level_nodes(j)
+        for lo in range(0, ids.size, window):
+            trace.add(ids[lo : lo + window], label="level-sweep")
+    return trace
+
+
+def reduction_trace(tree: CompleteBinaryTree, window: int) -> AccessTrace:
+    """Bottom-up tournament reduction: each step combines a level window with
+    its parents (the classic pairwise-reduction access pattern)."""
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    trace = AccessTrace()
+    for j in range(tree.num_levels - 1, 0, -1):
+        ids = tree.level_nodes(j)
+        for lo in range(0, ids.size, window):
+            chunk = ids[lo : lo + window]
+            parents = np.unique((chunk - 1) >> 1)
+            trace.add(np.concatenate([chunk, parents]), label="reduction")
+    return trace

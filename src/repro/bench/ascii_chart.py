@@ -1,0 +1,69 @@
+"""ASCII line charts for the sweep series (terminal- and markdown-friendly)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.sweep import Series
+
+__all__ = ["render_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "D",
+    y_label: str = "conflicts",
+) -> str:
+    """Render labeled curves on one character grid.
+
+    Each series gets a marker; points are placed by linear scaling into the
+    grid (collisions keep the earlier series' marker and note nothing — the
+    legend disambiguates trends, not exact values; the tables carry those).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    xs_all = [x for s in series for x in s.xs]
+    ys_all = [y for s in series for y in s.ys]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = 0.0, max(max(ys_all), 1.0)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(s.xs, s.ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:g}"
+    y_bot = f"{y_lo:g}"
+    gutter = max(len(y_top), len(y_bot)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_top.rjust(gutter)
+        elif r == height - 1:
+            prefix = y_bot.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f" {x_label}: {x_lo:g} .. {x_hi:g}   ({y_label} on the vertical axis)"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * gutter + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,763 @@
+"""The experiment registry: one function per paper result (E1..E13).
+
+Each experiment regenerates a theorem/lemma as a measured table (the paper is
+theoretical — Figs. 1-10 are diagrams, so "tables and figures" here means the
+quantitative claims; see DESIGN.md Section 5).  ``scale="quick"`` shrinks the
+sweeps for CI; ``scale="full"`` produces the EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.analysis import (
+    bounds,
+    cf_modules_required,
+    family_cost,
+    instance_conflicts,
+    load_report,
+)
+from repro.bench.report import ExperimentResult
+from repro.bench.workloads import heap_workload, mixed_workload, range_query_workload
+from repro.core import (
+    ChaseTable,
+    ColorMapping,
+    InterleavedMapping,
+    LabelTreeMapping,
+    ModuloMapping,
+    RandomMapping,
+    max_parallelism_params,
+    resolve_color_steps,
+    resolve_color_with_table,
+)
+from repro.memory import ParallelMemorySystem
+from repro.templates import (
+    CompositeSampler,
+    LTemplate,
+    PTemplate,
+    STemplate,
+)
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+
+def _full(scale: str) -> bool:
+    return scale != "quick"
+
+
+# ---------------------------------------------------------------------------
+# E1 — Theorems 1 and 3: COLOR is (N+K-k)-CF on S(K) and P(N)
+# ---------------------------------------------------------------------------
+
+
+def e01_cf_elementary(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E1",
+        title="COLOR conflict-free on S(K) and P(N) (Theorems 1, 3)",
+        claim="COLOR(T, N, K) on M = N + K - k modules has 0 conflicts on every "
+        "subtree of size K and every ascending path of N nodes",
+        columns=["k", "N", "H", "M", "cost S(K)", "cost P(N)", "bound"],
+    )
+    cases = (
+        [(1, 3, 12), (2, 4, 13), (2, 6, 14), (3, 5, 13), (3, 7, 14), (4, 6, 13), (4, 8, 14)]
+        if _full(scale)
+        else [(2, 4, 10), (3, 5, 11)]
+    )
+    for k, N, H in cases:
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping(tree, N=N, k=k)
+        K = (1 << k) - 1
+        s = family_cost(mapping, STemplate(K))
+        p = family_cost(mapping, PTemplate(N))
+        result.add_row(k, N, H, mapping.num_modules, s, p, 0)
+        result.require(s == 0 and p == 0)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E2 — Theorem 2: N + K - k modules are necessary (exact chromatic number)
+# ---------------------------------------------------------------------------
+
+
+def e02_lower_bound(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E2",
+        title="Minimum modules for CF access (Theorem 2)",
+        claim="no mapping with fewer than N + K - k modules is CF on "
+        "{S(K), P(N)}; exact chromatic number of the conflict graph equals N + K - k",
+        columns=["N", "k", "chromatic number (exact)", "N + K - k", "match"],
+        notes="exact DSATUR branch-and-bound on the union-of-cliques conflict graph",
+    )
+    cases = (
+        [(2, 1), (3, 1), (4, 1), (3, 2), (4, 2), (5, 2), (4, 3), (5, 3)]
+        if _full(scale)
+        else [(3, 2), (4, 2)]
+    )
+    for N, k in cases:
+        tree = CompleteBinaryTree(N)
+        K = (1 << k) - 1
+        need = cf_modules_required(tree, [STemplate(K), PTemplate(N)])
+        expect = bounds.cf_optimal_modules(N, k)
+        result.add_row(N, k, need, expect, need == expect)
+        result.require(need == expect)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E3 — Lemma 2: BASIC-COLOR has cost <= 1 on L(K)
+# ---------------------------------------------------------------------------
+
+
+def e03_levels(scale: str = "full") -> ExperimentResult:
+    from repro.core import BasicColorMapping
+
+    result = ExperimentResult(
+        exp_id="E3",
+        title="BASIC-COLOR on level windows L(K) (Lemma 2)",
+        claim="at most 1 conflict on any K consecutive nodes of a level",
+        columns=["algorithm", "k", "N", "H", "M", "cost L(K)", "bound"],
+        notes="the paper states Lemma 2 for BASIC-COLOR (one height-N tree); "
+        "the COLOR rows show the property empirically extends to the full "
+        "multi-layer construction — a finding beyond the paper's statement",
+    )
+    cases = (
+        [(2, 6), (2, 10), (3, 8), (3, 12), (4, 9), (4, 12), (5, 10)]
+        if _full(scale)
+        else [(2, 8), (3, 9)]
+    )
+    for k, N in cases:
+        tree = CompleteBinaryTree(N)
+        mapping = BasicColorMapping(tree, k)
+        K = (1 << k) - 1
+        cost = family_cost(mapping, LTemplate(K))
+        result.add_row("BASIC-COLOR", k, N, N, mapping.num_modules, cost,
+                       bounds.lemma2_bound())
+        result.require(cost <= 1)
+    tall = [(2, 4, 13), (3, 6, 13), (3, 7, 14)] if _full(scale) else [(2, 4, 11)]
+    for k, N, H in tall:
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping(tree, N=N, k=k)
+        K = (1 << k) - 1
+        cost = family_cost(mapping, LTemplate(K))
+        result.add_row("COLOR", k, N, H, mapping.num_modules, cost,
+                       bounds.lemma2_bound())
+        result.require(cost <= 1)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E4 — Theorems 4, 5: maximum parallelism with exactly one conflict
+# ---------------------------------------------------------------------------
+
+
+def e04_max_parallelism(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E4",
+        title="COLOR at maximum parallelism: S(M), P(M) (Theorems 4, 5)",
+        claim="with M = 2**m - 1 modules, templates of size M are accessed "
+        "with at most one conflict (and zero is impossible)",
+        columns=["m", "M", "N", "k", "H", "cost S(M)", "cost P(M)", "bound"],
+        notes="P(M) needs M tree levels; for m = 5 the 2**31-node tree is not "
+        "materializable, so only S(M) is reported there",
+    )
+    ms = [2, 3, 4, 5] if _full(scale) else [2, 3]
+    for m in ms:
+        N, k, M = max_parallelism_params(m)
+        H = min(20 if _full(scale) else 16, max(M + 1, N + 3))
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping.max_parallelism(tree, m)
+        s = family_cost(mapping, STemplate(M)) if STemplate(M).admits(tree) else None
+        p = family_cost(mapping, PTemplate(M)) if PTemplate(M).admits(tree) else None
+        result.add_row(m, M, N, k, H, s if s is not None else "-", p if p is not None else "-", 1)
+        result.require((s is None or s <= 1) and (p is None or p <= 1))
+        result.require(not (s == 0 and p == 0))  # zero conflicts is impossible
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E5 — Lemma 3: COLOR on P(D) <= 2*ceil(D/M) - 1
+# ---------------------------------------------------------------------------
+
+
+def e05_paths_D(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E5",
+        title="COLOR on long paths P(D) (Lemma 3)",
+        claim="cost(P(D)) <= 2*ceil(D/M) - 1 for D >= M",
+        columns=["M", "D", "D/M", "measured", "bound"],
+        notes="deep D/M ratios need D tree levels, hence the small-M sweep",
+    )
+    H = 16 if _full(scale) else 12
+    tree = CompleteBinaryTree(H)
+    cases = [(2, [3, 6, 9, 12, 15]), (3, [7, 14])] if _full(scale) else [(2, [3, 6, 9])]
+    for m, Ds in cases:
+        mapping = ColorMapping.max_parallelism(tree, m)
+        M = mapping.num_modules
+        for D in Ds:
+            if D > H:
+                continue
+            measured = family_cost(mapping, PTemplate(D))
+            bound = bounds.lemma3_path_bound(D, M)
+            result.add_row(M, D, f"{D / M:.1f}", measured, bound)
+            result.require(measured <= bound)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E6 — Lemma 4: COLOR on L(D) <= 4*ceil(D/M)
+# ---------------------------------------------------------------------------
+
+
+def e06_levels_D(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E6",
+        title="COLOR on long level windows L(D) (Lemma 4)",
+        claim="cost(L(D)) <= 4*ceil(D/M) for D >= M",
+        columns=["M", "D", "D/M", "measured", "bound"],
+    )
+    H = 16 if _full(scale) else 13
+    tree = CompleteBinaryTree(H)
+    ms = [3, 4] if _full(scale) else [3]
+    for m in ms:
+        mapping = ColorMapping.max_parallelism(tree, m)
+        M = mapping.num_modules
+        ratios = [1, 2, 4, 8] if _full(scale) else [1, 2]
+        for r in ratios:
+            D = r * M
+            measured = family_cost(mapping, LTemplate(D))
+            bound = bounds.lemma4_level_bound(D, M)
+            result.add_row(M, D, r, measured, bound)
+            result.require(measured <= bound)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E7 — Lemma 5: COLOR on S(D) <= 4*ceil(D/M) - 1
+# ---------------------------------------------------------------------------
+
+
+def e07_subtrees_D(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E7",
+        title="COLOR on large subtrees S(D) (Lemma 5)",
+        claim="cost(S(D)) <= 4*ceil(D/M) - 1 for D = 2**d - 1 >= M",
+        columns=["M", "D", "D/M", "measured", "bound"],
+    )
+    H = 16 if _full(scale) else 13
+    tree = CompleteBinaryTree(H)
+    ms = [3, 4] if _full(scale) else [3]
+    for m in ms:
+        mapping = ColorMapping.max_parallelism(tree, m)
+        M = mapping.num_modules
+        d_lo = m
+        ds = range(d_lo, (11 if _full(scale) else 9))
+        for d in ds:
+            D = (1 << d) - 1
+            measured = family_cost(mapping, STemplate(D))
+            bound = bounds.lemma5_subtree_bound(D, M)
+            result.add_row(M, D, f"{D / M:.1f}", measured, bound)
+            result.require(measured <= bound)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E8 — Theorem 6: COLOR on composite templates C(D, c)
+# ---------------------------------------------------------------------------
+
+
+def e08_composite_color(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E8",
+        title="COLOR on composite templates C(D, c) (Theorem 6)",
+        claim="cost(C(D, c)) <= 4*D/M + c",
+        columns=["M", "c", "mean D", "measured max", "bound (at max D)"],
+        notes="max over random composites of subtrees, level runs and paths",
+    )
+    H = 15 if _full(scale) else 12
+    tree = CompleteBinaryTree(H)
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    M = mapping.num_modules
+    colors = mapping.color_array()
+    sampler = CompositeSampler(tree)
+    samples = 40 if _full(scale) else 10
+    cases = [(1, 2 * M), (2, 4 * M), (4, 8 * M), (8, 12 * M), (16, 16 * M)]
+    if not _full(scale):
+        cases = cases[:3]
+    for c, target in cases:
+        rng = np.random.default_rng(1000 * c + target)
+        worst, worst_D, total_D = 0, 0, 0
+        ok = True
+        for _ in range(samples):
+            comp = sampler.sample(c, target_size=target, rng=rng)
+            got = instance_conflicts(colors, comp)
+            total_D += comp.size
+            if got > worst:
+                worst, worst_D = got, comp.size
+            ok &= got <= bounds.thm6_composite_bound(comp.size, M, c)
+        bound = bounds.thm6_composite_bound(worst_D if worst_D else target, M, c)
+        result.add_row(M, c, total_D // samples, worst, round(bound, 1))
+        result.require(ok)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E9 — Lemmas 6, 7: LABEL-TREE on elementary templates of size D
+# ---------------------------------------------------------------------------
+
+
+def e09_labeltree_elementary(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E9",
+        title="LABEL-TREE on elementary templates of size D (Lemmas 6, 7)",
+        claim="cost = O(D / sqrt(M log M)) for L(D), P(D), S(D)",
+        columns=["M", "template", "D", "measured", "D/sqrt(M log M)", "ratio"],
+        notes="ratio = measured / scale; boundedness of the ratio as D grows "
+        "is the claim (the hidden constant)",
+    )
+    H = 15 if _full(scale) else 12
+    tree = CompleteBinaryTree(H)
+    Ms = [15, 31, 63] if _full(scale) else [15]
+    for M in Ms:
+        mapping = LabelTreeMapping(tree, M)
+        scale_fn = lambda D: bounds.labeltree_elementary_scale(D, M)
+        for D in ([M, 2 * M, 4 * M, 8 * M] if _full(scale) else [M, 2 * M]):
+            measured = family_cost(mapping, LTemplate(D))
+            s = scale_fn(D)
+            result.add_row(M, "L", D, measured, round(s, 2), round(measured / s, 2))
+            result.require(measured <= 4 * s + 2)
+        for D in [d for d in (M // 2, M, 2 * M) if d <= H]:
+            measured = family_cost(mapping, PTemplate(D))
+            s = scale_fn(D)
+            result.add_row(M, "P", D, measured, round(s, 2), round(measured / s, 2))
+            result.require(measured <= 4 * s + 2)
+        for d in range((M.bit_length()), min(H, 11)):
+            D = (1 << d) - 1
+            measured = family_cost(mapping, STemplate(D))
+            s = scale_fn(D)
+            result.add_row(M, "S", D, measured, round(s, 2), round(measured / s, 2))
+            result.require(measured <= 4 * s + 2)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E10 — Theorem 8 + Sections 5 vs 6: the conflict/addressing trade-off
+# ---------------------------------------------------------------------------
+
+
+def e10_composite_tradeoff(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E10",
+        title="COLOR vs LABEL-TREE on composites; scaling laws (Theorem 8)",
+        claim="COLOR: O(D/M + c); LABEL-TREE: O(D/sqrt(M log M) + c). "
+        "Slopes scale as 1/M resp. 1/sqrt(M log M); COLOR wins asymptotically",
+        columns=["M", "workload", "COLOR", "LABEL-TREE", "COLOR slope*M",
+                 "LT slope*sqrt(MlogM)"],
+        notes="slopes fitted on conflicts-vs-D for level windows; normalized "
+        "slopes should be roughly constant across M for each algorithm. "
+        "At laptop-scale M LABEL-TREE's constant on L windows is smaller; "
+        "COLOR's asymptotic advantage shows on paths/subtrees and in the "
+        "normalized slopes",
+    )
+    H = 15 if _full(scale) else 12
+    tree = CompleteBinaryTree(H)
+    Ms = [7, 15, 31] if _full(scale) else [7, 15]
+    sampler = CompositeSampler(tree)
+    for M in Ms:
+        m = (M + 1).bit_length() - 1
+        cm = ColorMapping.max_parallelism(tree, m)
+        lt = LabelTreeMapping(tree, M)
+        # composite head-to-head
+        rng = np.random.default_rng(M)
+        c, target = 4, 8 * M
+        worst_c, worst_l = 0, 0
+        for _ in range(30 if _full(scale) else 8):
+            comp = sampler.sample(c, target_size=target, rng=rng)
+            worst_c = max(worst_c, instance_conflicts(cm.color_array(), comp))
+            worst_l = max(worst_l, instance_conflicts(lt.color_array(), comp))
+        # slope fit on L(D), D = M..8M
+        Ds = np.array([M, 2 * M, 4 * M, 8 * M])
+        cm_cost = np.array([family_cost(cm, LTemplate(int(D))) for D in Ds])
+        lt_cost = np.array([family_cost(lt, LTemplate(int(D))) for D in Ds])
+        cm_slope = np.polyfit(Ds, cm_cost, 1)[0]
+        lt_slope = np.polyfit(Ds, lt_cost, 1)[0]
+        result.add_row(
+            M,
+            f"C(~{target},{c})",
+            worst_c,
+            worst_l,
+            round(cm_slope * M, 2),
+            round(lt_slope * math.sqrt(M * math.log2(M)), 2),
+        )
+        result.require(worst_c <= bounds.thm6_composite_bound(2 * target, M, c))
+        result.require(worst_l <= 4 * bounds.labeltree_composite_scale(2 * target, M, c))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E11 — Theorem 7 (load): LABEL-TREE balances memory load to 1 + o(1)
+# ---------------------------------------------------------------------------
+
+
+def e11_load_balance(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E11",
+        title="Memory load balance (Theorem 7)",
+        claim="LABEL-TREE load ratio max/min = 1 + o(1); COLOR overloads "
+        "the Sigma modules",
+        columns=["M", "H", "LABEL-TREE ratio", "COLOR ratio"],
+        notes="'inf' means COLOR left modules empty: at M = 31 its parameter "
+        "N = 20 exceeds these tree heights, so the deeper Gamma colors are "
+        "never assigned — the extreme end of COLOR's imbalance. LABEL-TREE's "
+        "residual (e.g. ~1.07 at M = 31) is the unequal-group-size artifact "
+        "1 + 1/floor(M/p); it is o(1) in M since group sizes grow like "
+        "sqrt(M log M)",
+    )
+    Hs = [12, 15, 18] if _full(scale) else [12]
+    Ms = [15, 31] if _full(scale) else [15]
+    for M in Ms:
+        m = (M + 1).bit_length() - 1
+        for H in Hs:
+            tree = CompleteBinaryTree(H)
+            lt_ratio = load_report(LabelTreeMapping(tree, M)).ratio
+            cm_ratio = load_report(ColorMapping.max_parallelism(tree, m)).ratio
+            result.add_row(M, H, round(lt_ratio, 4), round(cm_ratio, 3))
+            result.require(lt_ratio < 1.25)
+            result.require(cm_ratio > lt_ratio)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E12 — Addressing cost: O(1) vs O(log M) vs O(H/(N-k)) vs O(H)
+# ---------------------------------------------------------------------------
+
+
+def e12_addressing(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E12",
+        title="Addressing scheme cost (Sections 3, 4, 6)",
+        claim="LABEL-TREE: O(1) with O(M) table / O(log M) without; COLOR: "
+        "O(H/(N-k)) with O(2**N) table / O(H) without",
+        columns=["scheme", "H", "max hops/lookups", "ns per query"],
+        notes="hops = inheritance-chain steps (table-free) or table lookups",
+    )
+    H = 18 if _full(scale) else 13
+    tree = CompleteBinaryTree(H)
+    m = 4
+    N, k, M = max_parallelism_params(m)
+    lt = LabelTreeMapping(tree, M)
+    table = ChaseTable.build(N, k)
+    rng = np.random.default_rng(0)
+    nodes = [int(v) for v in rng.integers(0, tree.num_nodes, 400)]
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        reps = 5
+        for _ in range(reps):
+            for v in nodes:
+                fn(v)
+        return (time.perf_counter() - t0) / (reps * len(nodes)) * 1e9
+
+    col_hops = max(resolve_color_steps(v, N, k)[1] for v in nodes)
+    col_ns = timed(lambda v: resolve_color_steps(v, N, k))
+    tab_hops = max(resolve_color_with_table(v, table)[1] for v in nodes)
+    tab_ns = timed(lambda v: resolve_color_with_table(v, table))
+    lt_hops = max(lt.module_of_no_table(v)[1] for v in nodes)
+    lt_ns = timed(lambda v: lt.module_of_no_table(v))
+    lt1_ns = timed(lt.module_of)
+
+    result.add_row("COLOR chain (no table)", H, col_hops, round(col_ns))
+    result.add_row("COLOR chase table", H, tab_hops, round(tab_ns))
+    result.add_row("LABEL-TREE no table", H, lt_hops, round(lt_ns))
+    result.add_row("LABEL-TREE O(M) table", H, 1, round(lt1_ns))
+    result.require(tab_hops <= H // (N - k) + 2)
+    result.require(lt_hops <= lt.m)
+    result.require(col_hops <= H)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E13 — Applications end-to-end through the simulator
+# ---------------------------------------------------------------------------
+
+
+def e13_applications(scale: str = "full") -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E13",
+        title="Application workloads through the memory simulator (Section 1)",
+        claim="the structured mappings beat naive mappings on the workloads "
+        "that motivate the templates (heap paths, range-query composites)",
+        columns=["workload", "mapping", "M", "cycles", "conflicts", "parallelism"],
+    )
+    H = 12 if _full(scale) else 10
+    tree = CompleteBinaryTree(H)
+    m = 4
+    M = (1 << m) - 1
+    mappings = [
+        ("COLOR", ColorMapping.max_parallelism(tree, m)),
+        ("LABEL-TREE", LabelTreeMapping(tree, M)),
+        ("modulo", ModuloMapping(tree, M)),
+        ("interleaved", InterleavedMapping(tree, M)),
+        ("random", RandomMapping(tree, M, seed=0)),
+    ]
+    workloads = [
+        ("heap", heap_workload(tree, ops=400 if _full(scale) else 120)),
+        ("range-query", range_query_workload(tree, queries=60 if _full(scale) else 20)),
+        ("mixed", mixed_workload(tree)),
+    ]
+    for wname, trace in workloads:
+        cycles = {}
+        for name, mapping in mappings:
+            stats = ParallelMemorySystem(mapping).run_trace(trace)
+            cycles[name] = stats.total_cycles
+            result.add_row(
+                wname, name, M, stats.total_cycles, stats.total_conflicts,
+                round(stats.mean_parallelism, 2),
+            )
+        best_structured = min(cycles["COLOR"], cycles["LABEL-TREE"])
+        worst_naive = max(cycles["modulo"], cycles["random"])
+        result.require(best_structured <= worst_naive)
+        if wname == "heap":
+            result.require(cycles["COLOR"] <= min(cycles[n] for n in cycles))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E14 — Section 1.2: COLOR vs the single-template prior-work optima
+# ---------------------------------------------------------------------------
+
+
+def e14_single_template_baselines(scale: str = "full") -> ExperimentResult:
+    from repro.core import PathOnlyMapping, SubtreeOnlyMapping
+
+    result = ExperimentResult(
+        exp_id="E14",
+        title="COLOR vs single-template CF mappings (Section 1.2 context)",
+        claim="prior work is CF for ONE template with the minimum modules "
+        "(K for S(K), N for P(N)) but fails the other; COLOR is CF on both "
+        "with N + K - k < N + K modules — the paper's 'unifying' pitch",
+        columns=["mapping", "M", "cost S(K)", "cost P(N)", "CF on both"],
+        notes="N = 6, K = 7 (k = 3); costs measured exhaustively",
+    )
+    H = 14 if _full(scale) else 11
+    N, k = 6, 3
+    K = (1 << k) - 1
+    tree = CompleteBinaryTree(H)
+    contenders = [
+        ("S-only (Das et al. style)", SubtreeOnlyMapping(tree, k)),
+        ("P-only (level mod N)", PathOnlyMapping(tree, N)),
+        ("COLOR", ColorMapping(tree, N=N, k=k)),
+    ]
+    from repro.templates import PTemplate, STemplate
+
+    for name, mapping in contenders:
+        s = family_cost(mapping, STemplate(K))
+        p = family_cost(mapping, PTemplate(N))
+        result.add_row(name, mapping.num_modules, s, p, s == 0 and p == 0)
+    s_only, p_only, color = (m for _, m in contenders)
+    result.require(family_cost(s_only, STemplate(K)) == 0)
+    result.require(family_cost(p_only, PTemplate(N)) == 0)
+    result.require(family_cost(color, STemplate(K)) == 0)
+    result.require(family_cost(color, PTemplate(N)) == 0)
+    result.require(family_cost(s_only, PTemplate(N)) > 0)
+    result.require(family_cost(p_only, STemplate(K)) > 0)
+    result.require(s_only.num_modules == K and p_only.num_modules == N)
+    result.require(color.num_modules == N + K - k < N + K)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E15 — Theorem 7's load balance as throughput: barrier vs pipelined replay
+# ---------------------------------------------------------------------------
+
+
+def e15_throughput_vs_latency(scale: str = "full") -> ExperimentResult:
+    from repro.apps import level_sweep_trace
+
+    result = ExperimentResult(
+        exp_id="E15",
+        title="Latency vs throughput: where each mapping wins (Theorem 7)",
+        claim="on path workloads COLOR's conflict-freeness wins both latency "
+        "AND drained throughput (CF means no module sees two requests per "
+        "access); on uniform bulk scans the pipelined drain time equals the "
+        "busiest module's load, so Theorem 7's 1 + o(1) balance makes "
+        "LABEL-TREE the throughput winner there",
+        columns=["workload", "mapping", "barrier cycles", "pipelined cycles",
+                 "busiest-module load"],
+        notes="pipelined = all accesses enqueued, array drains once; the "
+        "ideal drain is total_items / M",
+    )
+    H = 12 if _full(scale) else 10
+    tree = CompleteBinaryTree(H)
+    M = 15
+    workloads = [
+        ("heap paths", heap_workload(tree, ops=500 if _full(scale) else 150, seed=3)),
+        ("uniform scan", level_sweep_trace(tree, window=M)),
+    ]
+    mappings = [
+        ("COLOR", ColorMapping.max_parallelism(tree, 4)),
+        ("LABEL-TREE", LabelTreeMapping(tree, M)),
+        ("random", RandomMapping(tree, M, seed=0)),
+    ]
+    piped_cycles: dict[tuple[str, str], int] = {}
+    for wname, trace in workloads:
+        for name, mapping in mappings:
+            barrier = ParallelMemorySystem(mapping).run_trace(trace).total_cycles
+            piped = ParallelMemorySystem(mapping).run_trace(trace, pipelined=True)
+            busiest = int(piped.module_totals.max())
+            result.add_row(wname, name, barrier, piped.total_cycles, busiest)
+            piped_cycles[(wname, name)] = piped.total_cycles
+    # paths: CF wins everything; scans: balance wins throughput
+    result.require(
+        piped_cycles[("heap paths", "COLOR")]
+        <= piped_cycles[("heap paths", "LABEL-TREE")]
+    )
+    result.require(
+        piped_cycles[("uniform scan", "LABEL-TREE")]
+        < piped_cycles[("uniform scan", "COLOR")]
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E16 — calibration: measured random baseline vs exact balls-in-bins theory
+# ---------------------------------------------------------------------------
+
+
+def e16_random_calibration(scale: str = "full") -> ExperimentResult:
+    from repro.analysis.spectrum import conflict_spectrum
+    from repro.analysis.theory import expected_random_conflicts
+
+    result = ExperimentResult(
+        exp_id="E16",
+        title="Random-baseline calibration: measurement vs exact theory",
+        claim="a random mapping's mean conflicts on size-D instances equals "
+        "the exact balls-in-bins expectation E[max load] - 1 — validating "
+        "both the simulator's cost metric and the yardstick the structured "
+        "mappings are compared against",
+        columns=["M", "D", "measured mean", "exact E[conflicts]", "abs diff"],
+        notes="measured: exhaustive L(D) spectrum averaged over several seeds",
+    )
+    H = 13 if _full(scale) else 11
+    tree = CompleteBinaryTree(H)
+    M = 15
+    seeds = range(6 if _full(scale) else 3)
+    for D in ([15, 30, 60] if _full(scale) else [15, 30]):
+        means = []
+        for seed in seeds:
+            mapping = RandomMapping(tree, M, seed=seed)
+            means.append(conflict_spectrum(mapping, LTemplate(D)).mean)
+        measured = float(np.mean(means))
+        exact = expected_random_conflicts(D, M)
+        result.add_row(M, D, round(measured, 3), round(exact, 3),
+                       round(abs(measured - exact), 3))
+        result.require(abs(measured - exact) < 0.35)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E17 — the paper's evaluation criteria (Section 1.3), one matrix
+# ---------------------------------------------------------------------------
+
+
+def e17_criteria_matrix(scale: str = "full") -> ExperimentResult:
+    from repro.core import PathOnlyMapping, SubtreeOnlyMapping
+
+    result = ExperimentResult(
+        exp_id="E17",
+        title="The paper's criteria matrix (Section 1.3)",
+        claim="each mapping's position on the paper's axes — conflicts at "
+        "full parallelism, addressing hops, load balance, versatility "
+        "(worst template) — matches the roles Sections 3-6 assign them",
+        columns=["mapping", "M", "S(M)", "P(M)", "L(M)", "worst S/P", "addr hops",
+                 "load ratio"],
+        notes="addr hops: worst addressing chain/table lookups per query "
+        "(0 = direct formula); 'worst S/P' = the paper's versatility pair "
+        "I = {S(M), P(M)} of Theorem 5 (L(M) shown for context; its "
+        "guarantee is Lemma 4's, not <=1)",
+    )
+    H = 15 if _full(scale) else 12
+    tree = CompleteBinaryTree(H)
+    m = 4
+    M = (1 << m) - 1
+    lt = LabelTreeMapping(tree, M)
+    cm = ColorMapping.max_parallelism(tree, m)
+    rng = np.random.default_rng(0)
+    probes = [int(v) for v in rng.integers(0, tree.num_nodes, 120)]
+
+    def color_hops(mapping) -> int:
+        return max(resolve_color_steps(v, mapping.N, mapping.k)[1] for v in probes)
+
+    contenders = [
+        ("COLOR", cm, color_hops(cm)),
+        ("LABEL-TREE", lt, max(lt.module_of_no_table(v)[1] for v in probes)),
+        ("S-only", SubtreeOnlyMapping(tree, m), None),
+        ("P-only", PathOnlyMapping(tree, M), 0),
+        ("modulo", ModuloMapping(tree, M), 0),
+        ("random", RandomMapping(tree, M, seed=0), 0),
+    ]
+    worst_of = {}
+    for name, mapping, hops in contenders:
+        s = family_cost(mapping, STemplate(M))
+        p = family_cost(mapping, PTemplate(min(M, H)))
+        lv = family_cost(mapping, LTemplate(M))
+        worst = max(s, p)  # the paper's versatility pair I = {S(M), P(M)}
+        worst_of[name] = worst
+        ratio = load_report(mapping).ratio
+        result.add_row(
+            name, mapping.num_modules, s, p, lv, worst,
+            hops if hops is not None else "-",
+            round(ratio, 3) if np.isfinite(ratio) else "inf",
+        )
+    # the role assignments the paper argues for:
+    result.require(worst_of["COLOR"] == min(worst_of.values()))  # most versatile
+    result.require(load_report(lt).ratio < 1.25)  # LABEL-TREE balances load
+    # COLOR's <=1 guarantee (Thm 4) covers S(M) and P(M); L(M) is Lemma 4's 4*ceil
+    result.require(family_cost(cm, STemplate(M)) <= 1)
+    result.require(family_cost(cm, PTemplate(min(M, H))) <= 1)
+    return result
+
+
+EXPERIMENTS = {
+    "E1": e01_cf_elementary,
+    "E2": e02_lower_bound,
+    "E3": e03_levels,
+    "E4": e04_max_parallelism,
+    "E5": e05_paths_D,
+    "E6": e06_levels_D,
+    "E7": e07_subtrees_D,
+    "E8": e08_composite_color,
+    "E9": e09_labeltree_elementary,
+    "E10": e10_composite_tradeoff,
+    "E11": e11_load_balance,
+    "E12": e12_addressing,
+    "E13": e13_applications,
+    "E14": e14_single_template_baselines,
+    "E15": e15_throughput_vs_latency,
+    "E16": e16_random_calibration,
+    "E17": e17_criteria_matrix,
+}
+
+
+def _registry() -> dict:
+    from repro.bench.ablations import ABLATIONS
+
+    return {**EXPERIMENTS, **ABLATIONS}
+
+
+def run_experiment(exp_id: str, scale: str = "full") -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"E4"`` or ablation ``"A3"``)."""
+    registry = _registry()
+    key = exp_id.upper()
+    if key not in registry:
+        raise KeyError(f"unknown experiment {exp_id!r}; choose from {sorted(registry)}")
+    return registry[key](scale)
+
+
+def run_all(scale: str = "full", include_ablations: bool = True) -> list[ExperimentResult]:
+    """Run the whole registry in order (E1..E13, then A1..A6)."""
+    registry = _registry() if include_ablations else EXPERIMENTS
+    return [fn(scale) for fn in registry.values()]

@@ -1,0 +1,96 @@
+"""Experiment result records and markdown/ASCII table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentResult", "render_table", "render_markdown", "render_csv"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper result.
+
+    ``rows`` are tuples matching ``columns``; ``holds`` is the overall
+    pass/fail of the paper's claim on the measured data.
+    """
+
+    exp_id: str
+    title: str
+    claim: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+    holds: bool = True
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def require(self, condition: bool) -> None:
+        """Record a claim check; any failure flips ``holds``."""
+        if not condition:
+            self.holds = False
+
+    def __str__(self) -> str:
+        header = f"[{self.exp_id}] {self.title}\n  claim: {self.claim}\n"
+        body = render_table(self.columns, self.rows, indent="  ")
+        status = f"  claim holds: {'YES' if self.holds else 'NO'}"
+        notes = f"\n  note: {self.notes}" if self.notes else ""
+        return f"{header}{body}\n{status}{notes}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: list[tuple], indent: str = "") -> str:
+    """Plain fixed-width table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    def line(parts):
+        return indent + "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = [line([str(c) for c in columns]), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def render_csv(result: ExperimentResult) -> str:
+    """The result's table as CSV (for spreadsheets / further analysis)."""
+    import csv
+    import io
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["experiment", *result.columns])
+    for row in result.rows:
+        writer.writerow([result.exp_id, *(_fmt(v) for v in row)])
+    return buf.getvalue()
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    """GitHub-flavored markdown section for EXPERIMENTS.md."""
+    out = [f"### {result.exp_id} — {result.title}", ""]
+    out.append(f"**Claim (paper):** {result.claim}")
+    out.append("")
+    out.append("| " + " | ".join(str(c) for c in result.columns) + " |")
+    out.append("|" + "|".join("---" for _ in result.columns) + "|")
+    for row in result.rows:
+        out.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    out.append("")
+    out.append(f"**Claim holds on measured data: {'yes' if result.holds else 'NO'}.**")
+    if result.notes:
+        out.append("")
+        out.append(f"*Note:* {result.notes}")
+    out.append("")
+    return "\n".join(out)

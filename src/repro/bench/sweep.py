@@ -1,0 +1,87 @@
+"""Parameter sweeps producing data series (the repo's "figures").
+
+The paper has no data figures, but its Section 5/6 results are naturally
+*curves*: conflicts as a function of template size ``D`` for each mapping.
+:func:`conflict_series` produces those curves, and
+:mod:`repro.bench.ascii_chart` renders them as text plots for EXPERIMENTS.md
+and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis import family_cost
+from repro.core.mapping import TreeMapping
+from repro.templates import LTemplate, PTemplate, STemplate, TemplateFamily
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["Series", "conflict_series", "elementary_family_for_size"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled curve: x values and y values."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have the same length")
+        if not self.xs:
+            raise ValueError("a series needs at least one point")
+
+
+def elementary_family_for_size(kind: str, D: int) -> TemplateFamily:
+    """Family of ``kind`` sized (at least) ``D`` — subtree sizes round up to
+    the next complete ``2**d - 1``."""
+    if kind == "subtree":
+        d = D.bit_length() if (1 << D.bit_length()) - 1 >= D else D.bit_length() + 1
+        return STemplate((1 << d) - 1)
+    if kind == "level":
+        return LTemplate(D)
+    if kind == "path":
+        return PTemplate(D)
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def conflict_series(
+    mappings: Sequence[tuple[str, TreeMapping]],
+    kind: str,
+    sizes: Sequence[int],
+    reference: Callable[[int], float] | None = None,
+    reference_label: str = "bound",
+) -> list[Series]:
+    """Worst-case conflicts vs template size ``D``, one series per mapping.
+
+    All mappings must share a tree.  ``reference`` optionally adds an
+    analytic curve (e.g. a theorem's bound) for visual comparison.
+    """
+    if not mappings:
+        raise ValueError("at least one mapping is required")
+    tree = mappings[0][1].tree
+    out = []
+    for label, mapping in mappings:
+        if mapping.tree is not tree and mapping.tree != tree:
+            raise ValueError("all mappings must share one tree")
+        xs, ys = [], []
+        for D in sizes:
+            family = elementary_family_for_size(kind, D)
+            if not family.admits(tree) or family.count(tree) == 0:
+                continue
+            xs.append(float(family.size))
+            ys.append(float(family_cost(mapping, family)))
+        out.append(Series(label=label, xs=tuple(xs), ys=tuple(ys)))
+    if reference is not None:
+        xs = out[0].xs
+        out.append(
+            Series(
+                label=reference_label,
+                xs=xs,
+                ys=tuple(float(reference(int(x))) for x in xs),
+            )
+        )
+    return out

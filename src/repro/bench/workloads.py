@@ -1,0 +1,51 @@
+"""Workload builders shared by the experiment harness and the benches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import ParallelMinHeap, RangeQueryTree, level_sweep_trace
+from repro.memory import AccessTrace
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["heap_workload", "range_query_workload", "mixed_workload"]
+
+
+def heap_workload(
+    tree: CompleteBinaryTree, ops: int, seed: int = 0
+) -> AccessTrace:
+    """A heap session: grow to ~half capacity, then mixed insert/extract."""
+    rng = np.random.default_rng(seed)
+    heap = ParallelMinHeap(tree)
+    warm = min(ops // 2, tree.num_nodes // 2)
+    for v in rng.integers(0, 10**9, warm):
+        heap.insert(int(v))
+    for _ in range(ops - warm):
+        if len(heap) < 2 or rng.random() < 0.5:
+            heap.insert(int(rng.integers(0, 10**9)))
+        else:
+            heap.extract_min()
+    heap.check_invariant()
+    return heap.trace
+
+
+def range_query_workload(
+    tree: CompleteBinaryTree, queries: int, selectivity: float = 0.05, seed: int = 0
+) -> AccessTrace:
+    """Random range queries of roughly ``selectivity`` fraction of the keys."""
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 10**9, tree.num_leaves))
+    rq = RangeQueryTree(tree, keys)
+    span = max(1, int(selectivity * 10**9))
+    for _ in range(queries):
+        lo = int(rng.integers(0, 10**9 - span))
+        rq.query(lo, lo + span)
+    return rq.trace
+
+
+def mixed_workload(tree: CompleteBinaryTree, seed: int = 0) -> AccessTrace:
+    """Heap ops + range queries + a level sweep, concatenated."""
+    trace = heap_workload(tree, ops=200, seed=seed)
+    trace.extend(range_query_workload(tree, queries=40, seed=seed + 1))
+    trace.extend(level_sweep_trace(tree, window=16))
+    return trace

@@ -1,0 +1,40 @@
+"""Extension: conflict-free template access in binomial trees.
+
+The paper's reference line (Das-Pinotti [7], [9]) extends template access
+beyond complete binary trees to binomial trees; this subpackage provides the
+substrate (bitmask addressing, ``B_k``-subtree and path templates) and three
+mappings (single-template optima + a both-templates product coloring), with
+the exact-optimality gap measured by experiment X3.
+"""
+
+from repro.binomial.heap import BinomialHeapApp
+from repro.binomial.mappings import (
+    DepthMapping,
+    ProductMapping,
+    SubcubeMapping,
+    TwistedMapping,
+)
+from repro.binomial.tree import (
+    BinomialTree,
+    binomial_depth,
+    binomial_parent,
+    binomial_path_instances,
+    binomial_subtree_instances,
+    lowbit_index,
+    subtree_roots,
+)
+
+__all__ = [
+    "BinomialHeapApp",
+    "BinomialTree",
+    "DepthMapping",
+    "ProductMapping",
+    "SubcubeMapping",
+    "TwistedMapping",
+    "binomial_depth",
+    "binomial_parent",
+    "binomial_path_instances",
+    "binomial_subtree_instances",
+    "lowbit_index",
+    "subtree_roots",
+]

@@ -1,0 +1,135 @@
+"""A binomial heap living in the bitmask address space.
+
+The workload behind Das-Pinotti's parallel priority queues (paper ref [10]):
+a binomial heap is a forest of binomial trees ``B_k``, and its operations
+move *whole trees* — exactly the ``B_k``-subtree template.  Here each
+``B_k`` constituent occupies an aligned block ``[2**k * slot, ...)`` of the
+address space, so every merge/link/dismantle step touches one or two aligned
+blocks, each a ``B_k`` template instance; under :class:`SubcubeMapping`
+every such access is conflict-free.
+
+The heap is a real priority queue (insert / peek / extract-min, verified
+against sorted order by the tests); every block it reads or writes is
+recorded in an :class:`AccessTrace` for replay through the simulator.
+
+Layout: rank-``k`` constituents live in the region ``[R_k, R_k + 2**k)``
+where ``R_k = k * 2**order`` — one arena per rank, so a heap over arenas of
+``2**order`` addresses supports up to ``order`` ranks (capacity
+``2**order - 1`` keys).  Tree-internal order within a block follows the
+binomial bitmask convention: the block's minimum sits at offset 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.trace import AccessTrace
+
+__all__ = ["BinomialHeapApp"]
+
+
+class BinomialHeapApp:
+    """A binomial priority queue with aligned-block (B_k template) accesses."""
+
+    def __init__(self, order: int):
+        if not 1 <= order <= 20:
+            raise ValueError(f"order must be in 1..20, got {order}")
+        self.order = order
+        self.arena = 1 << order
+        # keys[k] holds the rank-k constituent as a heap-ordered array of
+        # 2**k keys (bitmask layout), or None when rank k is absent
+        self._trees: list[np.ndarray | None] = [None] * order
+        self.size = 0
+        self.trace = AccessTrace()
+
+    # -- address helpers -------------------------------------------------------
+
+    def _block(self, rank: int) -> np.ndarray:
+        """Addresses of the rank-``rank`` constituent's aligned block."""
+        base = rank * self.arena
+        return np.arange(base, base + (1 << rank), dtype=np.int64)
+
+    @property
+    def address_space(self) -> int:
+        """Total addresses the layout spans (one arena per rank)."""
+        return self.order * self.arena
+
+    def _record(self, rank: int, label: str) -> None:
+        self.trace.add(self._block(rank), label=label)
+
+    # -- binomial-tree kernel ----------------------------------------------------
+
+    @staticmethod
+    def _link(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Link two rank-k trees into one rank-(k+1) tree (min at offset 0)."""
+        if a[0] <= b[0]:
+            return np.concatenate([a, b])
+        return np.concatenate([b, a])
+
+    def _validate_tree(self, keys: np.ndarray, rank: int) -> None:
+        assert keys.size == 1 << rank
+        # heap order along bitmask parent links
+        for x in range(1, keys.size):
+            assert keys[x & (x - 1)] <= keys[x], "binomial heap order violated"
+
+    # -- operations ----------------------------------------------------------------
+
+    def insert(self, key: int) -> None:
+        """Insert one key: a binary-counter cascade of links."""
+        if self.size + 1 >= (1 << self.order):
+            raise OverflowError(f"heap full (capacity {(1 << self.order) - 1})")
+        carry = np.array([key], dtype=np.int64)
+        rank = 0
+        while self._trees[rank] is not None:
+            self._record(rank, "bheap-link")
+            carry = self._link(self._trees[rank], carry)
+            self._trees[rank] = None
+            rank += 1
+        self._trees[rank] = carry
+        self._record(rank, "bheap-place")
+        self.size += 1
+
+    def peek_min(self) -> int:
+        if self.size == 0:
+            raise IndexError("peek on empty heap")
+        return min(int(t[0]) for t in self._trees if t is not None)
+
+    def extract_min(self) -> int:
+        """Remove the minimum: dismantle its tree, merge the pieces back."""
+        if self.size == 0:
+            raise IndexError("extract on empty heap")
+        rank = min(
+            (r for r, t in enumerate(self._trees) if t is not None),
+            key=lambda r: int(self._trees[r][0]),
+        )
+        tree = self._trees[rank]
+        self._trees[rank] = None
+        self._record(rank, "bheap-dismantle")
+        top = int(tree[0])
+        # the children of the root are the sub-blocks [2**i, 2**(i+1))
+        for i in range(rank - 1, -1, -1):
+            piece = tree[1 << i : 1 << (i + 1)].copy()
+            self._merge_in(piece, i)
+        self.size -= 1
+        return top
+
+    def _merge_in(self, carry: np.ndarray, rank: int) -> None:
+        while self._trees[rank] is not None:
+            self._record(rank, "bheap-link")
+            carry = self._link(self._trees[rank], carry)
+            self._trees[rank] = None
+            rank += 1
+        self._trees[rank] = carry
+        self._record(rank, "bheap-place")
+
+    def check_invariant(self) -> None:
+        total = 0
+        for rank, tree in enumerate(self._trees):
+            if tree is None:
+                continue
+            self._validate_tree(tree, rank)
+            total += tree.size
+        assert total == self.size, "size bookkeeping broken"
+
+    def __len__(self) -> int:
+        return self.size

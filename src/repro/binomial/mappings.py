@@ -1,0 +1,170 @@
+"""Conflict-free mappings for binomial trees.
+
+The bitmask addressing makes both single-template optima one-liners, and a
+product coloring serves both templates at once:
+
+* :class:`SubcubeMapping` — ``color(x) = x mod 2**k``: every ``B_k`` subtree
+  is an aligned block ``[x, x + 2**k)``, so this is CF on ``B_k`` subtrees
+  with the minimum ``2**k`` modules (an instance is a clique);
+* :class:`DepthMapping` — ``color(x) = popcount(x) mod P``: an ascending
+  path changes depth by one per step, so this is CF on ``P``-node paths with
+  the minimum ``P`` modules;
+* :class:`ProductMapping` — ``color(x) = (x mod 2**k) + 2**k * (popcount(
+  x >> k) mod P)``: CF on *both* templates with ``2**k * P`` modules.  Two
+  nodes of one subtree differ in the low bits; two nodes of one path with
+  equal low bits differ in high-bit popcount by the step distance
+  ``1 .. P-1``, hence in the second coordinate.
+
+``2**k * P`` is *not* claimed optimal — the X3 experiment measures the gap
+to the exact chromatic number on small instances, the honest counterpart of
+the binary case's Theorem 2 (where the analogous gap is closed by COLOR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binomial.tree import BinomialTree
+
+__all__ = ["SubcubeMapping", "DepthMapping", "TwistedMapping", "ProductMapping"]
+
+
+class _BinomialMapping:
+    """Duck-typed TreeMapping over a BinomialTree."""
+
+    def __init__(self, tree: BinomialTree, num_modules: int):
+        if num_modules < 1:
+            raise ValueError(f"num_modules must be >= 1, got {num_modules}")
+        self._tree = tree
+        self._num_modules = num_modules
+        self._colors: np.ndarray | None = None
+
+    @property
+    def tree(self) -> BinomialTree:
+        return self._tree
+
+    @property
+    def num_modules(self) -> int:
+        return self._num_modules
+
+    def _compute(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def color_array(self) -> np.ndarray:
+        if self._colors is None:
+            colors = np.ascontiguousarray(self._compute(), dtype=np.int64)
+            colors.setflags(write=False)
+            self._colors = colors
+        return self._colors
+
+    def colors_of(self, nodes: np.ndarray) -> np.ndarray:
+        return self.color_array()[np.asarray(nodes, dtype=np.int64)]
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self.color_array()[node])
+
+    def module_loads(self) -> np.ndarray:
+        return np.bincount(self.color_array(), minlength=self._num_modules)
+
+    def colors_used(self) -> int:
+        return int(np.unique(self.color_array()).size)
+
+
+class SubcubeMapping(_BinomialMapping):
+    """CF on ``B_k`` subtrees with the minimum ``2**k`` modules."""
+
+    def __init__(self, tree: BinomialTree, k: int):
+        if not 0 <= k <= tree.order:
+            raise ValueError(f"k must be in 0..{tree.order}, got {k}")
+        self.k = k
+        super().__init__(tree, 1 << k)
+
+    def _compute(self) -> np.ndarray:
+        return self._tree.nodes() & ((1 << self.k) - 1)
+
+
+class DepthMapping(_BinomialMapping):
+    """CF on ``P``-node ascending paths with the minimum ``P`` modules."""
+
+    def __init__(self, tree: BinomialTree, P: int):
+        if P < 1:
+            raise ValueError(f"P must be >= 1, got {P}")
+        self.P = P
+        super().__init__(tree, P)
+
+    def _compute(self) -> np.ndarray:
+        return self._tree.depths() % self.P
+
+
+class TwistedMapping(_BinomialMapping):
+    """CF on both templates with only ``2**k`` modules — when ``P`` permits.
+
+    ``color(x) = (x mod 2**k + popcount(x >> k)) mod 2**k``.  Subtree
+    instances share the high bits, so within one instance colors are the low
+    bits shifted by a constant — a rainbow.  On an ascending chain, a
+    colliding pair needs ``delta + t ≡ 0 (mod 2**k)`` where ``t >= 1`` is the
+    number of high-bit steps and ``delta`` the low-bit increment; realizing
+    ``delta`` takes ``popcount(delta)`` extra steps, so the construction is
+    safe exactly when
+
+        popcount((2**k - t) mod 2**k) + t >= P   for all t in 1..P-1.
+
+    The constructor enforces that precondition (use :class:`ProductMapping`
+    otherwise).  Where it applies, ``2**k`` matches the exact chromatic
+    number measured by experiment X3 — i.e. it is optimal.
+    """
+
+    def __init__(self, tree: BinomialTree, k: int, P: int):
+        if not 0 <= k <= tree.order:
+            raise ValueError(f"k must be in 0..{tree.order}, got {k}")
+        if P < 1:
+            raise ValueError(f"P must be >= 1, got {P}")
+        bad = [
+            t
+            for t in range(1, P)
+            if bin(((1 << k) - t) % (1 << k)).count("1") + t < P
+        ]
+        if bad:
+            raise ValueError(
+                f"twisted coloring unsafe for k={k}, P={P} (colliding step "
+                f"distances {bad}); use ProductMapping"
+            )
+        self.k = k
+        self.P = P
+        super().__init__(tree, 1 << k)
+
+    def _compute(self) -> np.ndarray:
+        nodes = self._tree.nodes()
+        low = nodes & ((1 << self.k) - 1)
+        high = nodes >> self.k
+        pc = np.zeros(nodes.size, dtype=np.int64)
+        x = high.copy()
+        while np.any(x):
+            pc += x & 1
+            x >>= 1
+        return (low + pc) % (1 << self.k)
+
+
+class ProductMapping(_BinomialMapping):
+    """CF on both ``B_k`` subtrees and ``P``-node paths, ``2**k * P`` modules."""
+
+    def __init__(self, tree: BinomialTree, k: int, P: int):
+        if not 0 <= k <= tree.order:
+            raise ValueError(f"k must be in 0..{tree.order}, got {k}")
+        if P < 1:
+            raise ValueError(f"P must be >= 1, got {P}")
+        self.k = k
+        self.P = P
+        super().__init__(tree, (1 << k) * P)
+
+    def _compute(self) -> np.ndarray:
+        nodes = self._tree.nodes()
+        low = nodes & ((1 << self.k) - 1)
+        high = nodes >> self.k
+        high_pop = np.zeros(nodes.size, dtype=np.int64)
+        x = high.copy()
+        while np.any(x):
+            high_pop += x & 1
+            x >>= 1
+        return low + (1 << self.k) * (high_pop % self.P)

@@ -1,0 +1,131 @@
+"""Binomial trees with bitmask addressing.
+
+The second tree family of the paper's reference line (Das-Pinotti [7], [9]:
+"conflict-free template access in k-ary and binomial trees").  A binomial
+tree ``B_n`` has ``2**n`` nodes, addressed here by the classic bitmask
+scheme:
+
+* node ids are the integers ``0 .. 2**n - 1``;
+* the parent of ``x != 0`` clears the lowest set bit: ``x & (x - 1)``;
+* the depth of ``x`` is ``popcount(x)``;
+* the maximal subtree under ``x`` is ``{x + y : y < 2**low(x)}`` where
+  ``low(x)`` is the index of ``x``'s lowest set bit (``n`` for the root).
+
+Template families:
+
+* ``B_k``-subtrees — every embedded binomial tree of order ``k``: the blocks
+  ``{x + y : y < 2**k}`` for roots with ``low(x) >= k``;
+* ascending paths of ``P`` nodes — chains that clear one bit per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "BinomialTree",
+    "binomial_parent",
+    "binomial_depth",
+    "lowbit_index",
+    "subtree_roots",
+    "binomial_subtree_instances",
+    "binomial_path_instances",
+]
+
+
+def binomial_parent(x: int) -> int:
+    """Parent of node ``x`` (clear the lowest set bit)."""
+    if x <= 0:
+        raise ValueError("the root has no parent")
+    return x & (x - 1)
+
+
+def binomial_depth(x: int) -> int:
+    """Depth of node ``x`` = number of set bits."""
+    if x < 0:
+        raise ValueError(f"node id must be >= 0, got {x}")
+    return bin(x).count("1")
+
+
+def lowbit_index(x: int, order: int) -> int:
+    """Index of the lowest set bit; the root (0) returns ``order``."""
+    if x == 0:
+        return order
+    return (x & -x).bit_length() - 1
+
+
+@dataclass(frozen=True)
+class BinomialTree:
+    """A binomial tree ``B_order`` with ``2**order`` nodes."""
+
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.order < 0:
+            raise ValueError(f"order must be >= 0, got {self.order}")
+        if self.order > 24:
+            raise ValueError(f"order {self.order} too large to materialize")
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.order
+
+    def __contains__(self, x: int) -> bool:
+        return 0 <= x < self.num_nodes
+
+    def check_node(self, x: int) -> int:
+        if x not in self:
+            raise ValueError(f"node {x} outside B_{self.order}")
+        return x
+
+    def children(self, x: int) -> list[int]:
+        """Children of ``x``: add any single bit below ``low(x)``."""
+        self.check_node(x)
+        return [x + (1 << i) for i in range(lowbit_index(x, self.order))]
+
+    def nodes(self) -> np.ndarray:
+        return np.arange(self.num_nodes, dtype=np.int64)
+
+    def depths(self) -> np.ndarray:
+        """Depth (popcount) of every node, vectorized."""
+        out = np.zeros(self.num_nodes, dtype=np.int64)
+        x = self.nodes().copy()
+        while np.any(x):
+            out += x & 1
+            x >>= 1
+        return out
+
+
+def subtree_roots(tree: BinomialTree, k: int) -> np.ndarray:
+    """Roots of all embedded ``B_k`` subtrees: nodes with ``low(x) >= k``."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k > tree.order:
+        return np.empty(0, dtype=np.int64)
+    # multiples of 2**k whose bit k.. pattern keeps low(x) >= k: exactly the
+    # multiples of 2**k (including 0)
+    return np.arange(0, tree.num_nodes, 1 << k, dtype=np.int64)
+
+
+def binomial_subtree_instances(tree: BinomialTree, k: int) -> Iterator[np.ndarray]:
+    """All ``B_k`` subtree instances, each as a sorted node array."""
+    for root in subtree_roots(tree, k):
+        yield np.arange(root, root + (1 << k), dtype=np.int64)
+
+
+def binomial_path_instances(tree: BinomialTree, P: int) -> Iterator[np.ndarray]:
+    """All ascending paths of ``P`` nodes (one cleared bit per step)."""
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    for bottom in range(tree.num_nodes):
+        if binomial_depth(bottom) < P - 1:
+            continue
+        path = [bottom]
+        x = bottom
+        for _ in range(P - 1):
+            x = x & (x - 1)
+            path.append(x)
+        yield np.array(path, dtype=np.int64)

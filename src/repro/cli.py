@@ -1,0 +1,227 @@
+"""The ``pmtree`` command line tool.
+
+Operational entry points for the library (the experiment harness has its own
+CLI under ``python -m repro.bench``):
+
+* ``pmtree build``    — compute a mapping and save it to ``.npz``;
+* ``pmtree info``     — inspect a mapping: parameters, load, top-level view;
+* ``pmtree verify``   — exhaustively check a mapping against template families;
+* ``pmtree trace``    — generate a workload trace file;
+* ``pmtree simulate`` — replay a trace file against a mapping file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import family_cost, load_report, render_coloring
+from repro.core import ColorMapping, LabelTreeMapping, ModuloMapping, RandomMapping
+from repro.core.mapping import TreeMapping
+from repro.io import load_mapping, save_mapping
+from repro.memory import AccessTrace, ParallelMemorySystem
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["main"]
+
+
+def _add_mapping_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--levels", type=int, required=True, help="tree levels H")
+    kind = parser.add_mutually_exclusive_group(required=True)
+    kind.add_argument("--color", metavar="N,K", help="COLOR(T, N, k) parameters")
+    kind.add_argument("--labeltree", type=int, metavar="M", help="LABEL-TREE modules")
+    kind.add_argument("--modulo", type=int, metavar="M", help="modulo baseline")
+    kind.add_argument("--random", type=int, metavar="M", help="random baseline")
+
+
+def _build_mapping(args) -> TreeMapping:
+    tree = CompleteBinaryTree(args.levels)
+    if args.color:
+        try:
+            n_str, k_str = args.color.split(",")
+            N, k = int(n_str), int(k_str)
+        except ValueError as exc:
+            raise SystemExit(f"--color expects 'N,k', got {args.color!r}") from exc
+        return ColorMapping(tree, N=N, k=k)
+    if args.labeltree:
+        return LabelTreeMapping(tree, args.labeltree)
+    if args.modulo:
+        return ModuloMapping(tree, args.modulo)
+    return RandomMapping(tree, args.random, seed=0)
+
+
+def cmd_build(args) -> int:
+    mapping = _build_mapping(args)
+    path = save_mapping(mapping, args.out)
+    print(f"saved {type(mapping).__name__} (M={mapping.num_modules}, "
+          f"H={args.levels}) to {path}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    mapping = load_mapping(args.mapping)
+    print(f"{mapping.source}: M={mapping.num_modules}, "
+          f"levels={mapping.tree.num_levels}, nodes={mapping.tree.num_nodes}")
+    print(f"colors used: {mapping.colors_used()}")
+    print(load_report(mapping))
+    print("\ntop of the tree (module per node):")
+    print(render_coloring(mapping, max_levels=min(5, mapping.tree.num_levels)))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    mapping = load_mapping(args.mapping)
+    checks = []
+    if args.subtree:
+        checks.append(("S", STemplate(args.subtree)))
+    if args.path:
+        checks.append(("P", PTemplate(args.path)))
+    if args.level:
+        checks.append(("L", LTemplate(args.level)))
+    if not checks:
+        raise SystemExit("nothing to verify: pass --subtree/--path/--level")
+    worst_overall = 0
+    for name, family in checks:
+        if not family.admits(mapping.tree):
+            print(f"{name}({family.size}): no instances in this tree, skipped")
+            continue
+        worst = family_cost(mapping, family)
+        worst_overall = max(worst_overall, worst)
+        flag = "conflict-free" if worst == 0 else f"max {worst} conflicts"
+        print(f"{name}({family.size}): {family.count(mapping.tree)} instances, {flag}")
+    return 0 if worst_overall == 0 else 2
+
+
+def cmd_trace(args) -> int:
+    from repro.apps import level_sweep_trace
+    from repro.bench.workloads import heap_workload, range_query_workload
+
+    tree = CompleteBinaryTree(args.levels)
+    if args.workload == "heap":
+        trace = heap_workload(tree, ops=args.ops, seed=args.seed)
+    elif args.workload == "range-query":
+        trace = range_query_workload(tree, queries=args.ops, seed=args.seed)
+    else:
+        trace = level_sweep_trace(tree, window=max(2, args.ops))
+    path = trace.save(args.out)
+    print(f"saved {args.workload} trace ({len(trace)} accesses, "
+          f"{trace.total_items} items) to {path}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.memory import profile_trace
+
+    trace = AccessTrace.load(args.trace)
+    profile = profile_trace(trace)
+    print(profile)
+    print(f"mean access size: {profile.mean_access_size:.2f} "
+          f"(max {profile.max_access_size})")
+    print(f"hottest node: {profile.hottest_node} "
+          f"({profile.hottest_count} requests)")
+    print("requests per level:")
+    peak = max(1, int(profile.level_histogram.max()))
+    for j, count in enumerate(profile.level_histogram):
+        bar = "#" * round(int(count) / peak * 40)
+        print(f"  level {j:2d} |{bar:<40}| {int(count)}")
+    return 0
+
+
+def cmd_chart(args) -> int:
+    from repro.bench.ascii_chart import render_chart
+    from repro.bench.sweep import conflict_series
+
+    mappings = [(args.mapping, load_mapping(args.mapping))]
+    if args.versus:
+        mappings.append((args.versus, load_mapping(args.versus)))
+    sizes = [int(s) for s in args.sizes.split(",")]
+    series = conflict_series(
+        [(name.rsplit("/", 1)[-1], mapping) for name, mapping in mappings],
+        args.kind,
+        sizes,
+    )
+    print(render_chart(series, title=f"worst-case conflicts, {args.kind}(D)"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    mapping = load_mapping(args.mapping)
+    trace = AccessTrace.load(args.trace)
+    pms = ParallelMemorySystem(mapping)
+    if args.mode == "pipelined":
+        stats = pms.run_trace(trace, pipelined=True)
+    elif args.mode == "open-loop":
+        stats = pms.run_open_loop(trace, arrival_interval=args.interval)
+    else:
+        stats = pms.run_trace(trace)
+    print(stats)
+    print(f"items/cycle: {stats.mean_parallelism:.2f}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pmtree", description="tree mappings for parallel memory systems"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="compute and save a mapping")
+    _add_mapping_args(build)
+    build.add_argument("--out", required=True, help="output .npz path")
+    build.set_defaults(fn=cmd_build)
+
+    info = sub.add_parser("info", help="inspect a saved mapping")
+    info.add_argument("mapping", help="mapping .npz")
+    info.set_defaults(fn=cmd_info)
+
+    verify = sub.add_parser("verify", help="exhaustively verify a saved mapping")
+    verify.add_argument("mapping", help="mapping .npz")
+    verify.add_argument("--subtree", type=int, help="check S(K)")
+    verify.add_argument("--path", type=int, help="check P(N)")
+    verify.add_argument("--level", type=int, help="check L(K)")
+    verify.set_defaults(fn=cmd_verify)
+
+    trace = sub.add_parser("trace", help="generate a workload trace")
+    trace.add_argument("workload", choices=["heap", "range-query", "scan"])
+    trace.add_argument("--levels", type=int, required=True)
+    trace.add_argument("--ops", type=int, default=200)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True)
+    trace.set_defaults(fn=cmd_trace)
+
+    prof = sub.add_parser("profile", help="characterize a workload trace")
+    prof.add_argument("trace", help="trace .npz")
+    prof.set_defaults(fn=cmd_profile)
+
+    chart = sub.add_parser("chart", help="ASCII conflict curves for a mapping")
+    chart.add_argument("mapping", help="mapping .npz")
+    chart.add_argument("--versus", help="second mapping .npz to overlay")
+    chart.add_argument(
+        "--kind", choices=["level", "subtree", "path"], default="level"
+    )
+    chart.add_argument(
+        "--sizes", default="15,30,60,120", help="comma-separated template sizes"
+    )
+    chart.set_defaults(fn=cmd_chart)
+
+    sim = sub.add_parser("simulate", help="replay a trace against a mapping")
+    sim.add_argument("mapping", help="mapping .npz")
+    sim.add_argument("trace", help="trace .npz")
+    sim.add_argument(
+        "--mode", choices=["barrier", "pipelined", "open-loop"], default="barrier"
+    )
+    sim.add_argument("--interval", type=int, default=2, help="open-loop arrival interval")
+    sim.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: tree-to-memory-module mappings.
+
+* :class:`BasicColorMapping` / :class:`ColorMapping` — the conflict-free
+  (Section 3) and maximum-parallelism (Section 4) mappings;
+* :mod:`repro.core.retrieval` — COLOR's addressing schemes and their costs;
+* :class:`LabelTreeMapping` — the fast-addressing, load-balanced alternative
+  (Section 6);
+* :mod:`repro.core.baselines` — strawman mappings for comparison.
+"""
+
+from repro.core.basic_color import (
+    BasicColorMapping,
+    basic_color_array,
+    check_basic_color_params,
+    num_colors,
+)
+from repro.core.baselines import (
+    InterleavedMapping,
+    LevelModuloMapping,
+    ModuloMapping,
+    RandomMapping,
+)
+from repro.core.color import ColorMapping, color_array, max_parallelism_params
+from repro.core.label_tree import LabelTreeMapping, label_tree_params
+from repro.core.mapping import TreeMapping
+from repro.core.micro_label import (
+    default_l,
+    micro_label_index_array,
+    micro_label_index_resolve,
+    micro_label_list_size,
+)
+from repro.core.retrieval import (
+    ChaseTable,
+    resolve_color,
+    resolve_color_steps,
+    resolve_color_with_table,
+)
+from repro.core.single_template import PathOnlyMapping, SubtreeOnlyMapping
+
+__all__ = [
+    "BasicColorMapping",
+    "ChaseTable",
+    "ColorMapping",
+    "InterleavedMapping",
+    "LabelTreeMapping",
+    "LevelModuloMapping",
+    "ModuloMapping",
+    "PathOnlyMapping",
+    "RandomMapping",
+    "SubtreeOnlyMapping",
+    "TreeMapping",
+    "basic_color_array",
+    "check_basic_color_params",
+    "color_array",
+    "default_l",
+    "label_tree_params",
+    "max_parallelism_params",
+    "micro_label_index_array",
+    "micro_label_index_resolve",
+    "micro_label_list_size",
+    "num_colors",
+    "resolve_color",
+    "resolve_color_steps",
+    "resolve_color_with_table",
+]

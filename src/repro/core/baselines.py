@@ -1,0 +1,91 @@
+"""Baseline mappings the paper's algorithms are compared against.
+
+None of these is from the paper; they are the obvious strawmen a systems
+practitioner would try first, and the benches use them to show how much the
+structured mappings buy:
+
+* :class:`ModuloMapping` — ``color(v) = v mod M`` (BFS-interleaving).  Great
+  on levels, terrible on paths (ancestor ids collide mod M in patterns) and
+  on subtrees of size > M.
+* :class:`LevelModuloMapping` — ``color(v(i, j)) = i mod M``.  CF on level
+  windows up to size M, but an entire root-to-leaf *spine* can hit one module.
+* :class:`InterleavedMapping` — ``color(v(i, j)) = (i + j) mod M``; a cheap
+  diagonal shift that fixes the spine problem partially.
+* :class:`RandomMapping` — i.i.d. uniform colors; the classic randomized
+  baseline with ``Theta(K/M + log M / log log M)``-style expected conflicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.trees import CompleteBinaryTree, coords
+
+__all__ = [
+    "ModuloMapping",
+    "LevelModuloMapping",
+    "InterleavedMapping",
+    "RandomMapping",
+]
+
+
+class ModuloMapping(TreeMapping):
+    """``color(v) = v mod M`` over heap ids."""
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return node % self._num_modules
+
+    def _compute_color_array(self) -> np.ndarray:
+        return self._tree.nodes() % self._num_modules
+
+
+class LevelModuloMapping(TreeMapping):
+    """``color(v(i, j)) = i mod M`` (position within the level)."""
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return coords.index_in_level(node) % self._num_modules
+
+    def _compute_color_array(self) -> np.ndarray:
+        nodes = self._tree.nodes()
+        levels = coords.level_of_array(nodes)
+        idx = nodes + 1 - (np.int64(1) << levels)
+        return idx % self._num_modules
+
+
+class InterleavedMapping(TreeMapping):
+    """``color(v(i, j)) = (i + j) mod M`` (diagonal shift per level)."""
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return (coords.index_in_level(node) + coords.level_of(node)) % self._num_modules
+
+    def _compute_color_array(self) -> np.ndarray:
+        nodes = self._tree.nodes()
+        levels = coords.level_of_array(nodes)
+        idx = nodes + 1 - (np.int64(1) << levels)
+        return (idx + levels) % self._num_modules
+
+
+class RandomMapping(TreeMapping):
+    """i.i.d. uniform random colors (reproducible via ``seed``)."""
+
+    def __init__(self, tree: CompleteBinaryTree, num_modules: int, seed: int = 0):
+        super().__init__(tree, num_modules)
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self.color_array()[node])
+
+    def _compute_color_array(self) -> np.ndarray:
+        rng = np.random.default_rng(self._seed)
+        return rng.integers(
+            0, self._num_modules, size=self._tree.num_nodes, dtype=np.int64
+        )

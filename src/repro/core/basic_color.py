@@ -1,0 +1,136 @@
+"""BASIC-COLOR (paper Fig. 2): color one height-``N`` tree with ``N + K - k`` colors.
+
+``K = 2**k - 1`` and ``N >= k``.  Colors are split into
+``Sigma = {0 .. K-1}`` and ``Gamma = {K .. N+K-k-1}``:
+
+* **Phase 1** — the top ``k`` levels each get a distinct ``Sigma`` color;
+  since the paper assigns ``v(i, j)`` the color ``2**j + i - 1`` and that
+  expression *is* the heap id, phase 1 is simply ``color[v] = v``.
+* **Phase 2 (BOTTOM)** — levels ``k .. N-1`` are colored top-down and
+  block-wise.  Each size-``2**(k-1)`` block inherits the colors of the first
+  ``k-1`` levels of the subtree ``S_2`` rooted at the *sibling* of the block's
+  shared ``(k-1)``-st ancestor, in BFS order; the block's last node gets the
+  next unused ``Gamma`` color (``Gamma[j-k]`` at level ``j``).
+
+The paper's printed closed form for the inheritance source contains an
+off-by-one (see DESIGN.md, "Errata"); we implement the binding prose rule
+("``b_i`` gets the color of the ``(i+1)``-st node of ``S_2`` in level-by-level
+left-to-right order"), which the conflict-freeness tests validate.
+
+The function below colors **one** height-``N`` tree; :mod:`repro.core.color`
+composes it over the ``B(N)`` family for trees of arbitrary height.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.templates.subtree import bfs_rank_levels_offsets
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["basic_color_array", "BasicColorMapping", "check_basic_color_params"]
+
+
+def check_basic_color_params(N: int, k: int) -> None:
+    """Validate the (N, k) parameter pair shared by BASIC-COLOR and COLOR."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if N < k:
+        raise ValueError(f"N must be >= k, got N={N}, k={k}")
+
+
+def num_colors(N: int, k: int) -> int:
+    """The paper's module count ``N + K - k`` with ``K = 2**k - 1``."""
+    check_basic_color_params(N, k)
+    return N + ((1 << k) - 1) - k
+
+
+def basic_color_array(N: int, k: int) -> np.ndarray:
+    """Colors assigned by BASIC-COLOR to the ``2**N - 1`` nodes of a height-``N`` tree.
+
+    Returns an int64 array indexed by heap id, using colors
+    ``0 .. N + K - k - 1``.
+    """
+    check_basic_color_params(N, k)
+    colors = np.empty((1 << N) - 1, dtype=np.int64)
+    K = (1 << k) - 1
+    top = min(k, N)
+    colors[: (1 << top) - 1] = np.arange((1 << top) - 1, dtype=np.int64)
+    if N == k:
+        return colors
+    _bottom(colors, k, range(k, N), last_color=lambda j: K + (j - k))
+    return colors
+
+
+def _bottom(
+    colors: np.ndarray,
+    k: int,
+    levels: range,
+    last_color,
+) -> None:
+    """Vectorized BOTTOM pass over absolute ``levels`` of a node-colors array.
+
+    ``last_color(j)`` supplies the color(s) for the last node of every block
+    of level ``j``: either a scalar (BASIC-COLOR's fresh ``Gamma`` color) or an
+    array with one entry per block (COLOR's per-subtree ``Gamma`` lists).
+    All other block nodes inherit, in BFS order, the colors of the first
+    ``k-1`` levels of the subtree rooted at the sibing anchor ``v2``.
+    """
+    half = 1 << (k - 1)
+    mask = half - 1
+    # BFS-rank -> (relative level, offset) for the donor subtree positions.
+    # Computed for ranks 0..half-1; the last rank is overwritten by Gamma below
+    # but keeping it avoids a masked gather.
+    rr, ss = bfs_rank_levels_offsets(half)
+    for j in levels:
+        base = (1 << j) - 1
+        n = 1 << j
+        ids = np.arange(base, base + n, dtype=np.int64)
+        q = (ids - base) & mask
+        # v1 = (k-1)-st ancestor of each node, v2 = its sibling
+        v1 = ((ids + 1) >> (k - 1)) - 1
+        v2 = np.where(v1 & 1 == 1, v1 + 1, v1 - 1)
+        if half > 1:
+            src = ((v2 + 1) << rr[q]) - 1 + ss[q]
+            level_colors = colors[src]
+        else:
+            level_colors = np.empty(n, dtype=np.int64)
+        is_last = q == mask
+        lc = last_color(j)
+        level_colors[is_last] = lc
+        colors[base : base + n] = level_colors
+
+
+class BasicColorMapping(TreeMapping):
+    """BASIC-COLOR as a mapping: a height-``N`` tree on ``N + K - k`` modules.
+
+    Conflict-free on ``S(K)`` and ``P(N)`` (Theorem 1) with the minimum
+    possible number of modules (Theorem 2), and at most one conflict on
+    ``L(K)`` (Lemma 2).
+    """
+
+    def __init__(self, tree: CompleteBinaryTree, k: int):
+        check_basic_color_params(tree.num_levels, k)
+        self._k = k
+        self._N = tree.num_levels
+        super().__init__(tree, num_colors(self._N, k))
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def K(self) -> int:
+        return (1 << self._k) - 1
+
+    @property
+    def N(self) -> int:
+        return self._N
+
+    def _compute_color_array(self) -> np.ndarray:
+        return basic_color_array(self._N, self._k)
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self.color_array()[node])

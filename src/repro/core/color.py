@@ -1,0 +1,147 @@
+"""COLOR (paper Fig. 7): color a tree of any height with ``N + K - k`` colors.
+
+COLOR covers the tree ``T`` with the family ``B(N)`` of height-``N`` subtrees
+whose roots sit at levels ``0, N-k, 2(N-k), ...``; consecutive layers overlap
+in ``k`` levels.  The top subtree ``B(0,0)`` is colored by BASIC-COLOR; every
+deeper subtree already has its top ``k`` levels colored (they are the bottom
+of the layer above) and only runs the BOTTOM pass, with its ``Gamma`` list
+taken from the colors of the ancestor path of its root.
+
+**Gamma resolution** (see DESIGN.md "Errata"): Theorem 3's proof pins
+``Gamma(i, j)`` to the ``N - k`` colors of the path from the root of the
+*enclosing* subtree ``B_1`` down to the parent of the root of ``B_2``
+(top-down).  Block arithmetic collapses this to a pleasantly local rule: the
+last node of a block at absolute level ``j`` inherits the color of **its own
+ancestor at distance exactly ``N``** — or the fresh color ``K + (j - k)``
+when ``j < N`` (layer 0, where BASIC-COLOR's Gamma colors are new).
+
+Guarantees (validated exhaustively by the tests):
+
+* conflict-free on ``S(K)`` and ``P(N)`` with ``M = N + K - k`` modules
+  (Theorem 3), which is optimal (Theorem 2);
+* at most one conflict on ``S(M)``/``P(M)`` when instantiated at maximum
+  parallelism ``K = 2**(m-1) - 1``, ``N = 2**(m-1) + m - 1``, ``M = 2**m - 1``
+  (Theorem 4);
+* ``O(D/M + c)`` conflicts on composite templates (Theorem 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.basic_color import _bottom, check_basic_color_params, num_colors
+from repro.core.mapping import TreeMapping
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["color_array", "ColorMapping", "max_parallelism_params"]
+
+
+def color_array(H: int, N: int, k: int) -> np.ndarray:
+    """Colors assigned by COLOR to the ``2**H - 1`` nodes of a height-``H`` tree.
+
+    ``H`` may be any height; when ``H`` is not of the form ``h(N-k) + N`` the
+    coloring equals the restriction of the coloring of the next taller
+    aligned tree (the paper's "dummy levels").
+    """
+    check_basic_color_params(N, k)
+    if N == k and H > N:
+        raise ValueError(
+            f"N == k (={k}) only colors a single height-N tree; H={H} needs N > k"
+        )
+    colors = np.empty((1 << H) - 1, dtype=np.int64)
+    K = (1 << k) - 1
+    top = min(k, H)
+    colors[: (1 << top) - 1] = np.arange((1 << top) - 1, dtype=np.int64)
+    if H <= k:
+        return colors
+
+    def last_color(j: int):
+        if j < N:
+            # layer 0: fresh Gamma color, as in BASIC-COLOR
+            return K + (j - k)
+        # deeper layers: color of the block nodes' ancestor at distance N
+        base = (1 << j) - 1
+        half = 1 << (k - 1)
+        last_ids = np.arange(base + half - 1, base + (1 << j), half, dtype=np.int64)
+        anc = ((last_ids + 1) >> N) - 1
+        return colors[anc]
+
+    _bottom(colors, k, range(k, H), last_color=last_color)
+    return colors
+
+
+def max_parallelism_params(m: int) -> tuple[int, int, int]:
+    """Section 4 parameters ``(N, k, M)`` for ``M = 2**m - 1`` modules.
+
+    ``COLOR(T, N=2**(m-1)+m-1, K=2**(m-1)-1)`` uses exactly ``M = 2**m - 1``
+    colors and accesses ``S(M)`` and ``P(M)`` with at most one conflict.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    k = m - 1
+    N = (1 << (m - 1)) + m - 1
+    M = (1 << m) - 1
+    assert num_colors(N, k) == M
+    return N, k, M
+
+
+class ColorMapping(TreeMapping):
+    """COLOR as a mapping: any tree on ``N + K - k`` modules."""
+
+    def __init__(self, tree: CompleteBinaryTree, N: int, k: int):
+        check_basic_color_params(N, k)
+        if N == k and tree.num_levels > N:
+            raise ValueError(
+                f"N == k (={k}) cannot color trees taller than N={N} levels"
+            )
+        self._N = N
+        self._k = k
+        super().__init__(tree, num_colors(N, k))
+
+    @classmethod
+    def max_parallelism(cls, tree: CompleteBinaryTree, m: int) -> "ColorMapping":
+        """Section 4 instantiation for ``M = 2**m - 1`` modules."""
+        N, k, _ = max_parallelism_params(m)
+        return cls(tree, N=N, k=k)
+
+    @classmethod
+    def for_modules(cls, tree: CompleteBinaryTree, M: int) -> "ColorMapping":
+        """General-``M`` instantiation (paper, start of Section 5).
+
+        When ``M`` is not of the form ``2**m - 1`` the construction runs with
+        the largest ``M' = 2**m - 1 <= M`` colors and leaves the remaining
+        modules unused; the paper notes all Section 5 bounds then hold "but
+        the number of conflicts increases by a constant factor" (at most
+        ``ceil(M/M') = 2``).  The ablation bench A5 measures the actual
+        penalty across the gap between powers of two.
+        """
+        if M < 3:
+            raise ValueError(f"COLOR needs M >= 3 modules, got {M}")
+        m = (M + 1).bit_length() - 1  # largest m with 2**m - 1 <= M
+        mapping = cls.max_parallelism(tree, m)
+        mapping._num_modules = M  # declare the physical module count
+        return mapping
+
+    @property
+    def N(self) -> int:
+        return self._N
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def K(self) -> int:
+        return (1 << self._k) - 1
+
+    def _compute_color_array(self) -> np.ndarray:
+        return color_array(self._tree.num_levels, self._N, self._k)
+
+    def module_of(self, node: int) -> int:
+        """Addressing via the full coloring (O(1) after O(2**H) precompute).
+
+        For the paper's table-free / table-driven addressing schemes and
+        their costs, see :mod:`repro.core.retrieval`.
+        """
+        self._tree.check_node(node)
+        return int(self.color_array()[node])

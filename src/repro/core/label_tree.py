@@ -1,0 +1,218 @@
+"""LABEL-TREE (paper Section 6, from reference [2]): fast addressing, balanced load.
+
+LABEL-TREE cuts the tree into **disjoint** height-``m`` subtrees
+(``m = ceil(log2 M)``) — layer ``t`` holds the subtrees rooted at level
+``t*m`` — and colors each independently in three steps:
+
+* **MACRO-LABEL** — assign each subtree a *group* of colors such that two
+  same-group subtrees on one ascending path have roots ``Omega(sqrt(M log M))``
+  levels apart.  Reconstruction (see DESIGN.md): the color set is split into
+  ``p`` groups and layer ``t`` uses group ``t mod p``; same-group roots on a
+  path are then ``p*m ~ sqrt(M log M)`` levels apart.
+* **ROTATE** — pick each subtree's ordered list of ``ell`` colors from its
+  group so that nearby same-group subtrees get different lists.
+  Reconstruction: the ``q``-th subtree of its layer takes the cyclic window
+  of ``ell`` colors starting at offset ``q`` in the group (consecutive trees'
+  lists shift by one — exactly the property Lemma 7's proof uses).
+* **MICRO-LABEL** — color the subtree's nodes with its list
+  (:mod:`repro.core.micro_label`).
+
+Properties (Theorem 7/8, all measured by the benches):
+
+* ``O(sqrt(M / log M))`` conflicts on elementary templates of size ``M`` and
+  ``O(D / sqrt(M log M) + c)`` on composites ``C(D, c)`` — worse than COLOR;
+* **O(1) addressing** after ``O(M)`` preprocessing (the MICRO-LABEL pattern
+  table) or ``O(log M)`` with no preprocessing — better than COLOR;
+* memory load balanced to ``1 + o(1)`` — better than COLOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.core.micro_label import (
+    default_l,
+    micro_label_index_array,
+    micro_label_index_resolve,
+    micro_label_list_size,
+)
+from repro.trees import CompleteBinaryTree, coords
+
+__all__ = ["LabelTreeMapping", "label_tree_params"]
+
+
+def label_tree_params(M: int) -> dict:
+    """Derived LABEL-TREE parameters for ``M`` modules (paper Section 6.1)."""
+    if M < 3:
+        raise ValueError(f"LABEL-TREE needs M >= 3 modules, got {M}")
+    m = (M - 1).bit_length()  # ceil(log2 M)
+    l = default_l(M)
+    ell = micro_label_list_size(m, l)
+    if ell > M:
+        # tiny-M safeguard: shrink l until one group of ell colors fits
+        while l > 1 and micro_label_list_size(m, l) > M:
+            l -= 1
+        ell = micro_label_list_size(m, l)
+        if ell > M:
+            raise ValueError(f"M={M} too small for LABEL-TREE ({ell} list colors needed)")
+    p = max(1, M // ell)
+    return {"m": m, "l": l, "ell": ell, "p": p}
+
+
+class LabelTreeMapping(TreeMapping):
+    """LABEL-TREE as a mapping: any tree on ``M`` modules."""
+
+    #: MACRO-LABEL policies (ablation A3): "diagonal" = (t + q) mod p (the
+    #: reconstruction; balances load), "layer" = t mod p (strict per-layer
+    #: groups; vertical separation but unbalanced load on the deepest layer)
+    MACRO_POLICIES = ("diagonal", "layer")
+    #: ROTATE policies: "unit" = window start (q // p) mod |G| (consecutive
+    #: same-group trees shift by one, as Lemma 7 uses), "none" = no rotation
+    ROTATE_POLICIES = ("unit", "none")
+
+    def __init__(
+        self,
+        tree: CompleteBinaryTree,
+        M: int,
+        macro_policy: str = "diagonal",
+        rotate_policy: str = "unit",
+    ):
+        if macro_policy not in self.MACRO_POLICIES:
+            raise ValueError(f"unknown macro_policy {macro_policy!r}")
+        if rotate_policy not in self.ROTATE_POLICIES:
+            raise ValueError(f"unknown rotate_policy {rotate_policy!r}")
+        self._macro_policy = macro_policy
+        self._rotate_policy = rotate_policy
+        params = label_tree_params(M)
+        super().__init__(tree, M)
+        self._m: int = params["m"]
+        self._l: int = params["l"]
+        self._ell: int = params["ell"]
+        self._p: int = params["p"]
+        # groups G_0..G_{p-1}: contiguous slices of sizes floor(M/p) or +1
+        base, rem = divmod(M, self._p)
+        sizes = [base + (1 if g < rem else 0) for g in range(self._p)]
+        starts = np.concatenate([[0], np.cumsum(sizes)])
+        self._groups = [
+            np.arange(starts[g], starts[g + 1], dtype=np.int64)
+            for g in range(self._p)
+        ]
+        # the O(M) preprocessing: the shared MICRO-LABEL index pattern
+        self._pattern = micro_label_index_array(self._m, self._l)
+
+    # -- derived parameters --------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Subtree height (levels per layer), ``ceil(log2 M)``."""
+        return self._m
+
+    @property
+    def l(self) -> int:
+        """MICRO-LABEL block parameter."""
+        return self._l
+
+    @property
+    def ell(self) -> int:
+        """Colors per subtree list."""
+        return self._ell
+
+    @property
+    def p(self) -> int:
+        """Number of color groups."""
+        return self._p
+
+    def group_index(self, t: int, q: int) -> int:
+        """MACRO-LABEL: group of the ``q``-th subtree of layer ``t``.
+
+        Reconstruction (DESIGN.md): ``(t + q) mod p``.  Varying the group
+        with ``q`` as well as ``t`` is what balances load across the color
+        set — the deepest layer holds almost all nodes, so its subtrees must
+        spread over *all* groups, not share one.
+        """
+        if self._macro_policy == "layer":
+            return t % self._p
+        return (t + q) % self._p
+
+    def group_of_subtree(self, t: int, q: int) -> np.ndarray:
+        """The color group assigned to the ``q``-th subtree of layer ``t``."""
+        return self._groups[self.group_index(t, q)]
+
+    def rotate_offset(self, t: int, q: int, group_size: int) -> int:
+        """ROTATE: window start of the ``q``-th subtree of layer ``t``.
+
+        ``(q // p) mod |G|``: consecutive same-layer subtrees with the same
+        group (``q`` and ``q + p``) get windows shifted by exactly one — the
+        property Lemma 7's proof relies on.
+        """
+        if self._rotate_policy == "none":
+            return 0
+        return (q // self._p) % group_size
+
+    def list_of_subtree(self, t: int, q: int) -> np.ndarray:
+        """ROTATE: ordered color list of the ``q``-th subtree of layer ``t``."""
+        group = self.group_of_subtree(t, q)
+        g = group.size
+        start = self.rotate_offset(t, q, g)
+        offs = (start + np.arange(self._ell, dtype=np.int64)) % g
+        return group[offs]
+
+    # -- addressing ------------------------------------------------------------
+
+    def _locate(self, node: int) -> tuple[int, int, int]:
+        """Layer ``t``, subtree index ``q`` and relative id of ``node``."""
+        j = coords.level_of(node)
+        t, rho = divmod(j, self._m)
+        i = coords.index_in_level(node)
+        q = i >> rho
+        rel = ((1 << rho) - 1) + (i - (q << rho))
+        return t, q, rel
+
+    def module_of(self, node: int) -> int:
+        """O(1) addressing via the precomputed pattern table (Theorem 7)."""
+        self._tree.check_node(node)
+        t, q, rel = self._locate(node)
+        idx = int(self._pattern[rel])
+        group = self.group_of_subtree(t, q)
+        start = self.rotate_offset(t, q, group.size)
+        return int(group[(start + idx) % group.size])
+
+    def module_of_no_table(self, node: int) -> tuple[int, int]:
+        """O(log M) addressing without the pattern table; returns ``(color, hops)``."""
+        self._tree.check_node(node)
+        t, q, rel = self._locate(node)
+        idx, hops = micro_label_index_resolve(rel, self._m, self._l)
+        group = self.group_of_subtree(t, q)
+        start = self.rotate_offset(t, q, group.size)
+        return int(group[(start + idx) % group.size]), hops
+
+    def _compute_color_array(self) -> np.ndarray:
+        colors = np.empty(self._tree.num_nodes, dtype=np.int64)
+        H = self._tree.num_levels
+        m, p = self._m, self._p
+        # per-group flat lookup: group_table[g][o] = color at cyclic offset o
+        for j in range(H):
+            t, rho = divmod(j, m)
+            i = np.arange(1 << j, dtype=np.int64)
+            q = i >> rho
+            rel = ((np.int64(1) << rho) - 1) + (i - (q << rho))
+            idx = self._pattern[rel]
+            if self._macro_policy == "layer":
+                g_idx = np.full(1 << j, t % p, dtype=np.int64)
+            else:
+                g_idx = (t + q) % p
+            out = np.empty(1 << j, dtype=np.int64)
+            for g in range(p):
+                sel = g_idx == g
+                if not np.any(sel):
+                    continue
+                group = self._groups[g]
+                gs = group.size
+                if self._rotate_policy == "none":
+                    start = np.zeros(int(sel.sum()), dtype=np.int64)
+                else:
+                    start = (q[sel] // p) % gs
+                out[sel] = group[(start + idx[sel]) % gs]
+            colors[(1 << j) - 1 : (1 << (j + 1)) - 1] = out
+        return colors

@@ -1,0 +1,93 @@
+"""The mapping interface.
+
+A *mapping* distributes the nodes of a complete binary tree over ``M`` memory
+modules; equivalently it is an ``M``-coloring of the tree (paper, Section
+1.1).  Mappings are bound to a tree at construction so they can precompute
+whatever tables their addressing scheme needs.
+
+Two access paths are offered:
+
+* :meth:`TreeMapping.module_of` — the *addressing scheme*: module of a single
+  node, the operation whose complexity the paper trades off (O(1) for
+  LABEL-TREE with tables, up to O(H) for COLOR without);
+* :meth:`TreeMapping.color_array` — the full coloring as a node-indexed
+  array, used by the vectorized conflict analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["TreeMapping"]
+
+
+class TreeMapping(abc.ABC):
+    """An ``M``-coloring of a complete binary tree."""
+
+    def __init__(self, tree: CompleteBinaryTree, num_modules: int):
+        if num_modules < 1:
+            raise ValueError(f"num_modules must be >= 1, got {num_modules}")
+        self._tree = tree
+        self._num_modules = num_modules
+        self._colors: np.ndarray | None = None
+
+    @property
+    def tree(self) -> CompleteBinaryTree:
+        return self._tree
+
+    @property
+    def num_modules(self) -> int:
+        """Number of memory modules ``M`` (= number of colors)."""
+        return self._num_modules
+
+    @abc.abstractmethod
+    def module_of(self, node: int) -> int:
+        """Module (color) storing ``node``; this is the addressing scheme."""
+
+    @abc.abstractmethod
+    def _compute_color_array(self) -> np.ndarray:
+        """Compute the full coloring (int64, one entry per heap id)."""
+
+    def color_array(self) -> np.ndarray:
+        """Full coloring as a read-only node-indexed array (cached)."""
+        if self._colors is None:
+            colors = np.ascontiguousarray(self._compute_color_array(), dtype=np.int64)
+            if colors.shape != (self._tree.num_nodes,):
+                raise AssertionError(
+                    f"{type(self).__name__} produced colors of shape {colors.shape}, "
+                    f"expected ({self._tree.num_nodes},)"
+                )
+            colors.setflags(write=False)
+            self._colors = colors
+        return self._colors
+
+    def colors_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Colors of an array of heap ids (vectorized gather)."""
+        return self.color_array()[np.asarray(nodes, dtype=np.int64)]
+
+    def colors_used(self) -> int:
+        """Number of distinct colors the mapping actually assigns."""
+        return int(np.unique(self.color_array()).size)
+
+    def module_loads(self) -> np.ndarray:
+        """Nodes stored per module, as a length-``M`` array."""
+        return np.bincount(self.color_array(), minlength=self._num_modules)
+
+    def validate(self) -> None:
+        """Sanity-check the coloring: every color is within ``0 .. M-1``."""
+        colors = self.color_array()
+        if colors.min() < 0 or colors.max() >= self._num_modules:
+            raise AssertionError(
+                f"{type(self).__name__} assigned colors outside 0..{self._num_modules - 1}: "
+                f"range [{colors.min()}, {colors.max()}]"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(num_levels={self._tree.num_levels}, "
+            f"M={self._num_modules})"
+        )

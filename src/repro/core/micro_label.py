@@ -1,0 +1,125 @@
+"""MICRO-LABEL (paper Fig. 10): the within-subtree step of LABEL-TREE.
+
+MICRO-LABEL colors one height-``m`` subtree ``B`` with a list ``Sigma`` of
+``ell`` colors.  Structurally it is BASIC-COLOR with ``k`` replaced by a
+smaller block parameter ``l`` (so it spends more colors and gains load
+balance), and with a different rule for the last node of each block: instead
+of one fresh color per level, block ``h`` of level ``j`` takes the
+``(2**l + 2**(j-l) + floor(h/2) - 1)``-th color of ``Sigma`` — adjacent block
+pairs share it, and every level introduces ``2**(j-l)`` fresh colors.
+
+The algorithm assigns **indices into Sigma**; because the index pattern
+depends only on ``(m, l)`` and node position — never on the color values —
+one pattern table serves every subtree of the forest, which is what makes
+LABEL-TREE's O(1) addressing possible.
+
+Sizing note: the paper sets ``ell = 2**l + 2**(m-l) - 2`` yet its own maximum
+index (level ``m-1``, last block) evaluates to ``2**l + 2**(m-l) - 2``, which
+needs a list of ``2**l + 2**(m-l) - 1`` colors; index ``2**l - 1`` is skipped
+by construction.  We use the consistent size (max index + 1); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.templates.subtree import bfs_rank_levels_offsets
+from repro.trees import coords
+from repro.trees.traversal import bfs_node_of_subtree
+
+__all__ = [
+    "micro_label_list_size",
+    "micro_label_index_array",
+    "micro_label_index_resolve",
+    "default_l",
+]
+
+
+def _check_ml(m: int, l: int) -> None:
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    if m < l:
+        raise ValueError(f"m must be >= l, got m={m}, l={l}")
+
+
+def micro_label_list_size(m: int, l: int) -> int:
+    """Length ``ell`` of the color list consumed by MICRO-LABEL."""
+    _check_ml(m, l)
+    if m == l:
+        return (1 << l) - 1  # only the direct phase runs
+    return (1 << l) + (1 << (m - l)) - 1
+
+
+def default_l(M: int) -> int:
+    """The paper's block parameter: ``l = floor(log2(ceil(sqrt(M*ceil(log M)))))``.
+
+    Clamped to ``[1, m-1]`` so the block machinery is well-defined for tiny
+    ``M``.
+    """
+    if M < 2:
+        raise ValueError(f"M must be >= 2, got {M}")
+    m = max(1, (M - 1).bit_length())
+    log_m = max(1, (M - 1).bit_length())
+    target = int(np.ceil(np.sqrt(M * log_m)))
+    l = max(1, target.bit_length() - 1)
+    return min(l, max(1, m - 1))
+
+
+def micro_label_index_array(m: int, l: int) -> np.ndarray:
+    """Sigma-index per node of the generic height-``m`` subtree (by relative id).
+
+    Read-only int64 array of length ``2**m - 1``; values are in
+    ``0 .. micro_label_list_size(m, l) - 1``.
+    """
+    _check_ml(m, l)
+    size = (1 << m) - 1
+    idx = np.empty(size, dtype=np.int64)
+    top = (1 << l) - 1
+    idx[:top] = np.arange(top, dtype=np.int64)  # (2**j - 1 + i) == heap id
+    half = 1 << (l - 1)
+    mask = half - 1
+    rr, ss = bfs_rank_levels_offsets(max(half, 1))
+    for j in range(l, m):
+        base = (1 << j) - 1
+        n = 1 << j
+        ids = np.arange(base, base + n, dtype=np.int64)
+        q = (ids - base) & mask
+        v1 = ((ids + 1) >> (l - 1)) - 1
+        v2 = np.where(v1 & 1 == 1, v1 + 1, v1 - 1)
+        if half > 1:
+            src = ((v2 + 1) << rr[q]) - 1 + ss[q]
+            level_idx = idx[src]
+        else:
+            level_idx = np.empty(n, dtype=np.int64)
+        h = (ids - base) >> (l - 1)
+        fresh = (1 << l) + (1 << (j - l)) + (h >> 1) - 1
+        is_last = q == mask
+        level_idx[is_last] = fresh[is_last]
+        idx[base : base + n] = level_idx
+    idx.setflags(write=False)
+    return idx
+
+
+def micro_label_index_resolve(rel: int, m: int, l: int) -> tuple[int, int]:
+    """Sigma-index of relative node ``rel`` without the pattern table.
+
+    Chases the inheritance chain node by node — ``O(m) = O(log M)`` hops, the
+    paper's no-preprocessing addressing cost.  Returns ``(index, hops)``.
+    """
+    _check_ml(m, l)
+    if not 0 <= rel < (1 << m) - 1:
+        raise ValueError(f"relative id {rel} outside height-{m} subtree")
+    mask = (1 << (l - 1)) - 1
+    hops = 0
+    while True:
+        j = coords.level_of(rel)
+        if j < l:
+            return rel, hops
+        hops += 1
+        i = coords.index_in_level(rel)
+        q = i & mask
+        if q == mask:
+            h = i >> (l - 1)
+            return (1 << l) + (1 << (j - l)) + (h >> 1) - 1, hops
+        v2 = coords.sibling(coords.ancestor(rel, l - 1))
+        rel = bfs_node_of_subtree(v2, q)

@@ -1,0 +1,171 @@
+"""Addressing schemes for COLOR (paper Sections 3-4, Figs. 4 and 9).
+
+COLOR's drawback is addressing cost: the color of a node is defined by an
+inheritance chain that climbs the tree.  The paper gives three regimes, all
+implemented here:
+
+* :func:`resolve_color` — **no preprocessing**: chase the chain node by node.
+  ``O(H)`` hops in the worst case.  Works on trees of unbounded height (pure
+  integer arithmetic, nothing materialized).
+* :class:`ChaseTable` + :func:`resolve_color_with_table` — **with
+  preprocessing** (the paper's PREBASIC-COLOR / PRE-COLOR): an ``O(2**N)``
+  table collapses every within-subtree chain to one lookup, leaving
+  ``O(H / (N-k))`` lookups per query (one per ``B(N)`` layer crossed).
+  In our formulation the paper's second table ``NEW`` (relative re-addressing
+  between overlapping subtrees) reduces to shift arithmetic, so only the
+  ``UP``-style chase table is materialized.
+* ``ColorMapping.module_of`` — the full coloring as a flat array (``O(2**H)``
+  space): O(1) per query, only viable when the tree itself is materialized.
+
+Every scheme returns bit-identical colors; the test-suite cross-validates
+them against each other and against :func:`repro.core.color.color_array`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.basic_color import check_basic_color_params
+from repro.trees import coords
+from repro.trees.traversal import bfs_node_of_subtree
+
+__all__ = [
+    "resolve_color",
+    "resolve_color_steps",
+    "ChaseTable",
+    "resolve_color_with_table",
+]
+
+_TOP = 0
+_LAST = 1
+
+
+def _resolve(node: int, N: int, k: int) -> tuple[int, int]:
+    """Chase the COLOR inheritance chain; returns ``(color, hops)``."""
+    check_basic_color_params(N, k)
+    if N == k and coords.level_of(node) >= N:
+        raise ValueError("N == k only addresses a single height-N tree")
+    K = (1 << k) - 1
+    mask = (1 << (k - 1)) - 1
+    hops = 0
+    while True:
+        j = coords.level_of(node)
+        if j < k:
+            # top k levels of the tree: direct Sigma color (= heap id)
+            return node, hops
+        q = coords.index_in_level(node) & mask
+        hops += 1
+        if q == mask:
+            # last node of its block: Gamma color
+            if j < N:
+                return K + (j - k), hops  # layer 0: fresh color
+            node = coords.ancestor(node, N)  # deeper: inherit from distance N
+        else:
+            # inherit from BFS-rank q of the sibling-anchored subtree S_2
+            v2 = coords.sibling(coords.ancestor(node, k - 1))
+            node = bfs_node_of_subtree(v2, q)
+
+
+def resolve_color(node: int, N: int, k: int) -> int:
+    """Color of ``node`` under ``COLOR(T, N, K)`` with no precomputation.
+
+    Pure integer arithmetic — usable for nodes of trees far too large to
+    materialize.  Worst-case ``O(H)`` hops (paper, end of Section 3.2).
+    """
+    return _resolve(node, N, k)[0]
+
+
+def resolve_color_steps(node: int, N: int, k: int) -> tuple[int, int]:
+    """Like :func:`resolve_color` but also reports the number of chain hops."""
+    return _resolve(node, N, k)
+
+
+@dataclass(frozen=True)
+class ChaseTable:
+    """Preprocessed chain shortcuts for the generic height-``N`` subtree.
+
+    For every node of a height-``N`` subtree (by subtree-relative heap id),
+    stores where its within-subtree inheritance chain terminates:
+
+    * ``kind == TOP``: at ``terminal`` (relative id), a node in the subtree's
+      top ``k`` levels — i.e. in the overlap with the layer above;
+    * ``kind == LAST``: at ``terminal``, a last-in-block node whose color is a
+      ``Gamma`` color of this subtree's layer.
+
+    Size ``O(2**N)``: the paper's ``UP`` table.  Built with one vectorized
+    pass per level.
+    """
+
+    N: int
+    k: int
+    kind: np.ndarray
+    terminal: np.ndarray
+
+    @classmethod
+    def build(cls, N: int, k: int) -> "ChaseTable":
+        check_basic_color_params(N, k)
+        size = (1 << N) - 1
+        kind = np.zeros(size, dtype=np.uint8)
+        terminal = np.arange(size, dtype=np.int64)
+        half = 1 << (k - 1)
+        mask = half - 1
+        from repro.templates.subtree import bfs_rank_levels_offsets
+
+        rr, ss = bfs_rank_levels_offsets(max(half, 1))
+        for rho in range(k, N):
+            base = (1 << rho) - 1
+            ids = np.arange(base, base + (1 << rho), dtype=np.int64)
+            q = (ids - base) & mask
+            v1 = ((ids + 1) >> (k - 1)) - 1
+            v2 = np.where(v1 & 1 == 1, v1 + 1, v1 - 1)
+            hop = ((v2 + 1) << rr[q]) - 1 + ss[q]
+            hop_level = rho - k + 1 + rr[q]
+            is_last = q == mask
+            hop_safe = np.where(is_last, 0, hop)  # avoid indexing with bogus hop
+            hop_in_top = hop_level < k
+            kind[ids] = np.where(
+                is_last, _LAST, np.where(hop_in_top, _TOP, kind[hop_safe])
+            )
+            terminal[ids] = np.where(
+                is_last, ids, np.where(hop_in_top, hop, terminal[hop_safe])
+            )
+        kind.setflags(write=False)
+        terminal.setflags(write=False)
+        return cls(N=N, k=k, kind=kind, terminal=terminal)
+
+
+def resolve_color_with_table(node: int, table: ChaseTable) -> tuple[int, int]:
+    """Color of ``node`` using the chase table; returns ``(color, lookups)``.
+
+    ``O(H / (N - k))`` table lookups: each lookup jumps a whole ``B(N)``
+    layer (paper's RETRIEVING-COLOR, Fig. 9).
+    """
+    N, k = table.N, table.k
+    if N == k and coords.level_of(node) >= N:
+        raise ValueError("N == k only addresses a single height-N tree")
+    K = (1 << k) - 1
+    lookups = 0
+    while True:
+        j = coords.level_of(node)
+        if j < k:
+            return node, lookups
+        # locate the B(N) layer whose BOTTOM pass colored level j
+        t = (j - k) // (N - k)
+        L = t * (N - k)
+        rho = j - L
+        i = coords.index_in_level(node)
+        i0 = i >> rho  # subtree root index at level L
+        root = ((1 << L) - 1) + i0
+        rel = ((1 << rho) - 1) + (i - (i0 << rho))
+        lookups += 1
+        term = int(table.terminal[rel])
+        r_t = coords.level_of(term)
+        abs_term = ((root + 1) << r_t) - 1 + coords.index_in_level(term)
+        if table.kind[rel] == _TOP:
+            node = abs_term  # in the overlap with the layer above; keep climbing
+        else:
+            if t == 0:
+                return K + (r_t - k), lookups  # fresh Gamma color of layer 0
+            node = coords.ancestor(abs_term, N)

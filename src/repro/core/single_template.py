@@ -1,0 +1,123 @@
+"""Single-template conflict-free mappings (the paper's prior-work baselines).
+
+Section 1.2 of the paper surveys mappings that are conflict-free for *one*
+template type using as few modules as possible (Das et al. [6], [10], [11]),
+and positions COLOR as the "unifying" scheme handling subtrees and paths
+simultaneously.  To make that comparison runnable we implement both
+single-template optima:
+
+* :class:`PathOnlyMapping` — CF on ``P(N)`` with exactly ``N`` modules
+  (optimal: an ``N``-node path is a clique).  Simply ``color = level mod N``.
+* :class:`SubtreeOnlyMapping` — CF on ``S(K)`` with exactly ``K`` modules
+  (optimal: a size-``K`` subtree is a clique).  Built with BASIC-COLOR's
+  sibling-inheritance machinery, except the last node of each block takes the
+  *one color missing* from the two sibling subtree tops instead of a fresh
+  color — which is what caps the palette at ``K``.
+
+Neither survives the other template (the tests measure how badly they fail),
+which is exactly the gap Theorem 2 quantifies: serving both costs
+``N + K - k`` modules, strictly between ``max(N, K)`` and ``N + K``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.templates.subtree import bfs_rank_levels_offsets
+from repro.trees import CompleteBinaryTree, coords
+
+__all__ = ["PathOnlyMapping", "SubtreeOnlyMapping"]
+
+
+class PathOnlyMapping(TreeMapping):
+    """CF on ``P(N)`` with the minimum ``N`` modules: ``color = level mod N``."""
+
+    def __init__(self, tree: CompleteBinaryTree, N: int):
+        if N < 1:
+            raise ValueError(f"N must be >= 1, got {N}")
+        self._N = N
+        super().__init__(tree, N)
+
+    @property
+    def N(self) -> int:
+        return self._N
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return coords.level_of(node) % self._N
+
+    def _compute_color_array(self) -> np.ndarray:
+        nodes = self._tree.nodes()
+        return coords.level_of_array(nodes) % self._N
+
+
+class SubtreeOnlyMapping(TreeMapping):
+    """CF on ``S(K)`` with the minimum ``K = 2**k - 1`` modules.
+
+    Level ``j >= k`` is colored block-wise as in BASIC-COLOR: the first
+    ``2**(k-1) - 1`` nodes of a block inherit the top ``k-1`` levels of the
+    sibling-anchored subtree ``S_2``; the last node takes the single color of
+    ``{0..K-1}`` used by neither ``S_1``'s nor ``S_2``'s top — both tops lie
+    inside one size-``K`` instance (rooted at their common parent), so their
+    ``K - 1`` colors are distinct and exactly one color is free.
+    """
+
+    def __init__(self, tree: CompleteBinaryTree, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        super().__init__(tree, (1 << k) - 1)
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def K(self) -> int:
+        return (1 << self._k) - 1
+
+    def _compute_color_array(self) -> np.ndarray:
+        tree = self._tree
+        H = tree.num_levels
+        k = self._k
+        K = self.K
+        colors = np.empty(tree.num_nodes, dtype=np.int64)
+        top = min(k, H)
+        colors[: (1 << top) - 1] = np.arange((1 << top) - 1, dtype=np.int64)
+        if H <= k:
+            return colors
+        half = 1 << (k - 1)
+        mask = half - 1
+        rr, ss = bfs_rank_levels_offsets(half)
+        palette_sum = K * (K - 1) // 2
+        for j in range(k, H):
+            base = (1 << j) - 1
+            n = 1 << j
+            ids = np.arange(base, base + n, dtype=np.int64)
+            q = (ids - base) & mask
+            v1 = ((ids + 1) >> (k - 1)) - 1
+            v2 = np.where(v1 & 1 == 1, v1 + 1, v1 - 1)
+            if half > 1:
+                src = ((v2 + 1) << rr[q]) - 1 + ss[q]
+                level_colors = colors[src]
+                # per block: the one color absent from both subtree tops
+                firsts = ids[q == 0]
+                b1 = ((firsts + 1) >> (k - 1)) - 1  # v1 per block
+                b2 = np.where(b1 & 1 == 1, b1 + 1, b1 - 1)
+                top_sum = np.zeros(b1.size, dtype=np.int64)
+                for rank in range(half - 1):
+                    r, s = int(rr[rank]), int(ss[rank])
+                    top_sum += colors[((b1 + 1) << r) - 1 + s]
+                    top_sum += colors[((b2 + 1) << r) - 1 + s]
+                missing = palette_sum - top_sum
+            else:
+                level_colors = np.empty(n, dtype=np.int64)
+                missing = np.zeros(n, dtype=np.int64)  # K = 1: the only color
+            level_colors[q == mask] = missing
+            colors[base : base + n] = level_colors
+        return colors
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self.color_array()[node])

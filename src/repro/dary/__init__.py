@@ -1,0 +1,43 @@
+"""Extension: the COLOR construction generalized to complete d-ary trees.
+
+The paper proper treats binary trees; this subpackage carries the same
+machinery to arity ``d >= 2`` (see :mod:`repro.dary.color` for why the
+construction generalizes).  ``d = 2`` reproduces the binary implementation
+bit-for-bit, which the tests use as a cross-check.
+"""
+
+from repro.dary.color import (
+    DaryColorMapping,
+    dary_color_array,
+    dary_num_colors,
+    dary_resolve_color,
+)
+from repro.dary.label_tree import (
+    DaryLabelTreeMapping,
+    dary_micro_label_index_array,
+    dary_micro_label_list_size,
+)
+from repro.dary.templates import DaryLTemplate, DaryPTemplate, DarySTemplate
+from repro.dary.tree import (
+    DaryTree,
+    dary_level_instances,
+    dary_path_instances,
+    dary_subtree_instances,
+)
+
+__all__ = [
+    "DaryColorMapping",
+    "DaryLTemplate",
+    "DaryLabelTreeMapping",
+    "DaryPTemplate",
+    "DarySTemplate",
+    "DaryTree",
+    "dary_color_array",
+    "dary_level_instances",
+    "dary_micro_label_index_array",
+    "dary_micro_label_list_size",
+    "dary_num_colors",
+    "dary_path_instances",
+    "dary_resolve_color",
+    "dary_subtree_instances",
+]

@@ -1,0 +1,223 @@
+"""COLOR generalized to complete d-ary trees.
+
+The paper treats binary trees; its reference line ([7], [9]: Das-Pinotti on
+k-ary and binomial trees) points at the d-ary generalization, and BASIC-
+COLOR's arithmetic extends verbatim once one observes the donor identity
+
+    (d - 1) siblings x (top k-1 levels each) = d**(k-1) - 1 colors,
+
+exactly one short of the block size ``d**(k-1)`` — the same "+1 fresh Gamma
+color per level" structure as in the binary case.  Concretely, for
+``K = (d**k - 1)/(d - 1)`` (a k-level d-ary subtree) and ``N >= k``:
+
+* the top ``k`` levels take distinct ``Sigma`` colors (the heap ids);
+* level ``j >= k`` splits into blocks of ``d**(k-1)`` nodes — the leaves of
+  the k-level subtree under their common ancestor ``v1``; the first
+  ``d**(k-1) - 1`` block nodes inherit, in sibling-then-BFS order, the
+  nonleaf colors of the ``d - 1`` subtrees rooted at ``v1``'s siblings; the
+  last node takes ``Gamma[j - k]``;
+* trees taller than ``N`` levels reuse the binary construction's layer
+  scheme: the last node of a block inherits its ancestor at distance ``N``.
+
+The total palette is ``M = N + K - k`` and the mapping is conflict-free on
+d-ary ``S(K)`` and ``P(N)`` — verified exhaustively by the tests and the X1
+extension experiment (``d = 2`` reproduces the binary coloring bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dary import coords
+from repro.dary.tree import DaryTree
+
+__all__ = ["dary_num_colors", "dary_color_array", "dary_resolve_color", "DaryColorMapping"]
+
+
+def _check_params(N: int, k: int, d: int) -> None:
+    if d < 2:
+        raise ValueError(f"arity must be >= 2, got {d}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if N < k:
+        raise ValueError(f"N must be >= k, got N={N}, k={k}")
+
+
+def dary_num_colors(N: int, k: int, d: int) -> int:
+    """The module count ``N + K - k`` with ``K = (d**k - 1)/(d - 1)``."""
+    _check_params(N, k, d)
+    return N + coords.subtree_size(k, d) - k
+
+
+def _donors(v1: int, d: int, k: int) -> list[int]:
+    """Donor nodes for ``v1``'s block: nonleaf BFS nodes of each sibling
+    subtree, siblings in left-to-right order."""
+    width = coords.subtree_size(k - 1, d)
+    out = []
+    for sib in coords.siblings(v1, d):
+        for rank in range(width):
+            out.append(coords.bfs_node_of_subtree(sib, rank, d))
+    return out
+
+
+def dary_color_array_reference(tree: DaryTree, N: int, k: int) -> np.ndarray:
+    """Per-node reference implementation of d-ary COLOR (used as a test
+    oracle for the vectorized :func:`dary_color_array`)."""
+    d = tree.d
+    _check_params(N, k, d)
+    H = tree.num_levels
+    if N == k and H > N:
+        raise ValueError(f"N == k (={k}) cannot color trees taller than N levels")
+    K = coords.subtree_size(k, d)
+    colors = np.empty(tree.num_nodes, dtype=np.int64)
+    top = min(k, H)
+    colors[: coords.subtree_size(top, d)] = np.arange(
+        coords.subtree_size(top, d), dtype=np.int64
+    )
+    block = d ** (k - 1)
+    for j in range(k, H):
+        start = coords.level_start(j, d)
+        for h in range(d ** (j - k + 1)):
+            v1 = coords.level_start(j - k + 1, d) + h
+            donors = _donors(v1, d, k)
+            base = start + h * block
+            for q, donor in enumerate(donors):
+                colors[base + q] = colors[donor]
+            last = base + block - 1
+            if j < N:
+                colors[last] = K + (j - k)
+            else:
+                colors[last] = colors[coords.ancestor(last, N, d)]
+    return colors
+
+
+def dary_color_array(tree: DaryTree, N: int, k: int) -> np.ndarray:
+    """Colors assigned by d-ary COLOR to every node of ``tree`` (vectorized).
+
+    One NumPy pass per level: block/donor indices are pure radix arithmetic
+    on the level's index array, mirroring the binary implementation.
+    """
+    d = tree.d
+    _check_params(N, k, d)
+    H = tree.num_levels
+    if N == k and H > N:
+        raise ValueError(f"N == k (={k}) cannot color trees taller than N levels")
+    K = coords.subtree_size(k, d)
+    colors = np.empty(tree.num_nodes, dtype=np.int64)
+    top = min(k, H)
+    colors[: coords.subtree_size(top, d)] = np.arange(
+        coords.subtree_size(top, d), dtype=np.int64
+    )
+    B = d ** (k - 1)
+    W = coords.subtree_size(k - 1, d)
+    if W:
+        # per within-block position q < B-1: donor's sibling slot, relative
+        # level and offset within the sibling subtree
+        qs = np.arange(B - 1, dtype=np.int64)
+        slot = qs // W
+        rank = qs % W
+        rho = np.zeros(B - 1, dtype=np.int64)
+        for r in range(1, k):  # relative level of each BFS rank
+            rho[rank >= coords.subtree_size(r, d)] = r
+        srank = rank - np.array([coords.subtree_size(int(r), d) for r in rho])
+        d_pow_rho = np.array([d ** int(r) for r in rho], dtype=np.int64)
+        geo = (d_pow_rho - 1) // (d - 1)
+    for j in range(k, H):
+        start = coords.level_start(j, d)
+        n = d**j
+        i = np.arange(n, dtype=np.int64)
+        h = i // B
+        v1 = coords.level_start(j - k + 1, d) + h
+        level_colors = np.empty(n, dtype=np.int64)
+        if W:
+            not_last = (i % B) < (B - 1)
+            q = i[not_last] % B
+            v1n = v1[not_last]
+            c = (v1n - 1) % d  # v1's position among its siblings
+            parent_first = d * ((v1n - 1) // d) + 1
+            sib_offset = slot[q] + (slot[q] >= c)
+            sib = parent_first + sib_offset
+            donor = sib * d_pow_rho[q] + geo[q] + srank[q]
+            level_colors[not_last] = colors[donor]
+        last_pos = np.arange(B - 1, n, B, dtype=np.int64)
+        if j < N:
+            level_colors[last_pos] = K + (j - k)
+        else:
+            last_ids = start + last_pos
+            anc = coords.level_start(j - N, d) + last_pos // (d**N)
+            level_colors[last_pos] = colors[anc]
+        colors[start : start + n] = level_colors
+    return colors
+
+
+def dary_resolve_color(node: int, N: int, k: int, d: int) -> int:
+    """Pure-arithmetic addressing for d-ary COLOR (the O(H) chain chase)."""
+    _check_params(N, k, d)
+    K = coords.subtree_size(k, d)
+    block = d ** (k - 1)
+    width = coords.subtree_size(k - 1, d)
+    while True:
+        j = coords.level_of(node, d)
+        if j < k:
+            return node
+        i = coords.index_in_level(node, d)
+        q = i % block
+        if q == block - 1:
+            if j < N:
+                return K + (j - k)
+            node = coords.ancestor(node, N, d)
+        else:
+            v1 = coords.ancestor(node, k - 1, d)
+            sib = coords.siblings(v1, d)[q // width]
+            node = coords.bfs_node_of_subtree(sib, q % width, d)
+
+
+class DaryColorMapping:
+    """d-ary COLOR as a mapping object (duck-typed to :class:`TreeMapping`)."""
+
+    def __init__(self, tree: DaryTree, N: int, k: int):
+        _check_params(N, k, tree.d)
+        self._tree = tree
+        self._N, self._k = N, k
+        self._num_modules = dary_num_colors(N, k, tree.d)
+        self._colors: np.ndarray | None = None
+
+    @property
+    def tree(self) -> DaryTree:
+        return self._tree
+
+    @property
+    def num_modules(self) -> int:
+        return self._num_modules
+
+    @property
+    def N(self) -> int:
+        return self._N
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def K(self) -> int:
+        return coords.subtree_size(self._k, self._tree.d)
+
+    def color_array(self) -> np.ndarray:
+        if self._colors is None:
+            colors = dary_color_array(self._tree, self._N, self._k)
+            colors.setflags(write=False)
+            self._colors = colors
+        return self._colors
+
+    def colors_of(self, nodes: np.ndarray) -> np.ndarray:
+        return self.color_array()[np.asarray(nodes, dtype=np.int64)]
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self.color_array()[node])
+
+    def colors_used(self) -> int:
+        return int(np.unique(self.color_array()).size)
+
+    def module_loads(self) -> np.ndarray:
+        return np.bincount(self.color_array(), minlength=self._num_modules)

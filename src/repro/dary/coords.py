@@ -1,0 +1,147 @@
+"""Node addressing for complete d-ary trees.
+
+The d-ary analogue of :mod:`repro.trees.coords`: node ``(i, j)`` (index ``i``
+within level ``j``) has heap id ``(d**j - 1) // (d - 1) + i``; the children
+of ``v`` are ``d*v + 1 .. d*v + d``.  Everything is parameterized by the
+arity ``d >= 2`` (``d = 2`` reproduces the binary helpers exactly, which the
+tests cross-check).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "level_start",
+    "coord_to_id",
+    "id_to_coord",
+    "level_of",
+    "index_in_level",
+    "parent",
+    "child",
+    "siblings",
+    "ancestor",
+    "path_up",
+    "subtree_size",
+    "subtree_nodes_list",
+    "bfs_node_of_subtree",
+]
+
+
+def _check_d(d: int) -> None:
+    if d < 2:
+        raise ValueError(f"arity d must be >= 2, got {d}")
+
+
+def level_start(j: int, d: int) -> int:
+    """Heap id of the first node of level ``j``: ``(d**j - 1) / (d - 1)``."""
+    _check_d(d)
+    if j < 0:
+        raise ValueError(f"level must be >= 0, got {j}")
+    return (d**j - 1) // (d - 1)
+
+
+def coord_to_id(i: int, j: int, d: int) -> int:
+    """Heap id of node ``(i, j)`` in a d-ary tree."""
+    if not 0 <= i < d**j:
+        raise ValueError(f"index {i} out of range for level {j} (d={d})")
+    return level_start(j, d) + i
+
+
+def level_of(node: int, d: int) -> int:
+    """Level of a heap id (root = 0)."""
+    _check_d(d)
+    if node < 0:
+        raise ValueError(f"node id must be >= 0, got {node}")
+    j = 0
+    while level_start(j + 1, d) <= node:
+        j += 1
+    return j
+
+
+def id_to_coord(node: int, d: int) -> tuple[int, int]:
+    j = level_of(node, d)
+    return node - level_start(j, d), j
+
+
+def index_in_level(node: int, d: int) -> int:
+    return id_to_coord(node, d)[0]
+
+
+def parent(node: int, d: int) -> int:
+    _check_d(d)
+    if node <= 0:
+        raise ValueError("the root has no parent")
+    return (node - 1) // d
+
+
+def child(node: int, which: int, d: int) -> int:
+    """The ``which``-th child (0-based) of ``node``."""
+    _check_d(d)
+    if not 0 <= which < d:
+        raise ValueError(f"child index {which} out of range for arity {d}")
+    return d * node + 1 + which
+
+
+def siblings(node: int, d: int) -> list[int]:
+    """The other ``d - 1`` children of the parent, in left-to-right order."""
+    p = parent(node, d)
+    return [c for c in range(d * p + 1, d * p + 1 + d) if c != node]
+
+
+def ancestor(node: int, distance: int, d: int) -> int:
+    _check_d(d)
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    for _ in range(distance):
+        if node <= 0:
+            raise ValueError("ancestor above the root")
+        node = (node - 1) // d
+    return node
+
+
+def path_up(node: int, length: int, d: int) -> list[int]:
+    """``length`` nodes from ``node`` ascending toward the root."""
+    if length < 1:
+        raise ValueError(f"path length must be >= 1, got {length}")
+    out = [node]
+    for _ in range(length - 1):
+        if node <= 0:
+            raise ValueError(f"no ascending path of {length} nodes from {node}")
+        node = (node - 1) // d
+        out.append(node)
+    return out
+
+
+def subtree_size(levels: int, d: int) -> int:
+    """Nodes of a complete d-ary subtree with ``levels`` levels."""
+    _check_d(d)
+    if levels < 0:
+        raise ValueError(f"levels must be >= 0, got {levels}")
+    return (d**levels - 1) // (d - 1)
+
+
+def subtree_nodes_list(root: int, levels: int, d: int) -> list[int]:
+    """Heap ids of the complete subtree rooted at ``root``, BFS order."""
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    out = []
+    lo, hi = root, root + 1
+    for _ in range(levels):
+        out.extend(range(lo, hi))
+        lo, hi = d * lo + 1, d * hi + 1
+    return out
+
+
+def bfs_node_of_subtree(root: int, rank: int, d: int) -> int:
+    """Heap id of BFS rank ``rank`` inside the subtree at ``root``."""
+    _check_d(d)
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    r = 0
+    while subtree_size(r + 1, d) <= rank:
+        r += 1
+    s = rank - subtree_size(r, d)
+    # node at relative level r, offset s: root's index scales by d**r
+    lo = root
+    for _ in range(r):
+        lo = d * lo + 1
+    return lo + s

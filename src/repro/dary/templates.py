@@ -1,0 +1,201 @@
+"""d-ary template families implementing the :class:`TemplateFamily` protocol.
+
+These mirror :mod:`repro.templates` for :class:`~repro.dary.tree.DaryTree`,
+with vectorized instance matrices, so the whole analysis stack
+(:func:`repro.analysis.family_cost`, spectra, bound checks) works on d-ary
+trees unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.dary import coords
+from repro.dary.tree import DaryTree
+from repro.templates.base import TemplateInstance
+
+__all__ = ["DarySTemplate", "DaryLTemplate", "DaryPTemplate"]
+
+
+class _DaryFamily:
+    """Shared plumbing for the d-ary families (duck-typed TemplateFamily)."""
+
+    kind: str
+
+    def __init__(self, d: int):
+        if d < 2:
+            raise ValueError(f"arity must be >= 2, got {d}")
+        self.d = d
+
+    def _check_tree(self, tree: DaryTree) -> None:
+        if tree.d != self.d:
+            raise ValueError(
+                f"family arity {self.d} does not match tree arity {tree.d}"
+            )
+
+    def sample(self, tree: DaryTree, rng: np.random.Generator) -> TemplateInstance:
+        n = self.count(tree)
+        if n == 0:
+            raise ValueError(f"{self!r} has no instances in {tree!r}")
+        return self.instance_at(tree, int(rng.integers(n)))
+
+    def instances(self, tree: DaryTree) -> Iterator[TemplateInstance]:
+        for index in range(self.count(tree)):
+            yield self.instance_at(tree, index)
+
+    def _check_index(self, tree: DaryTree, index: int) -> None:
+        n = self.count(tree)
+        if not 0 <= index < n:
+            raise IndexError(f"instance index {index} out of range (count={n})")
+
+
+class DarySTemplate(_DaryFamily):
+    """Complete k-level d-ary subtrees."""
+
+    kind = "subtree"
+
+    def __init__(self, d: int, k: int):
+        super().__init__(d)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    @property
+    def size(self) -> int:
+        return coords.subtree_size(self.k, self.d)
+
+    def admits(self, tree: DaryTree) -> bool:
+        self._check_tree(tree)
+        return tree.num_levels >= self.k
+
+    def count(self, tree: DaryTree) -> int:
+        if not self.admits(tree):
+            return 0
+        return coords.level_start(tree.num_levels - self.k + 1, self.d)
+
+    def instance_at(self, tree: DaryTree, index: int) -> TemplateInstance:
+        self._check_index(tree, index)
+        nodes = coords.subtree_nodes_list(index, self.k, self.d)
+        return TemplateInstance(
+            kind=self.kind, nodes=np.array(nodes, dtype=np.int64), anchor=index
+        )
+
+    def instance_matrix(self, tree: DaryTree) -> np.ndarray:
+        roots = np.arange(self.count(tree), dtype=np.int64)
+        cols = []
+        lo = roots
+        width = 1
+        for _ in range(self.k):
+            cols.append(lo[:, None] + np.arange(width, dtype=np.int64)[None, :])
+            lo = self.d * lo + 1
+            width *= self.d
+        return np.concatenate(cols, axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DarySTemplate(d={self.d}, k={self.k})"
+
+
+class DaryLTemplate(_DaryFamily):
+    """Runs of K consecutive nodes within one level."""
+
+    kind = "level"
+
+    def __init__(self, d: int, K: int):
+        super().__init__(d)
+        if K < 1:
+            raise ValueError(f"K must be >= 1, got {K}")
+        self.K = K
+
+    @property
+    def size(self) -> int:
+        return self.K
+
+    def _level_counts(self, tree: DaryTree) -> list[tuple[int, int]]:
+        return [
+            (j, tree.level_size(j) - self.K + 1)
+            for j in range(tree.num_levels)
+            if tree.level_size(j) >= self.K
+        ]
+
+    def admits(self, tree: DaryTree) -> bool:
+        self._check_tree(tree)
+        return bool(self._level_counts(tree))
+
+    def count(self, tree: DaryTree) -> int:
+        self._check_tree(tree)
+        return sum(c for _, c in self._level_counts(tree))
+
+    def instance_at(self, tree: DaryTree, index: int) -> TemplateInstance:
+        self._check_index(tree, index)
+        for j, c in self._level_counts(tree):
+            if index < c:
+                start = tree.level_start(j) + index
+                return TemplateInstance(
+                    kind=self.kind,
+                    nodes=np.arange(start, start + self.K, dtype=np.int64),
+                    anchor=start,
+                )
+            index -= c
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def instance_matrix(self, tree: DaryTree) -> np.ndarray:
+        starts = []
+        for j, c in self._level_counts(tree):
+            base = tree.level_start(j)
+            starts.append(np.arange(base, base + c, dtype=np.int64))
+        if not starts:
+            return np.empty((0, self.K), dtype=np.int64)
+        start_arr = np.concatenate(starts)
+        return start_arr[:, None] + np.arange(self.K, dtype=np.int64)[None, :]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DaryLTemplate(d={self.d}, K={self.K})"
+
+
+class DaryPTemplate(_DaryFamily):
+    """Ascending paths of N nodes."""
+
+    kind = "path"
+
+    def __init__(self, d: int, N: int):
+        super().__init__(d)
+        if N < 1:
+            raise ValueError(f"N must be >= 1, got {N}")
+        self.N = N
+
+    @property
+    def size(self) -> int:
+        return self.N
+
+    def admits(self, tree: DaryTree) -> bool:
+        self._check_tree(tree)
+        return tree.num_levels >= self.N
+
+    def count(self, tree: DaryTree) -> int:
+        if not self.admits(tree):
+            return 0
+        return tree.num_nodes - coords.level_start(self.N - 1, self.d)
+
+    def instance_at(self, tree: DaryTree, index: int) -> TemplateInstance:
+        self._check_index(tree, index)
+        bottom = coords.level_start(self.N - 1, self.d) + index
+        return TemplateInstance(
+            kind=self.kind,
+            nodes=np.array(coords.path_up(bottom, self.N, self.d), dtype=np.int64),
+            anchor=bottom,
+        )
+
+    def instance_matrix(self, tree: DaryTree) -> np.ndarray:
+        bottoms = np.arange(
+            coords.level_start(self.N - 1, self.d), tree.num_nodes, dtype=np.int64
+        )
+        out = np.empty((bottoms.size, self.N), dtype=np.int64)
+        out[:, 0] = bottoms
+        for t in range(1, self.N):
+            out[:, t] = (out[:, t - 1] - 1) // self.d
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DaryPTemplate(d={self.d}, N={self.N})"

@@ -1,0 +1,101 @@
+"""Complete d-ary trees and their elementary template families.
+
+The d-ary analogues of :class:`repro.trees.CompleteBinaryTree` and the
+S/L/P template families, sized for exhaustive verification (enumeration is
+list-based rather than matrix-based: d-ary sweeps stay small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.dary import coords
+
+__all__ = ["DaryTree", "dary_subtree_instances", "dary_path_instances", "dary_level_instances"]
+
+
+@dataclass(frozen=True)
+class DaryTree:
+    """A complete d-ary tree with levels ``0 .. num_levels - 1``."""
+
+    d: int
+    num_levels: int
+
+    def __post_init__(self) -> None:
+        if self.d < 2:
+            raise ValueError(f"arity must be >= 2, got {self.d}")
+        if self.num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {self.num_levels}")
+        if self.d**self.num_levels > 1 << 26:
+            raise ValueError("tree too large to materialize")
+
+    @property
+    def num_nodes(self) -> int:
+        return coords.subtree_size(self.num_levels, self.d)
+
+    @property
+    def last_level(self) -> int:
+        return self.num_levels - 1
+
+    def level_size(self, j: int) -> int:
+        self._check_level(j)
+        return self.d**j
+
+    def level_start(self, j: int) -> int:
+        self._check_level(j)
+        return coords.level_start(j, self.d)
+
+    def level_nodes(self, j: int) -> np.ndarray:
+        start = self.level_start(j)
+        return np.arange(start, start + self.d**j, dtype=np.int64)
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self.num_nodes
+
+    def check_node(self, node: int) -> int:
+        if node not in self:
+            raise ValueError(f"node {node} outside {self!r}")
+        return node
+
+    def _check_level(self, j: int) -> None:
+        if not 0 <= j < self.num_levels:
+            raise ValueError(f"level {j} out of range")
+
+
+def dary_subtree_instances(tree: DaryTree, k: int) -> Iterator[np.ndarray]:
+    """All complete k-level subtree instances (the d-ary ``S`` template)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = tree.num_levels - k
+    if top < 0:
+        return
+    for root in range(coords.level_start(top + 1, tree.d)):
+        yield np.array(
+            coords.subtree_nodes_list(root, k, tree.d), dtype=np.int64
+        )
+
+
+def dary_path_instances(tree: DaryTree, N: int) -> Iterator[np.ndarray]:
+    """All ascending N-node path instances (the d-ary ``P`` template)."""
+    if N < 1:
+        raise ValueError(f"N must be >= 1, got {N}")
+    if N > tree.num_levels:
+        return
+    for bottom in range(coords.level_start(N - 1, tree.d), tree.num_nodes):
+        yield np.array(coords.path_up(bottom, N, tree.d), dtype=np.int64)
+
+
+def dary_level_instances(tree: DaryTree, K: int) -> Iterator[np.ndarray]:
+    """All K-node consecutive level-window instances (the d-ary ``L`` template)."""
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    for j in range(tree.num_levels):
+        size = tree.level_size(j)
+        if size < K:
+            continue
+        base = tree.level_start(j)
+        for i in range(size - K + 1):
+            yield np.arange(base + i, base + i + K, dtype=np.int64)

@@ -1,0 +1,39 @@
+"""Extension: conflict-free subcube access in binary hypercubes.
+
+The last substrate of the paper's reference line ([6] Creutzburg's isotropic
+approach, [7] Das-Pinotti): nodes share a ``k``-subcube iff their Hamming
+distance is ``<= k``, so CF mappings are exactly colorings whose classes are
+distance-``(k+1)`` codes — syndromes of parity / Hamming / extended-Hamming
+check matrices.  Experiment X4 verifies the constructions and their
+optimality (the Hamming case is perfect, hence exactly optimal).
+"""
+
+from repro.hypercube.cube import (
+    Hypercube,
+    hamming_distance,
+    subcube_instance,
+    subcube_instances,
+    submasks,
+)
+from repro.hypercube.mappings import (
+    SyndromeMapping,
+    bch_like_check_matrix,
+    code_min_distance,
+    extended_hamming_check_matrix,
+    hamming_check_matrix,
+    parity_check_matrix,
+)
+
+__all__ = [
+    "Hypercube",
+    "SyndromeMapping",
+    "bch_like_check_matrix",
+    "code_min_distance",
+    "extended_hamming_check_matrix",
+    "hamming_check_matrix",
+    "hamming_distance",
+    "parity_check_matrix",
+    "subcube_instance",
+    "subcube_instances",
+    "submasks",
+]

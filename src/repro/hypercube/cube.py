@@ -1,0 +1,106 @@
+"""Binary hypercubes and subcube templates.
+
+The third substrate of the paper's reference line (Das-Pinotti [7]:
+"...and subcubes of a binary or generalized hypercube"; Creutzburg's
+"isotropic approach" [6]).  Nodes of ``Q_n`` are the bitmasks
+``0 .. 2**n - 1``; a *subcube template instance* fixes ``n - k`` coordinates
+and frees ``k``: given a free-coordinate ``mask`` with ``popcount(mask) = k``
+and a ``base`` with ``base & mask == 0``, the instance is
+``{base | y : y submask of mask}`` — ``2**k`` nodes.
+
+Two nodes share a ``k``-subcube instance **iff** their Hamming distance is
+at most ``k``, so conflict-free access to all ``k``-subcubes is exactly a
+coloring where every color class is a binary code of minimum distance
+``k + 1`` — the bridge to coding theory that
+:mod:`repro.hypercube.mappings` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "Hypercube",
+    "submasks",
+    "subcube_instance",
+    "subcube_instances",
+    "hamming_distance",
+]
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing coordinates."""
+    return bin(a ^ b).count("1")
+
+
+def submasks(mask: int) -> Iterator[int]:
+    """All submasks of ``mask``, including 0 and ``mask`` itself."""
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+@dataclass(frozen=True)
+class Hypercube:
+    """The binary hypercube ``Q_dim`` with ``2**dim`` nodes."""
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.dim <= 24:
+            raise ValueError(f"dim must be in 1..24, got {self.dim}")
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.dim
+
+    def __contains__(self, x: int) -> bool:
+        return 0 <= x < self.num_nodes
+
+    def check_node(self, x: int) -> int:
+        if x not in self:
+            raise ValueError(f"node {x} outside Q_{self.dim}")
+        return x
+
+    def nodes(self) -> np.ndarray:
+        return np.arange(self.num_nodes, dtype=np.int64)
+
+    def neighbors(self, x: int) -> list[int]:
+        self.check_node(x)
+        return [x ^ (1 << i) for i in range(self.dim)]
+
+
+def subcube_instance(cube: Hypercube, base: int, mask: int) -> np.ndarray:
+    """The subcube with free coordinates ``mask`` anchored at ``base``."""
+    cube.check_node(base)
+    cube.check_node(mask)
+    if base & mask:
+        raise ValueError("base must be zero on the free coordinates")
+    return np.array(sorted(base | y for y in submasks(mask)), dtype=np.int64)
+
+
+def subcube_instances(cube: Hypercube, k: int) -> Iterator[np.ndarray]:
+    """All ``k``-dimensional subcube instances of ``Q_dim``.
+
+    There are ``C(dim, k) * 2**(dim - k)`` of them; intended for the
+    exhaustive-verification sizes (``dim <= ~12``).
+    """
+    if not 0 <= k <= cube.dim:
+        raise ValueError(f"k must be in 0..{cube.dim}, got {k}")
+    for mask in range(cube.num_nodes):
+        if bin(mask).count("1") != k:
+            continue
+        fixed = (cube.num_nodes - 1) ^ mask
+        base = 0
+        while True:
+            yield subcube_instance(cube, base, mask)
+            # next base over the fixed coordinates
+            base = ((base | mask) + 1) & fixed
+            if base == 0:
+                break

@@ -1,0 +1,102 @@
+"""Persistence: save and load computed mappings.
+
+Computing a coloring for a large tree costs real time (and for COLOR, the
+chase tables too); a deployment computes them once and ships the tables.
+:func:`save_mapping` writes a self-describing ``.npz`` with the color array
+plus enough metadata to validate on load; :func:`load_mapping` returns a
+:class:`FrozenMapping` that behaves like the original mapping object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.trees import CompleteBinaryTree
+
+__all__ = ["save_mapping", "load_mapping", "FrozenMapping"]
+
+_FORMAT_VERSION = 1
+
+
+class FrozenMapping(TreeMapping):
+    """A mapping restored from disk: the color array plus metadata."""
+
+    def __init__(
+        self,
+        tree: CompleteBinaryTree,
+        num_modules: int,
+        colors: np.ndarray,
+        source: str = "",
+        params: dict | None = None,
+    ):
+        super().__init__(tree, num_modules)
+        colors = np.ascontiguousarray(colors, dtype=np.int64)
+        if colors.shape != (tree.num_nodes,):
+            raise ValueError(
+                f"color array shape {colors.shape} does not match "
+                f"{tree.num_nodes}-node tree"
+            )
+        if colors.size and (colors.min() < 0 or colors.max() >= num_modules):
+            raise ValueError("colors outside 0..M-1")
+        colors.setflags(write=False)
+        self._colors = colors
+        self.source = source
+        self.params = params or {}
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self._colors[node])
+
+    def _compute_color_array(self) -> np.ndarray:
+        return self._colors
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FrozenMapping(source={self.source!r}, M={self._num_modules}, "
+            f"num_levels={self._tree.num_levels})"
+        )
+
+
+def save_mapping(mapping: TreeMapping, path: str | Path, params: dict | None = None) -> Path:
+    """Persist a mapping's coloring and metadata to ``path`` (``.npz``)."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "source": type(mapping).__name__,
+        "num_levels": mapping.tree.num_levels,
+        "num_modules": mapping.num_modules,
+        "params": params or {},
+    }
+    np.savez_compressed(
+        path,
+        colors=mapping.color_array(),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    # np.savez appends .npz if missing
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_mapping(path: str | Path) -> FrozenMapping:
+    """Restore a mapping saved by :func:`save_mapping`, with validation."""
+    with np.load(Path(path)) as payload:
+        try:
+            meta = json.loads(bytes(payload["meta"]).decode())
+            colors = payload["colors"]
+        except KeyError as exc:
+            raise ValueError(f"{path} is not a saved mapping: missing {exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported mapping format {meta.get('format_version')!r} in {path}"
+        )
+    tree = CompleteBinaryTree(meta["num_levels"])
+    return FrozenMapping(
+        tree,
+        meta["num_modules"],
+        colors,
+        source=meta.get("source", ""),
+        params=meta.get("params", {}),
+    )

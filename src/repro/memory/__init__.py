@@ -1,0 +1,34 @@
+"""Parallel memory system simulator substrate.
+
+The paper's machine model made executable: ``M`` queued memory modules behind
+a crossbar (or narrower interconnect), bound to a tree mapping.  Template
+accesses become module request batches; conflicts become extra cycles.
+"""
+
+from repro.memory.faults import FaultModel, RemappedMapping, apply_faults
+from repro.memory.interconnect import Crossbar, Interconnect, MultiBus, SharedBus
+from repro.memory.layout import MemoryLayout
+from repro.memory.module import MemoryModule
+from repro.memory.stats import AccessResult, TraceStats, latency_summary
+from repro.memory.system import ParallelMemorySystem
+from repro.memory.trace import AccessTrace
+from repro.memory.trace_analysis import TraceProfile, profile_trace
+
+__all__ = [
+    "AccessResult",
+    "AccessTrace",
+    "Crossbar",
+    "FaultModel",
+    "Interconnect",
+    "MemoryLayout",
+    "MemoryModule",
+    "MultiBus",
+    "ParallelMemorySystem",
+    "RemappedMapping",
+    "SharedBus",
+    "TraceProfile",
+    "TraceStats",
+    "apply_faults",
+    "latency_summary",
+    "profile_trace",
+]

@@ -1,0 +1,115 @@
+"""Fault injection for the memory system: degraded and failed modules.
+
+Real module arrays degrade: a bank can run slow (thermal throttling, retries)
+or drop out entirely.  :class:`FaultModel` describes such a state and
+:func:`apply_faults` produces a faulted :class:`ParallelMemorySystem`:
+
+* **slow modules** keep their assignments but serve one request per
+  ``latency`` cycles instead of one per cycle;
+* **failed modules** have their contents remapped to the surviving modules
+  round-robin — which silently *destroys* the mapping's conflict-freeness
+  guarantees, a failure mode the tests pin down quantitatively.
+
+This supports the failure-injection part of the test plan: the guarantees of
+Sections 3-4 are properties of the intact mapping, and the tests verify both
+that they hold intact and exactly how they degrade under faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+from repro.memory.interconnect import Interconnect
+from repro.memory.system import ParallelMemorySystem
+
+__all__ = ["FaultModel", "RemappedMapping", "apply_faults"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Declares which modules are slow or dead.
+
+    Attributes
+    ----------
+    slow:
+        ``{module_id: latency}`` — cycles per service for throttled modules.
+    failed:
+        Module ids that serve nothing; their nodes are remapped.
+    """
+
+    slow: dict[int, int] = field(default_factory=dict)
+    failed: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failed", frozenset(self.failed))
+        for module, latency in self.slow.items():
+            if latency < 1:
+                raise ValueError(f"latency for module {module} must be >= 1")
+        overlap = set(self.slow) & self.failed
+        if overlap:
+            raise ValueError(f"modules both slow and failed: {sorted(overlap)}")
+
+    def validate_against(self, num_modules: int) -> None:
+        bad = [m for m in list(self.slow) + list(self.failed) if not 0 <= m < num_modules]
+        if bad:
+            raise ValueError(f"fault refers to unknown modules {sorted(bad)}")
+        if len(self.failed) >= num_modules:
+            raise ValueError("cannot fail every module")
+
+
+class RemappedMapping(TreeMapping):
+    """A mapping with failed modules' nodes spread over the survivors.
+
+    Node ``v`` whose home module died moves to the ``rank(v)``-th surviving
+    module, round-robin within the dead module's contents — the simplest
+    online remap a controller would do, and deliberately oblivious to
+    template structure (the point the fault tests make).
+    """
+
+    def __init__(self, base: TreeMapping, failed: frozenset[int]):
+        if not failed:
+            raise ValueError("no failed modules; use the base mapping")
+        survivors = [m for m in range(base.num_modules) if m not in failed]
+        if not survivors:
+            raise ValueError("cannot fail every module")
+        super().__init__(base.tree, base.num_modules)
+        self.base = base
+        self.failed = failed
+        self._survivors = np.array(survivors, dtype=np.int64)
+
+    def _compute_color_array(self) -> np.ndarray:
+        colors = self.base.color_array().copy()
+        dead_mask = np.isin(colors, list(self.failed))
+        dead_nodes = np.nonzero(dead_mask)[0]
+        colors[dead_nodes] = self._survivors[
+            np.arange(dead_nodes.size) % self._survivors.size
+        ]
+        return colors
+
+    def module_of(self, node: int) -> int:
+        self._tree.check_node(node)
+        return int(self.color_array()[node])
+
+
+def apply_faults(
+    mapping: TreeMapping,
+    faults: FaultModel,
+    interconnect: Interconnect | None = None,
+) -> ParallelMemorySystem:
+    """Build a memory system with ``faults`` applied to ``mapping``.
+
+    Failed modules are handled by :class:`RemappedMapping`; slow modules get
+    their per-service latency raised on the corresponding
+    :class:`~repro.memory.module.MemoryModule`.
+    """
+    faults.validate_against(mapping.num_modules)
+    effective: TreeMapping = mapping
+    if faults.failed:
+        effective = RemappedMapping(mapping, faults.failed)
+    pms = ParallelMemorySystem(effective, interconnect=interconnect)
+    for module, latency in faults.slow.items():
+        pms.modules[module].latency = latency
+    return pms

@@ -1,0 +1,67 @@
+"""Processor-to-memory interconnect models.
+
+The interconnect bounds how many requests reach the module array per cycle:
+
+* :class:`Crossbar` — one request per *module* per cycle (the paper's
+  implicit model: an access costs ``max module multiplicity`` rounds, so
+  conflicts are exactly the extra rounds);
+* :class:`SharedBus` — one request *total* per cycle: everything serializes
+  regardless of mapping (the degenerate baseline that shows why parallel
+  modules need a parallel interconnect);
+* :class:`MultiBus` — ``b`` requests per cycle to distinct modules, an
+  intermediate design point.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Interconnect", "Crossbar", "SharedBus", "MultiBus"]
+
+
+class Interconnect(abc.ABC):
+    """Delivery policy: how many requests may be issued per cycle."""
+
+    name: str
+
+    @abc.abstractmethod
+    def issue_limit(self, num_modules: int) -> int:
+        """Max requests deliverable in one cycle (to distinct modules)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Crossbar(Interconnect):
+    """Full crossbar: every module can receive one request per cycle."""
+
+    name = "crossbar"
+
+    def issue_limit(self, num_modules: int) -> int:
+        return num_modules
+
+
+class SharedBus(Interconnect):
+    """Single shared bus: one request per cycle in total."""
+
+    name = "bus"
+
+    def issue_limit(self, num_modules: int) -> int:
+        return 1
+
+
+class MultiBus(Interconnect):
+    """``b`` parallel buses: up to ``b`` distinct modules served per cycle."""
+
+    name = "multibus"
+
+    def __init__(self, buses: int):
+        if buses < 1:
+            raise ValueError(f"buses must be >= 1, got {buses}")
+        self.buses = buses
+
+    def issue_limit(self, num_modules: int) -> int:
+        return min(self.buses, num_modules)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiBus(buses={self.buses})"

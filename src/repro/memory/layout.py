@@ -1,0 +1,107 @@
+"""Physical memory layout: from a coloring to (module, offset) addresses.
+
+A mapping says *which module* stores each node; a real memory system also
+needs *where in the module* (the offset).  :class:`MemoryLayout` materializes
+both directions of that function:
+
+* ``address_of(node) -> (module, offset)`` — offsets are assigned in BFS
+  order within each module, so siblings-in-module stay roughly depth-sorted;
+* ``node_at(module, offset) -> node`` — the inverse, e.g. for a recovery
+  scan of one module.
+
+It also reports per-module occupancy, which is the concrete form of the
+paper's load-balance criterion (Theorem 7): the memory a machine must
+provision per module is ``max_module_size``, so an unbalanced mapping wastes
+``max/mean - 1`` of every module's capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import TreeMapping
+
+__all__ = ["MemoryLayout"]
+
+
+class MemoryLayout:
+    """Bidirectional node <-> (module, offset) address tables for a mapping."""
+
+    def __init__(self, mapping: TreeMapping):
+        self.mapping = mapping
+        colors = mapping.color_array()
+        n = colors.size
+        M = mapping.num_modules
+        # stable sort by color: positions grouped per module, BFS order inside
+        order = np.argsort(colors, kind="stable")
+        counts = np.bincount(colors, minlength=M)
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        # offsets: rank within the color group
+        offsets = np.empty(n, dtype=np.int64)
+        offsets[order] = np.arange(n, dtype=np.int64) - np.repeat(
+            starts[:-1], counts
+        )
+        self._offsets = offsets
+        self._module_contents = [
+            order[starts[g] : starts[g + 1]] for g in range(M)
+        ]
+        self._counts = counts
+
+    # -- forward direction -----------------------------------------------------
+
+    def address_of(self, node: int) -> tuple[int, int]:
+        """Physical address ``(module, offset)`` of a tree node."""
+        self.mapping.tree.check_node(node)
+        return int(self.mapping.color_array()[node]), int(self._offsets[node])
+
+    def offsets(self) -> np.ndarray:
+        """Offset of every node (node-indexed array, read-only view)."""
+        out = self._offsets.view()
+        out.setflags(write=False)
+        return out
+
+    # -- inverse direction --------------------------------------------------------
+
+    def node_at(self, module: int, offset: int) -> int:
+        """Tree node stored at ``(module, offset)``."""
+        if not 0 <= module < self.mapping.num_modules:
+            raise ValueError(f"module {module} out of range")
+        contents = self._module_contents[module]
+        if not 0 <= offset < contents.size:
+            raise ValueError(
+                f"offset {offset} out of range for module {module} "
+                f"(holds {contents.size} nodes)"
+            )
+        return int(contents[offset])
+
+    def module_contents(self, module: int) -> np.ndarray:
+        """All nodes of one module, in offset order (read-only)."""
+        if not 0 <= module < self.mapping.num_modules:
+            raise ValueError(f"module {module} out of range")
+        out = self._module_contents[module].view()
+        out.setflags(write=False)
+        return out
+
+    # -- occupancy ------------------------------------------------------------------
+
+    @property
+    def module_sizes(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def required_module_capacity(self) -> int:
+        """Slots each physical module must provision: the max occupancy."""
+        return int(self._counts.max())
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Provisioned-but-unused slot fraction across the module array."""
+        cap = self.required_module_capacity * self.mapping.num_modules
+        return 1.0 - self.mapping.tree.num_nodes / cap if cap else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryLayout(M={self.mapping.num_modules}, "
+            f"capacity={self.required_module_capacity}, "
+            f"wasted={self.wasted_fraction:.1%})"
+        )

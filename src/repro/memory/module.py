@@ -1,0 +1,78 @@
+"""A single memory module: FIFO request queue served by one or more ports."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryModule"]
+
+
+@dataclass
+class MemoryModule:
+    """One memory bank of the parallel memory system.
+
+    Requests are (tag, address) pairs.  The module has ``ports`` independent
+    servers (default 1 — the paper's model); each accepted request occupies
+    one server for ``latency`` cycles.  A dual-ported bank (``ports=2``)
+    halves serialized rounds, which is the hardware-side alternative to a
+    better mapping that the multiport tests quantify.
+    """
+
+    module_id: int
+    latency: int = 1
+    ports: int = 1
+    queue: deque = field(default_factory=deque)
+    served: int = 0
+    busy_cycles: int = 0
+    max_queue_depth: int = 0
+    _port_free: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if self.ports < 1:
+            raise ValueError(f"ports must be >= 1, got {self.ports}")
+        self._port_free = [0] * self.ports
+
+    # compatibility shim: single-port code paths read/write busy_until
+    @property
+    def busy_until(self) -> int:
+        return min(self._port_free)
+
+    @busy_until.setter
+    def busy_until(self, value: int) -> None:
+        self._port_free = [value] * self.ports
+
+    def enqueue(self, tag: int, address: int) -> None:
+        self.queue.append((tag, address))
+        self.max_queue_depth = max(self.max_queue_depth, len(self.queue))
+
+    def step(self, now: int) -> tuple[int, int] | None:
+        """Serve one request this cycle if a port is free; may be called up
+        to ``ports`` times per cycle by the scheduler."""
+        if not self.queue:
+            return None
+        for p, free_at in enumerate(self._port_free):
+            if now >= free_at:
+                request = self.queue.popleft()
+                self._port_free[p] = now + self.latency
+                self.served += 1
+                self.busy_cycles += self.latency
+                return request
+        return None
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue
+
+    def reset_queue(self) -> None:
+        """Drop pending requests (used between independent accesses)."""
+        self.queue.clear()
+        self._port_free = [0] * self.ports
+
+    def reset_stats(self) -> None:
+        self.served = 0
+        self.busy_cycles = 0
+        self.max_queue_depth = 0
+        self.reset_queue()

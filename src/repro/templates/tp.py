@@ -1,0 +1,111 @@
+"""The TP family used by the proofs of Lemma 1 / Theorem 2.
+
+``TP_K(i, j)`` is the union of (a) the nodes on the path from the tree root
+down to ``v(i, j)`` and (b) the complete subtree of size ``K`` rooted at
+``v(i, j)`` (clipped at the tree bottom when it does not fit).  The two parts
+share the anchor ``v(i, j)``, so a full instance has ``j + K`` nodes.
+
+The family is proof machinery rather than an access pattern: Lemma 1 shows
+BASIC-COLOR is conflict-free on it, and Theorem 2 derives the lower bound
+``M >= N + K - k`` from the fact that every ``TP_K(i, N-k)`` instance has
+exactly ``N + K - k`` nodes and must be rainbow under any mapping that is
+CF on both ``S(K)`` and ``P(N)``.
+
+.. note::
+   The paper defines ``TP(K, j) = {TP_K(i, j-1)}`` yet states that instances
+   of ``TP(K, N-k)`` have size ``N + K - k``, which only holds for anchors at
+   level ``N - k`` (size ``(N-k+1) + K - 1``).  We parameterize directly by
+   the anchor level, which makes the size claim exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.templates.base import TemplateFamily, TemplateInstance
+from repro.trees import CompleteBinaryTree, path_up, subtree_nodes, subtree_num_levels
+from repro.trees import coords
+
+__all__ = ["TPTemplate"]
+
+
+class TPTemplate(TemplateFamily):
+    """Root-path + size-``K`` subtree instances anchored at a fixed level."""
+
+    kind = "tp"
+
+    def __init__(self, K: int, anchor_level: int):
+        self._k = subtree_num_levels(K)
+        self._K = K
+        if anchor_level < 0:
+            raise ValueError(f"anchor_level must be >= 0, got {anchor_level}")
+        self._anchor_level = anchor_level
+
+    @property
+    def anchor_level(self) -> int:
+        return self._anchor_level
+
+    @property
+    def size(self) -> int:
+        """Size of a full (non-clipped) instance: anchor path + subtree."""
+        return self._anchor_level + self._K
+
+    def _subtree_levels_in(self, tree: CompleteBinaryTree) -> int:
+        """Levels of the (possibly clipped) subtree part inside ``tree``."""
+        return min(self._k, tree.num_levels - self._anchor_level)
+
+    def admits(self, tree: CompleteBinaryTree) -> bool:
+        return self._anchor_level <= tree.last_level
+
+    def is_clipped(self, tree: CompleteBinaryTree) -> bool:
+        """True when the subtree part does not fit below the anchor level."""
+        return self._subtree_levels_in(tree) < self._k
+
+    def count(self, tree: CompleteBinaryTree) -> int:
+        if not self.admits(tree):
+            return 0
+        return 1 << self._anchor_level
+
+    def instance_at(self, tree: CompleteBinaryTree, index: int) -> TemplateInstance:
+        self._check_index(tree, index)
+        anchor = coords.coord_to_id(index, self._anchor_level)
+        levels = self._subtree_levels_in(tree)
+        sub = subtree_nodes(anchor, levels)
+        path = np.array(path_up(anchor, self._anchor_level + 1), dtype=np.int64)
+        # drop the anchor from the path part; it is sub[0]
+        return TemplateInstance(
+            kind=self.kind,
+            nodes=np.concatenate([path[1:][::-1], sub]),
+            anchor=anchor,
+        )
+
+    def instances(self, tree: CompleteBinaryTree) -> Iterator[TemplateInstance]:
+        for index in range(self.count(tree)):
+            yield self.instance_at(tree, index)
+
+    def instance_matrix(self, tree: CompleteBinaryTree) -> np.ndarray:
+        count = self.count(tree)
+        if count == 0:
+            return np.empty((0, self.size), dtype=np.int64)
+        anchors = (np.int64(1) << self._anchor_level) - 1 + np.arange(
+            count, dtype=np.int64
+        )
+        levels = self._subtree_levels_in(tree)
+        # path part (proper ancestors, top-down): distances anchor_level..1
+        d = np.arange(self._anchor_level, 0, -1, dtype=np.int64)
+        path_part = ((anchors[:, None] + 1) >> d[None, :]) - 1
+        # subtree part in BFS order
+        parts = [path_part]
+        lo = anchors
+        hi = anchors + 1
+        for _ in range(levels):
+            width = int(hi[0] - lo[0])
+            parts.append(lo[:, None] + np.arange(width, dtype=np.int64)[None, :])
+            lo = 2 * lo + 1
+            hi = 2 * hi + 1
+        return np.concatenate(parts, axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TPTemplate(K={self._K}, anchor_level={self._anchor_level})"

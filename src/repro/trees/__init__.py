@@ -1,0 +1,83 @@
+"""Complete-binary-tree substrate.
+
+The paper (Section 2.1) addresses nodes by a pair ``(i, j)``: ``j`` is the
+level (root at level 0) and ``i`` is the left-to-right index within the level
+(first node indexed 0).  The library's canonical node identity is the *heap
+id*: the BFS rank of the node, so ``(i, j)`` has id ``2**j - 1 + i`` and the
+root has id 0.  All conversions live in :mod:`repro.trees.coords`.
+
+A "tree of height ``H``" in the paper has levels ``0 .. H-1``; to avoid the
+ambiguity the library calls this quantity ``num_levels`` throughout.
+"""
+
+from repro.trees.coords import (
+    ancestor,
+    ancestors_iter,
+    child_left,
+    child_right,
+    coord_to_id,
+    id_to_coord,
+    is_ancestor,
+    leftmost_leaf,
+    level_of,
+    index_in_level,
+    lowest_common_ancestor,
+    node_exists,
+    parent,
+    path_down,
+    path_up,
+    rightmost_leaf,
+    sibling,
+)
+from repro.trees.tree import CompleteBinaryTree
+from repro.trees.blocks import (
+    BLOCKS_PER_LEVEL_DOC,
+    block_of,
+    block_nodes,
+    block_count,
+    block_anchor_ancestor,
+    block_sibling_anchor,
+    position_in_block,
+)
+from repro.trees.traversal import (
+    bfs_order,
+    bfs_node_of_subtree,
+    dfs_preorder,
+    subtree_nodes,
+    subtree_size,
+    subtree_num_levels,
+)
+
+__all__ = [
+    "CompleteBinaryTree",
+    "ancestor",
+    "ancestors_iter",
+    "bfs_node_of_subtree",
+    "bfs_order",
+    "block_anchor_ancestor",
+    "block_count",
+    "block_nodes",
+    "block_of",
+    "block_sibling_anchor",
+    "BLOCKS_PER_LEVEL_DOC",
+    "child_left",
+    "child_right",
+    "coord_to_id",
+    "dfs_preorder",
+    "id_to_coord",
+    "index_in_level",
+    "is_ancestor",
+    "leftmost_leaf",
+    "level_of",
+    "lowest_common_ancestor",
+    "node_exists",
+    "parent",
+    "path_down",
+    "path_up",
+    "position_in_block",
+    "rightmost_leaf",
+    "sibling",
+    "subtree_nodes",
+    "subtree_num_levels",
+    "subtree_size",
+]

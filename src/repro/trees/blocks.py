@@ -1,0 +1,109 @@
+"""Block machinery from Section 3 of the paper.
+
+When coloring level ``j`` (relative level within a height-``N`` subtree, with
+``j >= k``), BASIC-COLOR partitions the level into *blocks* of ``2**(k-1)``
+consecutive nodes.  ``block(h, j)`` consists of the nodes ``v(r, j)`` with
+``h * 2**(k-1) <= r < (h+1) * 2**(k-1)``; these are exactly the leaves of the
+size-``K`` subtree (``K = 2**k - 1``) rooted at ``v(h, j-k+1)``.
+
+Two anchor nodes matter for every block:
+
+* ``v1 = ANC(h * 2**(k-1), j, k-1) = v(h, j-k+1)`` — the ``(k-1)``-st ancestor
+  shared by the whole block;
+* ``v2 = sibling(v1)`` — the root of the subtree ``S_2`` whose already-colored
+  top ``k-1`` levels donate colors to the block.
+
+All helpers below work on *absolute* heap ids of the enclosing tree.  Because
+block boundaries of a subtree rooted at ``v(i0, L)`` align with absolute block
+boundaries (``2**(k-1)`` divides ``i0 * 2**rho`` whenever ``rho >= k - 1``),
+the absolute block index has the same parity as the subtree-relative one, so
+the sibling-anchor computation needs no subtree bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees import coords
+
+__all__ = [
+    "block_of",
+    "position_in_block",
+    "block_count",
+    "block_nodes",
+    "block_anchor_ancestor",
+    "block_sibling_anchor",
+    "block_sibling_anchor_array",
+    "BLOCKS_PER_LEVEL_DOC",
+]
+
+BLOCKS_PER_LEVEL_DOC = (
+    "Level j (absolute) holds 2**j nodes, hence 2**j / 2**(k-1) blocks of "
+    "size 2**(k-1); the paper's Fig. 2 loop bound '2**j - 1' is a typo for "
+    "the block count minus one."
+)
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+
+def block_of(node: int, k: int) -> int:
+    """Absolute index of the size-``2**(k-1)`` block containing ``node``."""
+    _check_k(k)
+    return coords.index_in_level(node) >> (k - 1)
+
+
+def position_in_block(node: int, k: int) -> int:
+    """Offset ``0 .. 2**(k-1) - 1`` of ``node`` inside its block."""
+    _check_k(k)
+    return coords.index_in_level(node) & ((1 << (k - 1)) - 1)
+
+
+def block_count(j: int, k: int) -> int:
+    """Number of blocks at absolute level ``j`` (requires ``j >= k - 1``)."""
+    _check_k(k)
+    if j < k - 1:
+        raise ValueError(f"level {j} too shallow to split into size-2**{k - 1} blocks")
+    return 1 << (j - k + 1)
+
+
+def block_nodes(h: int, j: int, k: int) -> np.ndarray:
+    """Heap ids of ``block(h, j)`` — the ``2**(k-1)`` nodes of the block."""
+    _check_k(k)
+    if not 0 <= h < block_count(j, k):
+        raise ValueError(f"block {h} out of range at level {j} (k={k})")
+    start = (1 << j) - 1 + (h << (k - 1))
+    return np.arange(start, start + (1 << (k - 1)), dtype=np.int64)
+
+
+def block_anchor_ancestor(node: int, k: int) -> int:
+    """``v1``: the ``(k-1)``-st ancestor shared by all nodes of the block."""
+    _check_k(k)
+    return coords.ancestor(node, k - 1)
+
+
+def block_sibling_anchor(node: int, k: int) -> int:
+    """``v2``: the sibling of the block's shared ancestor ``v1``.
+
+    This is the root of the subtree the block inherits its colors from
+    (paper: ``v2 = v(h + (-1)**(h mod 2), j - k + 1)``).
+    """
+    v1 = block_anchor_ancestor(node, k)
+    if v1 == 0:
+        raise ValueError(
+            f"block anchor of node {node} is the root; no sibling exists (k={k})"
+        )
+    return coords.sibling(v1)
+
+
+def block_sibling_anchor_array(nodes: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized :func:`block_sibling_anchor` for an array of heap ids."""
+    _check_k(k)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    v1 = ((nodes + 1) >> (k - 1)) - 1
+    if np.any(v1 <= 0):
+        raise ValueError("some block anchors are the root; no sibling exists")
+    # sibling: odd ids are left children (+1), even ids right children (-1)
+    return np.where(v1 & 1 == 1, v1 + 1, v1 - 1)

@@ -1,0 +1,214 @@
+"""Node addressing for complete binary trees.
+
+Two equivalent addressings are used:
+
+* **coordinates** ``(i, j)`` — the paper's notation ``v(i, j)``: level ``j``
+  (root at level 0), index ``i`` within the level counted left-to-right from 0;
+* **heap ids** — the BFS rank of a node, ``id = 2**j - 1 + i``.  Heap ids make
+  parent/child/ancestor arithmetic branch-free and vectorize cleanly, so they
+  are the canonical identity everywhere else in the library.
+
+All functions accept plain Python ints and, where noted, NumPy integer arrays
+(the arithmetic is shift/mask based and broadcasts element-wise).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "coord_to_id",
+    "id_to_coord",
+    "level_of",
+    "index_in_level",
+    "parent",
+    "child_left",
+    "child_right",
+    "sibling",
+    "ancestor",
+    "ancestors_iter",
+    "is_ancestor",
+    "lowest_common_ancestor",
+    "leftmost_leaf",
+    "rightmost_leaf",
+    "node_exists",
+    "path_up",
+    "path_down",
+    "level_of_array",
+    "ancestor_array",
+]
+
+
+def coord_to_id(i: int, j: int) -> int:
+    """Heap id of node ``v(i, j)`` (index ``i`` within level ``j``).
+
+    Raises :class:`ValueError` when ``i`` is out of range for level ``j``.
+    """
+    if j < 0:
+        raise ValueError(f"level must be non-negative, got {j}")
+    if not 0 <= i < (1 << j):
+        raise ValueError(f"index {i} out of range for level {j} (0..{(1 << j) - 1})")
+    return (1 << j) - 1 + i
+
+
+def id_to_coord(node: int) -> tuple[int, int]:
+    """Inverse of :func:`coord_to_id`: return ``(i, j)`` for a heap id."""
+    if node < 0:
+        raise ValueError(f"node id must be non-negative, got {node}")
+    j = (node + 1).bit_length() - 1
+    return node + 1 - (1 << j), j
+
+
+def level_of(node: int) -> int:
+    """Level (distance from the root) of a heap id; the root is level 0."""
+    if node < 0:
+        raise ValueError(f"node id must be non-negative, got {node}")
+    return (node + 1).bit_length() - 1
+
+
+def index_in_level(node: int) -> int:
+    """Left-to-right index of a heap id within its level."""
+    return node + 1 - (1 << level_of(node))
+
+
+def parent(node: int) -> int:
+    """Heap id of the parent.  The root (0) has no parent."""
+    if node <= 0:
+        raise ValueError("the root has no parent")
+    return (node - 1) >> 1
+
+
+def child_left(node: int) -> int:
+    """Heap id of the left child."""
+    return 2 * node + 1
+
+
+def child_right(node: int) -> int:
+    """Heap id of the right child."""
+    return 2 * node + 2
+
+
+def sibling(node: int) -> int:
+    """Heap id of the sibling (the other child of the parent)."""
+    if node <= 0:
+        raise ValueError("the root has no sibling")
+    # Left children have odd ids, right children even: flip within the pair.
+    return node + 1 if node % 2 == 1 else node - 1
+
+
+def ancestor(node: int, distance: int) -> int:
+    """The ``distance``-th ancestor: ``ANC(i, j, distance) = v(i >> d, j - d)``.
+
+    ``distance = 0`` is the node itself.  Raises when the ancestor would lie
+    above the root.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if distance > level_of(node):
+        raise ValueError(
+            f"node {node} at level {level_of(node)} has no ancestor at distance {distance}"
+        )
+    return ((node + 1) >> distance) - 1
+
+
+def ancestors_iter(node: int) -> Iterator[int]:
+    """Yield the proper ancestors of ``node`` from parent up to the root."""
+    while node > 0:
+        node = (node - 1) >> 1
+        yield node
+
+
+def is_ancestor(anc: int, node: int) -> bool:
+    """True when ``anc`` is an ancestor of ``node`` (a node is its own ancestor)."""
+    d = level_of(node) - level_of(anc)
+    if d < 0:
+        return False
+    return ((node + 1) >> d) - 1 == anc
+
+
+def lowest_common_ancestor(a: int, b: int) -> int:
+    """Heap id of the lowest common ancestor of two nodes."""
+    la, lb = level_of(a), level_of(b)
+    if la > lb:
+        a = ((a + 1) >> (la - lb)) - 1
+    elif lb > la:
+        b = ((b + 1) >> (lb - la)) - 1
+    while a != b:
+        a = (a - 1) >> 1
+        b = (b - 1) >> 1
+    return a
+
+
+def leftmost_leaf(node: int, num_levels: int) -> int:
+    """Leftmost descendant of ``node`` on the last level of an ``num_levels``-level tree."""
+    d = (num_levels - 1) - level_of(node)
+    if d < 0:
+        raise ValueError(f"node {node} lies below level {num_levels - 1}")
+    return ((node + 1) << d) - 1
+
+
+def rightmost_leaf(node: int, num_levels: int) -> int:
+    """Rightmost descendant of ``node`` on the last level of an ``num_levels``-level tree."""
+    d = (num_levels - 1) - level_of(node)
+    if d < 0:
+        raise ValueError(f"node {node} lies below level {num_levels - 1}")
+    return ((node + 2) << d) - 2
+
+
+def node_exists(node: int, num_levels: int) -> bool:
+    """True when the heap id belongs to a tree with ``num_levels`` levels."""
+    return 0 <= node < (1 << num_levels) - 1
+
+
+def path_up(node: int, length: int) -> list[int]:
+    """The paper's ``P_length(i, j)``: ``length`` nodes from ``node`` ascending.
+
+    Returns ``[node, parent(node), ..., ANC(node, length-1)]``.
+    """
+    if length < 1:
+        raise ValueError(f"path length must be >= 1, got {length}")
+    if length - 1 > level_of(node):
+        raise ValueError(
+            f"no ascending path of {length} nodes from node {node} "
+            f"(level {level_of(node)})"
+        )
+    out = [node]
+    for _ in range(length - 1):
+        node = (node - 1) >> 1
+        out.append(node)
+    return out
+
+
+def path_down(top: int, bottom: int) -> list[int]:
+    """Nodes on the tree path from ``top`` down to ``bottom`` (both inclusive).
+
+    ``top`` must be an ancestor of ``bottom``.
+    """
+    if not is_ancestor(top, bottom):
+        raise ValueError(f"{top} is not an ancestor of {bottom}")
+    return path_up(bottom, level_of(bottom) - level_of(top) + 1)[::-1]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized variants (NumPy).  Shift arithmetic on int64 arrays.
+# ---------------------------------------------------------------------------
+
+
+def level_of_array(nodes: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`level_of` for an int array of heap ids."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    x = nodes + 1  # >= 1 for valid heap ids
+    # floor(log2) via float, then fix the off-by-one float rounding can cause
+    # right at powers of two (e.g. log2(2**k - 1) rounding up to k).
+    j = np.floor(np.log2(x)).astype(np.int64)
+    j = np.where((np.int64(1) << j) > x, j - 1, j)
+    j = np.where((np.int64(1) << (j + 1)) <= x, j + 1, j)
+    return j
+
+
+def ancestor_array(nodes: np.ndarray, distance: np.ndarray | int) -> np.ndarray:
+    """Vectorized :func:`ancestor`; ``distance`` broadcasts against ``nodes``."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return ((nodes + 1) >> distance) - 1

@@ -1,0 +1,102 @@
+"""Traversal orders and subtree enumeration helpers.
+
+The inheritance rule at the heart of BASIC-COLOR / MICRO-LABEL speaks of "the
+``(i+1)``-st node of ``S_2`` in level-by-level, left-to-right order" — i.e.
+the BFS rank within a subtree.  :func:`bfs_node_of_subtree` turns such a rank
+back into an absolute heap id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.trees import coords
+
+__all__ = [
+    "subtree_size",
+    "subtree_num_levels",
+    "subtree_nodes",
+    "bfs_node_of_subtree",
+    "bfs_rank_decompose",
+    "bfs_order",
+    "dfs_preorder",
+]
+
+
+def subtree_num_levels(size: int) -> int:
+    """Number of levels of a complete subtree with ``size = 2**k - 1`` nodes."""
+    if size < 1:
+        raise ValueError(f"subtree size must be >= 1, got {size}")
+    k = (size + 1).bit_length() - 1
+    if (1 << k) - 1 != size:
+        raise ValueError(f"size {size} is not of the form 2**k - 1")
+    return k
+
+
+def subtree_size(num_levels: int) -> int:
+    """Node count of a complete subtree with ``num_levels`` levels."""
+    if num_levels < 0:
+        raise ValueError(f"num_levels must be >= 0, got {num_levels}")
+    return (1 << num_levels) - 1
+
+
+def subtree_nodes(root: int, num_levels: int) -> np.ndarray:
+    """Heap ids of the complete subtree rooted at ``root``, BFS order.
+
+    ``num_levels`` counts the subtree's own levels (1 = just the root).
+    """
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    parts = []
+    lo = root
+    hi = root + 1
+    for _ in range(num_levels):
+        parts.append(np.arange(lo, hi, dtype=np.int64))
+        lo = 2 * lo + 1
+        hi = 2 * hi + 1
+    return np.concatenate(parts)
+
+
+def bfs_rank_decompose(rank: int) -> tuple[int, int]:
+    """Split a BFS rank within a subtree into ``(relative_level, offset)``.
+
+    Rank 0 is the subtree root (level 0, offset 0); ranks 1..2 are level 1,
+    ranks 3..6 level 2, and so on.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    r = (rank + 1).bit_length() - 1
+    return r, rank + 1 - (1 << r)
+
+
+def bfs_node_of_subtree(root: int, rank: int) -> int:
+    """Absolute heap id of the node with BFS rank ``rank`` inside the subtree
+    rooted at ``root``.
+
+    A node at relative level ``r`` and offset ``s`` within the subtree has
+    absolute coordinates ``(i0 * 2**r + s, L + r)`` where ``(i0, L)`` is the
+    root; in heap ids this is ``(root + 1) * 2**r - 1 + s``.
+    """
+    r, s = bfs_rank_decompose(rank)
+    return ((root + 1) << r) - 1 + s
+
+
+def bfs_order(root: int, num_levels: int) -> Iterator[int]:
+    """Iterate the subtree rooted at ``root`` in BFS order."""
+    for node in subtree_nodes(root, num_levels):
+        yield int(node)
+
+
+def dfs_preorder(root: int, num_levels: int) -> Iterator[int]:
+    """Iterate the subtree rooted at ``root`` in DFS preorder."""
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    stack = [(root, num_levels)]
+    while stack:
+        node, levels = stack.pop()
+        yield node
+        if levels > 1:
+            stack.append((coords.child_right(node), levels - 1))
+            stack.append((coords.child_left(node), levels - 1))

@@ -1,0 +1,136 @@
+"""The :class:`CompleteBinaryTree` object.
+
+The tree is *implicit*: nodes are the heap ids ``0 .. 2**num_levels - 2`` and
+never materialized individually.  The object carries the geometry (number of
+levels) and offers range/iteration helpers that the template and mapping
+layers build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.trees import coords
+
+__all__ = ["CompleteBinaryTree"]
+
+
+@dataclass(frozen=True)
+class CompleteBinaryTree:
+    """A complete binary tree with levels ``0 .. num_levels - 1``.
+
+    This matches the paper's "tree of height ``H``" where ``H`` counts levels:
+    a tree with ``num_levels = H`` has ``2**H - 1`` nodes and its leaf-to-root
+    paths have exactly ``H`` nodes.
+
+    Parameters
+    ----------
+    num_levels:
+        Number of levels; must be >= 1.
+    """
+
+    num_levels: int
+
+    def __post_init__(self) -> None:
+        if self.num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {self.num_levels}")
+        if self.num_levels > 40:
+            raise ValueError(
+                f"num_levels={self.num_levels} would give 2**{self.num_levels} nodes; "
+                "use the implicit coordinate helpers for trees this large"
+            )
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes, ``2**num_levels - 1``."""
+        return (1 << self.num_levels) - 1
+
+    @property
+    def height(self) -> int:
+        """Paper-compatible alias of :attr:`num_levels` (the paper's *height*)."""
+        return self.num_levels
+
+    @property
+    def last_level(self) -> int:
+        return self.num_levels - 1
+
+    @property
+    def num_leaves(self) -> int:
+        return 1 << (self.num_levels - 1)
+
+    def level_size(self, j: int) -> int:
+        """Number of nodes at level ``j``."""
+        self._check_level(j)
+        return 1 << j
+
+    def level_start(self, j: int) -> int:
+        """Heap id of the first (leftmost) node of level ``j``."""
+        self._check_level(j)
+        return (1 << j) - 1
+
+    def level_slice(self, j: int) -> slice:
+        """Python slice selecting level ``j`` out of a node-indexed array."""
+        self._check_level(j)
+        return slice((1 << j) - 1, (1 << (j + 1)) - 1)
+
+    def level_nodes(self, j: int) -> np.ndarray:
+        """Heap ids of all nodes at level ``j``, in left-to-right order."""
+        self._check_level(j)
+        return np.arange((1 << j) - 1, (1 << (j + 1)) - 1, dtype=np.int64)
+
+    def leaves(self) -> np.ndarray:
+        """Heap ids of the last level."""
+        return self.level_nodes(self.num_levels - 1)
+
+    # -- membership / validation -------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self.num_nodes
+
+    def check_node(self, node: int) -> int:
+        """Validate a heap id against this tree; returns it unchanged."""
+        if node not in self:
+            raise ValueError(
+                f"node {node} outside tree with {self.num_nodes} nodes "
+                f"({self.num_levels} levels)"
+            )
+        return node
+
+    def is_leaf(self, node: int) -> bool:
+        self.check_node(node)
+        return coords.level_of(node) == self.num_levels - 1
+
+    # -- iteration ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def nodes(self) -> np.ndarray:
+        """All heap ids in BFS order."""
+        return np.arange(self.num_nodes, dtype=np.int64)
+
+    # -- derived geometry ----------------------------------------------------
+
+    def subtree_levels_below(self, node: int) -> int:
+        """Number of levels of the maximal complete subtree rooted at ``node``."""
+        self.check_node(node)
+        return self.num_levels - coords.level_of(node)
+
+    def max_path_length(self, node: int) -> int:
+        """Longest ascending path starting at ``node`` (= its level + 1 nodes)."""
+        self.check_node(node)
+        return coords.level_of(node) + 1
+
+    def _check_level(self, j: int) -> None:
+        if not 0 <= j < self.num_levels:
+            raise ValueError(
+                f"level {j} out of range for tree with {self.num_levels} levels"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompleteBinaryTree(num_levels={self.num_levels}, num_nodes={self.num_nodes})"

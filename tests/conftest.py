@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tree8() -> CompleteBinaryTree:
+    """A 8-level (255-node) tree: large enough for structure, fast to sweep."""
+    return CompleteBinaryTree(8)
+
+
+@pytest.fixture
+def tree12() -> CompleteBinaryTree:
+    """A 12-level (4095-node) tree for integration-scale checks."""
+    return CompleteBinaryTree(12)

@@ -1,0 +1,77 @@
+"""Unit tests for the adversarial composite search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bounds,
+    greedy_adversarial_composite,
+    instance_conflicts,
+    local_search_composite,
+)
+from repro.core import ColorMapping
+from repro.templates import CompositeSampler
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = CompleteBinaryTree(12)
+    mapping = ColorMapping.max_parallelism(tree, 4)
+    mapping.color_array()
+    return tree, mapping
+
+
+class TestGreedyAdversary:
+    def test_returns_valid_composite(self, setup, rng):
+        _, mapping = setup
+        comp = greedy_adversarial_composite(mapping, 4, 100, rng)
+        assert comp.num_components == 4
+        seen = set()
+        for part in comp.components:
+            assert seen.isdisjoint(part.node_set())
+            seen |= part.node_set()
+
+    def test_beats_or_matches_random_mean(self, setup, rng):
+        _, mapping = setup
+        tree = mapping.tree
+        sampler = CompositeSampler(tree)
+        colors = mapping.color_array()
+        rand = np.mean([
+            instance_conflicts(colors, sampler.sample(4, 100, rng))
+            for _ in range(15)
+        ])
+        adv = instance_conflicts(
+            colors, greedy_adversarial_composite(mapping, 4, 100, rng)
+        )
+        assert adv >= rand
+
+    def test_respects_thm6_bound(self, setup, rng):
+        _, mapping = setup
+        M = mapping.num_modules
+        colors = mapping.color_array()
+        for c in (2, 6):
+            comp = greedy_adversarial_composite(mapping, c, 8 * M, rng)
+            got = instance_conflicts(colors, comp)
+            assert got <= bounds.thm6_composite_bound(comp.size, M, c)
+
+    def test_invalid_candidates(self, setup, rng):
+        _, mapping = setup
+        with pytest.raises(ValueError):
+            greedy_adversarial_composite(mapping, 2, 50, rng, candidates=0)
+
+
+class TestLocalSearch:
+    def test_never_decreases_conflicts(self, setup, rng):
+        _, mapping = setup
+        colors = mapping.color_array()
+        start = greedy_adversarial_composite(mapping, 4, 120, rng)
+        before = instance_conflicts(colors, start)
+        improved = local_search_composite(mapping, start, rng, iters=40)
+        assert instance_conflicts(colors, improved) >= before
+
+    def test_preserves_shape(self, setup, rng):
+        _, mapping = setup
+        start = greedy_adversarial_composite(mapping, 3, 90, rng)
+        improved = local_search_composite(mapping, start, rng, iters=20)
+        assert improved.num_components == 3

@@ -1,0 +1,96 @@
+"""Unit tests for the conflict cost functions (paper Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    family_cost,
+    family_cost_distribution,
+    instance_conflicts,
+    mapping_cost,
+    matrix_conflicts,
+    sampled_family_cost,
+)
+from repro.core import ColorMapping, ModuloMapping
+from repro.templates import LTemplate, PTemplate, STemplate, TemplateInstance
+from repro.trees import CompleteBinaryTree
+
+
+class TestInstanceConflicts:
+    def test_rainbow_instance_is_zero(self):
+        colors = np.array([0, 1, 2, 3, 4])
+        inst = TemplateInstance(kind="level", nodes=np.array([0, 1, 2]))
+        assert instance_conflicts(colors, inst) == 0
+
+    def test_definition_max_multiplicity_minus_one(self):
+        colors = np.array([1, 1, 1, 2, 2, 3, 4])
+        inst = TemplateInstance(kind="level", nodes=np.arange(7))
+        assert instance_conflicts(colors, inst) == 2  # color 1 used thrice
+
+    def test_accepts_raw_arrays(self):
+        colors = np.array([0, 0, 1])
+        assert instance_conflicts(colors, np.array([0, 1])) == 1
+
+
+class TestMatrixConflicts:
+    def test_matches_per_instance(self, tree8, rng):
+        mapping = ModuloMapping(tree8, 5)
+        fam = PTemplate(6)
+        matrix = fam.instance_matrix(tree8)
+        vec = matrix_conflicts(mapping.color_array(), matrix, 5)
+        for row, got in zip(matrix, vec):
+            assert got == instance_conflicts(mapping.color_array(), row)
+
+    def test_chunking_boundary(self, monkeypatch):
+        """Force tiny chunks and check identical results."""
+        import repro.analysis.conflicts as mod
+
+        tree = CompleteBinaryTree(9)
+        mapping = ModuloMapping(tree, 7)
+        matrix = PTemplate(5).instance_matrix(tree)
+        full = matrix_conflicts(mapping.color_array(), matrix, 7)
+        monkeypatch.setattr(mod, "_CHUNK_CELL_BUDGET", 64)
+        chunked = matrix_conflicts(mapping.color_array(), matrix, 7)
+        assert np.array_equal(full, chunked)
+
+    def test_empty_matrix(self):
+        out = matrix_conflicts(np.arange(3), np.empty((0, 4), dtype=np.int64), 3)
+        assert out.size == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            matrix_conflicts(np.arange(3), np.arange(3), 3)
+
+
+class TestFamilyCost:
+    def test_known_zero(self, tree12):
+        mapping = ColorMapping(tree12, N=5, k=2)
+        assert family_cost(mapping, STemplate(3)) == 0
+
+    def test_raises_on_empty_family(self, tree8):
+        mapping = ModuloMapping(tree8, 5)
+        with pytest.raises(ValueError):
+            family_cost(mapping, PTemplate(20))
+
+    def test_distribution_sums_to_count(self, tree8):
+        mapping = ModuloMapping(tree8, 5)
+        fam = PTemplate(6)
+        dist = family_cost_distribution(mapping, fam)
+        assert dist.sum() == fam.count(tree8)
+
+    def test_mapping_cost_is_max_over_families(self, tree8):
+        mapping = ModuloMapping(tree8, 5)
+        fams = [LTemplate(5), PTemplate(5)]
+        assert mapping_cost(mapping, fams) == max(
+            family_cost(mapping, f) for f in fams
+        )
+
+    def test_mapping_cost_requires_families(self, tree8):
+        with pytest.raises(ValueError):
+            mapping_cost(ModuloMapping(tree8, 5), [])
+
+    def test_sampled_cost_lower_bounds_exhaustive(self, tree8, rng):
+        mapping = ModuloMapping(tree8, 5)
+        fam = PTemplate(6)
+        sampled = sampled_family_cost(mapping, fam, samples=60, rng=rng)
+        assert sampled <= family_cost(mapping, fam)

@@ -1,0 +1,101 @@
+"""Unit tests for bounds, load metrics and verification reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BoundCheck,
+    check_conflict_free,
+    check_family_bound,
+    conflict_histogram,
+    load_report,
+    worst_instances,
+)
+from repro.analysis import bounds
+from repro.core import ColorMapping, ModuloMapping
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestBounds:
+    def test_trivial_lower_bound(self):
+        assert bounds.trivial_lower_bound(10, 5) == 1
+        assert bounds.trivial_lower_bound(11, 5) == 2
+        assert bounds.trivial_lower_bound(5, 5) == 0
+
+    def test_cf_optimal_modules(self):
+        assert bounds.cf_optimal_modules(6, 2) == 7
+        assert bounds.cf_optimal_modules(4, 3) == 8
+
+    def test_exact_bounds(self):
+        assert bounds.thm1_bound() == 0
+        assert bounds.lemma2_bound() == 1
+        assert bounds.thm4_bound() == 1
+        assert bounds.lemma3_path_bound(21, 7) == 5
+        assert bounds.lemma4_level_bound(21, 7) == 12
+        assert bounds.lemma5_subtree_bound(15, 7) == 4 * 3 - 1
+        assert bounds.thm6_composite_bound(70, 7, 4) == 44.0
+
+    def test_labeltree_scales(self):
+        assert bounds.labeltree_elementary_scale(63, 63) == pytest.approx(
+            63 / math.sqrt(63 * math.log2(63))
+        )
+        assert bounds.labeltree_composite_scale(63, 63, 5) == pytest.approx(
+            bounds.labeltree_elementary_scale(63, 63) + 5
+        )
+
+    def test_bounds_weaken_with_more_modules(self):
+        assert bounds.lemma3_path_bound(64, 31) <= bounds.lemma3_path_bound(64, 7)
+
+
+class TestLoadReport:
+    def test_uniform_mapping(self, tree8):
+        # 255 nodes over 5 modules: perfectly even 51 each
+        report = load_report(ModuloMapping(tree8, 5))
+        assert report.max_load == report.min_load == 51
+        assert report.ratio == 1.0
+        assert report.imbalance == 0.0
+
+    def test_empty_module_gives_inf_ratio(self, tree8):
+        report = load_report(ModuloMapping(tree8, 300))
+        assert math.isinf(report.ratio)
+
+    def test_loads_sum(self, tree8):
+        report = load_report(ModuloMapping(tree8, 7))
+        assert report.loads.sum() == tree8.num_nodes
+
+
+class TestVerification:
+    def test_bound_check_holds(self, tree12):
+        mapping = ColorMapping(tree12, N=5, k=2)
+        check = check_family_bound(mapping, STemplate(3), 0)
+        assert check.holds
+        assert check.measured == 0
+        assert check.instances_checked == STemplate(3).count(tree12)
+
+    def test_bound_check_violated(self, tree8):
+        mapping = ModuloMapping(tree8, 5)
+        check = check_family_bound(mapping, PTemplate(6), 0)
+        assert not check.holds
+        assert "VIOLATED" in str(check)
+
+    def test_check_conflict_free_multiple_families(self, tree12):
+        mapping = ColorMapping(tree12, N=5, k=2)
+        checks = check_conflict_free(mapping, [STemplate(3), PTemplate(5)])
+        assert len(checks) == 2
+        assert all(c.holds for c in checks)
+
+    def test_worst_instances_sorted(self, tree8):
+        mapping = ModuloMapping(tree8, 5)
+        worst = worst_instances(mapping, PTemplate(6), top=4)
+        scores = [s for s, _ in worst]
+        assert scores == sorted(scores, reverse=True)
+        assert len(worst) == 4
+
+    def test_conflict_histogram_matches_distribution(self, tree8):
+        mapping = ModuloMapping(tree8, 5)
+        hist = conflict_histogram(mapping, LTemplate(5))
+        assert hist.sum() == LTemplate(5).count(tree8)
+        assert hist[0] == LTemplate(5).count(tree8)  # modulo is CF on L(M)

@@ -1,0 +1,91 @@
+"""Unit tests for the exact CF-colorability solver (Theorem 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cf_modules_required,
+    chromatic_number,
+    conflict_graph,
+    greedy_colors,
+    is_colorable,
+)
+from repro.analysis.bounds import cf_optimal_modules
+from repro.templates import PTemplate, STemplate, TemplateInstance
+from repro.trees import CompleteBinaryTree
+
+
+def _adj_from_edges(n, edges):
+    adj = [set() for _ in range(n)]
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    return adj
+
+
+class TestConflictGraph:
+    def test_instance_becomes_clique(self):
+        inst = TemplateInstance(kind="level", nodes=np.array([0, 2, 4]))
+        adj = conflict_graph([inst], 5)
+        assert adj[0] == {2, 4} and adj[2] == {0, 4} and adj[4] == {0, 2}
+        assert adj[1] == set() and adj[3] == set()
+
+    def test_accepts_raw_arrays(self):
+        adj = conflict_graph([np.array([0, 1])], 2)
+        assert adj[0] == {1}
+
+
+class TestIsColorable:
+    def test_triangle(self):
+        adj = _adj_from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert not is_colorable(adj, 2)
+        assert is_colorable(adj, 3)
+
+    def test_odd_cycle_needs_three(self):
+        adj = _adj_from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert not is_colorable(adj, 2)
+        assert is_colorable(adj, 3)
+
+    def test_bipartite_needs_two(self):
+        adj = _adj_from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert is_colorable(adj, 2)
+
+    def test_complete_graph(self):
+        n = 6
+        adj = _adj_from_edges(n, [(a, b) for a in range(n) for b in range(a + 1, n)])
+        assert not is_colorable(adj, n - 1)
+        assert is_colorable(adj, n)
+
+    def test_edgeless(self):
+        assert is_colorable([set(), set(), set()], 1)
+
+    def test_step_budget_enforced(self):
+        # a hard-ish instance with an absurdly small budget must raise
+        n = 12
+        adj = _adj_from_edges(
+            n, [(a, b) for a in range(n) for b in range(a + 1, n) if (a + b) % 2]
+        )
+        with pytest.raises(RuntimeError):
+            is_colorable(adj, 2, max_steps=1)
+
+
+class TestChromaticNumber:
+    def test_known_graphs(self):
+        assert chromatic_number(_adj_from_edges(3, [(0, 1), (1, 2), (0, 2)])) == 3
+        assert chromatic_number(_adj_from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])) == 2
+        assert chromatic_number([set(), set()]) == 1
+
+    def test_greedy_is_upper_bound(self):
+        adj = _adj_from_edges(7, [(i, (i + 1) % 7) for i in range(7)] + [(0, 3)])
+        assert chromatic_number(adj) <= greedy_colors(adj)
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("N,k", [(2, 1), (3, 1), (3, 2), (4, 2), (4, 3)])
+    def test_exact_module_requirement(self, N, k):
+        """The chromatic number of the S(K)+P(N) conflict graph equals the
+        paper's N + K - k exactly."""
+        tree = CompleteBinaryTree(N)
+        K = (1 << k) - 1
+        need = cf_modules_required(tree, [STemplate(K), PTemplate(N)])
+        assert need == cf_optimal_modules(N, k)

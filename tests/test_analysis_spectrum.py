@@ -1,0 +1,53 @@
+"""Unit tests for the conflict spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import conflict_spectrum, family_cost
+from repro.core import ColorMapping, ModuloMapping, RandomMapping
+from repro.templates import LTemplate, PTemplate, STemplate
+
+
+class TestSpectrum:
+    def test_cf_family_is_all_zero(self, tree12):
+        mapping = ColorMapping(tree12, N=6, k=2)
+        spec = conflict_spectrum(mapping, STemplate(3))
+        assert spec.max == 0
+        assert spec.cf_fraction == 1.0
+        assert spec.mean == 0.0
+        assert spec.histogram.tolist() == [spec.instances]
+
+    def test_max_matches_family_cost(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        fam = PTemplate(7)
+        spec = conflict_spectrum(mapping, fam)
+        assert spec.max == family_cost(mapping, fam)
+
+    def test_histogram_sums_to_instances(self, tree12):
+        mapping = RandomMapping(tree12, 9, seed=2)
+        fam = LTemplate(12)
+        spec = conflict_spectrum(mapping, fam)
+        assert spec.histogram.sum() == spec.instances == fam.count(tree12)
+
+    def test_percentiles_ordered(self, tree12):
+        mapping = RandomMapping(tree12, 9, seed=2)
+        spec = conflict_spectrum(mapping, LTemplate(18))
+        assert 0 <= spec.p50 <= spec.p95 <= spec.max
+
+    def test_mean_matches_histogram(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        spec = conflict_spectrum(mapping, PTemplate(5))
+        from_hist = (np.arange(spec.histogram.size) * spec.histogram).sum() / spec.instances
+        assert spec.mean == pytest.approx(from_hist)
+
+    def test_empty_family_rejected(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        with pytest.raises(ValueError):
+            conflict_spectrum(mapping, PTemplate(99))
+
+    def test_spectrum_separates_typical_from_worst(self, tree12):
+        """COLOR at max parallelism: worst case 1 but most instances CF."""
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        spec = conflict_spectrum(mapping, PTemplate(12))
+        assert spec.max == 1
+        assert spec.cf_fraction > 0.1  # a visible CF share

@@ -1,0 +1,90 @@
+"""Unit tests for the exact balls-in-bins theory module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    expected_max_load,
+    expected_random_conflicts,
+    max_load_cdf,
+    max_load_pmf,
+)
+
+
+class TestCdf:
+    def test_boundaries(self):
+        assert max_load_cdf(10, 5, -1) == 0.0
+        assert max_load_cdf(10, 5, 10) == 1.0
+        assert max_load_cdf(10, 5, 1) == pytest.approx(
+            # all distinct bins impossible: 10 balls, 5 bins
+            0.0
+        )
+
+    def test_pigeonhole_zero(self):
+        assert max_load_cdf(11, 5, 2) == 0.0
+
+    def test_single_bin(self):
+        # one bin: max load is always D
+        assert max_load_cdf(7, 1, 6) == 0.0
+        assert max_load_cdf(7, 1, 7) == 1.0
+
+    def test_two_balls_exact(self):
+        # P(max <= 1) for 2 balls in M bins = P(different bins) = (M-1)/M
+        for M in (2, 5, 10):
+            assert max_load_cdf(2, M, 1) == pytest.approx((M - 1) / M)
+
+    def test_monotone_in_t(self):
+        vals = [max_load_cdf(30, 7, t) for t in range(31)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_load_cdf(0, 5, 1)
+        with pytest.raises(ValueError):
+            max_load_cdf(5, 0, 1)
+        with pytest.raises(ValueError):
+            max_load_cdf(10**4, 5, 1)
+
+
+class TestPmfAndExpectation:
+    def test_pmf_is_distribution(self):
+        pmf = max_load_pmf(25, 8)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+        assert pmf.min() >= 0.0
+
+    def test_expectation_matches_pmf(self):
+        D, M = 20, 6
+        pmf = max_load_pmf(D, M)
+        from_pmf = float((np.arange(D + 1) * pmf).sum())
+        assert expected_max_load(D, M) == pytest.approx(from_pmf, abs=1e-9)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(5)
+        for D, M in [(15, 15), (40, 10)]:
+            sims = np.array([
+                np.bincount(rng.integers(0, M, D), minlength=M).max()
+                for _ in range(8000)
+            ])
+            assert expected_max_load(D, M) == pytest.approx(sims.mean(), abs=0.06)
+
+    def test_expectation_bounds(self):
+        # mean load <= expected max <= D
+        for D, M in [(10, 5), (31, 15), (64, 8)]:
+            e = expected_max_load(D, M)
+            assert D / M <= e <= D
+
+    def test_random_mapping_measured_vs_theory(self, tree12, rng):
+        """Measured RandomMapping conflicts concentrate near the formula."""
+        from repro.analysis import instance_conflicts
+        from repro.core import RandomMapping
+        from repro.templates import LTemplate
+
+        M, D = 15, 30
+        expect = expected_random_conflicts(D, M)
+        fam = LTemplate(D)
+        measured = []
+        for seed in range(15):
+            mapping = RandomMapping(tree12, M, seed=seed)
+            inst = fam.sample(tree12, rng)
+            measured.append(instance_conflicts(mapping.color_array(), inst))
+        assert abs(np.mean(measured) - expect) < 1.0

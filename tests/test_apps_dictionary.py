@@ -1,0 +1,69 @@
+"""Unit tests for the static dictionary."""
+
+import numpy as np
+import pytest
+
+from repro.apps import StaticDictionary
+from repro.trees import CompleteBinaryTree, coords
+
+
+@pytest.fixture
+def dct(tree8, rng):
+    keys = np.sort(rng.choice(10**6, size=tree8.num_leaves, replace=False))
+    return StaticDictionary(tree8, keys)
+
+
+class TestConstruction:
+    def test_key_count_checked(self, tree8):
+        with pytest.raises(ValueError):
+            StaticDictionary(tree8, np.arange(3))
+
+    def test_sorted_checked(self, tree8):
+        keys = np.arange(tree8.num_leaves)[::-1].copy()
+        with pytest.raises(ValueError):
+            StaticDictionary(tree8, keys)
+
+
+class TestLookups:
+    def test_contains_hits_and_misses(self, dct, rng):
+        for key in rng.choice(dct.keys, 30):
+            assert dct.contains(int(key))
+        present = set(dct.keys.tolist())
+        misses = [k for k in rng.integers(0, 10**6, 50) if int(k) not in present]
+        for key in misses:
+            assert not dct.contains(int(key))
+
+    def test_lookup_records_root_to_leaf_path(self, dct):
+        dct.contains(int(dct.keys[17]))
+        label, nodes = list(dct.trace)[-1]
+        assert label == "dict-lookup"
+        assert nodes[0] == 0
+        assert dct.tree.is_leaf(int(nodes[-1]))
+        for a, b in zip(nodes, nodes[1:]):
+            assert coords.parent(int(b)) == int(a)
+
+    def test_predecessor(self, dct):
+        keys = dct.keys
+        assert dct.predecessor(int(keys[10])) == int(keys[10])
+        assert dct.predecessor(int(keys[10]) + 0) == int(keys[10])
+        # between two keys
+        gap = int(keys[10]) + 1
+        if gap < int(keys[11]):
+            assert dct.predecessor(gap) == int(keys[10])
+        # below the minimum
+        if int(keys[0]) > 0:
+            assert dct.predecessor(int(keys[0]) - 1) is None
+        # above the maximum
+        assert dct.predecessor(int(keys[-1]) + 5) == int(keys[-1])
+
+    def test_batch_contains(self, dct, rng):
+        probe = np.concatenate([dct.keys[:5], np.array([10**6 + 1, 10**6 + 2])])
+        hits = dct.batch_contains(probe)
+        assert hits.tolist() == [True] * 5 + [False, False]
+        label, nodes = list(dct.trace)[-1]
+        assert label == "dict-batch-lookup"
+        assert nodes.size <= 7 * dct.tree.num_levels  # union of 7 paths
+
+    def test_batch_empty_rejected(self, dct):
+        with pytest.raises(ValueError):
+            dct.batch_contains(np.array([], dtype=np.int64))

@@ -1,0 +1,137 @@
+"""Unit tests for the indexed heap and the Dijkstra workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    IndexedMinHeap,
+    dijkstra_trace,
+    random_graph,
+    reference_dijkstra,
+)
+from repro.core import ColorMapping
+from repro.memory import ParallelMemorySystem
+from repro.trees import CompleteBinaryTree
+
+
+class TestIndexedHeap:
+    def test_extract_order(self):
+        heap = IndexedMinHeap(CompleteBinaryTree(5))
+        for item, key in [(10, 5), (11, 3), (12, 8), (13, 1)]:
+            heap.insert_item(item, key)
+        out = [heap.extract_min_item() for _ in range(4)]
+        assert out == [(1, 13), (3, 11), (5, 10), (8, 12)]
+
+    def test_positions_tracked_through_sifts(self, rng):
+        heap = IndexedMinHeap(CompleteBinaryTree(8))
+        keys = rng.integers(0, 10**6, 100)
+        for item, key in enumerate(keys):
+            heap.insert_item(item, int(key))
+        for item in range(100):
+            pos = heap.position_of[item]
+            assert heap.items[pos] == item
+            assert heap.keys[pos] == heap.key_of(item)
+
+    def test_decrease_key_item(self):
+        heap = IndexedMinHeap(CompleteBinaryTree(4))
+        heap.insert_item(1, 50)
+        heap.insert_item(2, 40)
+        heap.decrease_key_item(1, 10)
+        assert heap.extract_min_item() == (10, 1)
+
+    def test_decrease_key_validation(self):
+        heap = IndexedMinHeap(CompleteBinaryTree(4))
+        heap.insert_item(1, 5)
+        with pytest.raises(ValueError):
+            heap.decrease_key_item(1, 10)
+        with pytest.raises(KeyError):
+            heap.decrease_key_item(99, 1)
+
+    def test_duplicate_item_rejected(self):
+        heap = IndexedMinHeap(CompleteBinaryTree(4))
+        heap.insert_item(1, 5)
+        with pytest.raises(ValueError):
+            heap.insert_item(1, 3)
+
+    def test_contains(self):
+        heap = IndexedMinHeap(CompleteBinaryTree(4))
+        heap.insert_item(7, 5)
+        assert 7 in heap and 8 not in heap
+        heap.extract_min_item()
+        assert 7 not in heap
+
+    def test_unindexed_ops_blocked(self):
+        heap = IndexedMinHeap(CompleteBinaryTree(4))
+        with pytest.raises(TypeError):
+            heap.insert(5)
+        with pytest.raises(TypeError):
+            heap.extract_min()
+        with pytest.raises(TypeError):
+            heap.decrease_key(0, 1)
+
+    def test_heap_invariant_after_mixed_ops(self, rng):
+        heap = IndexedMinHeap(CompleteBinaryTree(8))
+        alive = set()
+        for item in range(120):
+            heap.insert_item(item, int(rng.integers(0, 10**6)))
+            alive.add(item)
+        for _ in range(200):
+            op = rng.random()
+            if op < 0.4 and alive:
+                _, item = heap.extract_min_item()
+                alive.discard(item)
+            elif alive:
+                item = int(rng.choice(sorted(alive)))
+                heap.decrease_key_item(item, heap.key_of(item) - 1)
+            heap.check_invariant()
+
+
+class TestRandomGraph:
+    def test_shape(self, rng):
+        adj = random_graph(50, 4, rng)
+        assert len(adj) == 50
+        assert all(1 <= len(edges) <= 4 for edges in adj)
+        assert all(1 <= w <= 1000 for edges in adj for _, w in edges)
+
+    def test_ring_guarantees_connectivity(self, rng):
+        adj = random_graph(30, 1, rng)
+        dist = reference_dijkstra(adj, 0)
+        assert dist.max() < np.iinfo(np.int64).max // 8  # all reachable
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            random_graph(1, 2, rng)
+        with pytest.raises(ValueError):
+            random_graph(5, 0, rng)
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("n,deg,seed", [(40, 3, 0), (100, 4, 1), (200, 2, 2)])
+    def test_distances_match_reference(self, n, deg, seed):
+        rng = np.random.default_rng(seed)
+        adj = random_graph(n, deg, rng)
+        tree = CompleteBinaryTree(9)
+        dist, trace = dijkstra_trace(adj, 0, tree)
+        assert np.array_equal(dist, reference_dijkstra(adj, 0))
+        assert len(trace) > n  # at least one access per settled vertex
+
+    def test_trace_labels(self, rng):
+        adj = random_graph(60, 3, rng)
+        _, trace = dijkstra_trace(adj, 0, CompleteBinaryTree(8))
+        labels = set(trace.labels())
+        assert "heap-insert" in labels
+        assert "heap-extract-min" in labels
+
+    def test_capacity_check(self, rng):
+        adj = random_graph(100, 2, rng)
+        with pytest.raises(ValueError):
+            dijkstra_trace(adj, 0, CompleteBinaryTree(3))
+
+    def test_cf_mapping_zero_conflicts_on_sssp(self, rng):
+        """End-to-end: the whole shortest-path run is conflict-free under COLOR."""
+        adj = random_graph(120, 3, rng)
+        tree = CompleteBinaryTree(8)
+        _, trace = dijkstra_trace(adj, 0, tree)
+        mapping = ColorMapping(tree, N=8, k=2)  # CF on all paths here
+        stats = ParallelMemorySystem(mapping).run_trace(trace)
+        assert stats.total_conflicts == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the parallel-access min-heap."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ParallelMinHeap
+from repro.core import ColorMapping
+from repro.memory import ParallelMemorySystem
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestHeapSemantics:
+    def test_heapsort(self, rng):
+        heap = ParallelMinHeap(CompleteBinaryTree(9))
+        values = rng.integers(0, 10**6, 300).tolist()
+        for v in values:
+            heap.insert(int(v))
+        heap.check_invariant()
+        drained = [heap.extract_min() for _ in range(len(values))]
+        assert drained == sorted(values)
+        assert len(heap) == 0
+
+    def test_duplicates(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(4))
+        for v in [5, 5, 1, 5, 1]:
+            heap.insert(v)
+        assert [heap.extract_min() for _ in range(5)] == [1, 1, 5, 5, 5]
+
+    def test_peek_does_not_remove(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(4))
+        heap.insert(3)
+        heap.insert(1)
+        assert heap.peek_min() == 1
+        assert len(heap) == 2
+
+    def test_decrease_key(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(4))
+        for v in [10, 20, 30, 40]:
+            heap.insert(v)
+        heap.decrease_key(3, 1)
+        heap.check_invariant()
+        assert heap.extract_min() == 1
+
+    def test_decrease_key_validation(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(4))
+        heap.insert(5)
+        with pytest.raises(ValueError):
+            heap.decrease_key(0, 10)  # not a decrease
+        with pytest.raises(IndexError):
+            heap.decrease_key(3, 1)
+
+    def test_empty_and_full(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(2))
+        with pytest.raises(IndexError):
+            heap.extract_min()
+        with pytest.raises(IndexError):
+            heap.peek_min()
+        for v in range(3):
+            heap.insert(v)
+        with pytest.raises(OverflowError):
+            heap.insert(99)
+
+
+class TestHeapTrace:
+    def test_insert_records_path_to_root(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(5))
+        for v in range(6):
+            heap.insert(v)
+        label, nodes = list(heap.trace)[-1]
+        assert label == "heap-insert"
+        # slot 5's path: 5, 2, 0
+        assert nodes.tolist() == [5, 2, 0]
+
+    def test_trace_accesses_are_ascending_paths(self, rng):
+        heap = ParallelMinHeap(CompleteBinaryTree(8))
+        for v in rng.integers(0, 1000, 100):
+            heap.insert(int(v))
+        for _ in range(50):
+            heap.extract_min()
+        for label, nodes in heap.trace:
+            for a, b in zip(nodes, nodes[1:]):
+                assert coords.parent(int(a)) == int(b)
+
+    def test_cf_mapping_gives_zero_conflict_heap_trace(self, rng):
+        """End-to-end motivation: heap ops are conflict-free under COLOR."""
+        tree = CompleteBinaryTree(9)
+        heap = ParallelMinHeap(tree)
+        for v in rng.integers(0, 10**6, 200):
+            heap.insert(int(v))
+        for _ in range(100):
+            heap.extract_min()
+        mapping = ColorMapping(tree, N=9, k=2)  # CF on P(9) = all paths here
+        stats = ParallelMemorySystem(mapping).run_trace(heap.trace)
+        assert stats.total_conflicts == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the range-query tree (composite-template workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import RangeQueryTree
+from repro.trees import CompleteBinaryTree, coords, subtree_nodes
+
+
+@pytest.fixture
+def rq(tree8, rng):
+    keys = np.sort(rng.integers(0, 10**6, tree8.num_leaves))
+    return RangeQueryTree(tree8, keys)
+
+
+class TestConstruction:
+    def test_key_count_must_match_leaves(self, tree8):
+        with pytest.raises(ValueError):
+            RangeQueryTree(tree8, np.arange(10))
+
+    def test_keys_must_be_sorted(self, tree8):
+        keys = np.arange(tree8.num_leaves)[::-1].copy()
+        with pytest.raises(ValueError):
+            RangeQueryTree(tree8, keys)
+
+    def test_separators_are_left_subtree_maxima(self, rq):
+        t = rq.tree
+        for v in range(t.num_nodes // 4):
+            left_leaves = rq.keys[
+                coords.leftmost_leaf(2 * v + 1, t.num_levels) - t.level_start(t.last_level):
+                coords.rightmost_leaf(2 * v + 1, t.num_levels) - t.level_start(t.last_level) + 1
+            ]
+            assert rq.node_key[v] == left_leaves.max()
+
+
+class TestDecomposition:
+    def test_cover_is_exact_partition(self, rq):
+        t = rq.tree
+        for lo, hi in [(0, 0), (0, 127), (3, 97), (64, 64), (1, 126), (31, 32)]:
+            cover = rq.decompose(lo, hi)
+            covered = []
+            for root, levels in cover:
+                leaves = [
+                    v for v in subtree_nodes(root, levels)
+                    if coords.level_of(int(v)) == t.last_level
+                ]
+                covered.extend(int(v) - t.level_start(t.last_level) for v in leaves)
+            assert sorted(covered) == list(range(lo, hi + 1))
+
+    def test_cover_is_logarithmic(self, rq):
+        for lo, hi in [(1, 126), (5, 120), (17, 111)]:
+            assert len(rq.decompose(lo, hi)) <= 2 * rq.tree.num_levels
+
+    def test_aligned_range_is_single_subtree(self, rq):
+        cover = rq.decompose(0, 63)
+        assert len(cover) == 1
+        root, levels = cover[0]
+        assert levels == 7
+
+    def test_invalid_range(self, rq):
+        with pytest.raises(ValueError):
+            rq.decompose(5, 200)
+
+
+class TestQueries:
+    def test_results_match_key_filter(self, rq, rng):
+        for _ in range(25):
+            lo, hi = sorted(rng.integers(0, 10**6, 2).tolist())
+            got = rq.query(lo, hi)
+            expect = rq.keys[(rq.keys >= lo) & (rq.keys <= hi)]
+            assert np.array_equal(got, expect)
+
+    def test_empty_range(self, rq):
+        keys = rq.keys
+        gap_lo = int(keys[10]) + 1
+        gap_hi = int(keys[11]) - 1
+        if gap_lo <= gap_hi:
+            assert rq.query(gap_lo, gap_hi).size == 0
+
+    def test_inverted_range_rejected(self, rq):
+        with pytest.raises(ValueError):
+            rq.query(10, 5)
+
+    def test_search_path_reaches_correct_leaf(self, rq):
+        t = rq.tree
+        for leaf_idx in (0, 9, 77, 127):
+            key = int(rq.keys[leaf_idx])
+            path = rq.search_path(key)
+            assert path[0] == 0
+            assert t.is_leaf(path[-1])
+            assert rq.keys[path[-1] - t.level_start(t.last_level)] == key
+
+    def test_queries_recorded_in_trace(self, rq):
+        rq.query(0, 10**6)
+        assert len(rq.trace) == 1
+        label, nodes = next(iter(rq.trace))
+        assert label == "range-query"
+        assert nodes.size > 0
+
+
+class TestCompositeInstance:
+    def test_matches_paper_description(self, rq, rng):
+        """Subtree components + path components, pairwise disjoint."""
+        for _ in range(10):
+            lo, hi = sorted(rng.integers(0, 10**6, 2).tolist())
+            if rq.query(lo, hi).size == 0:
+                continue
+            comp = rq.composite_instance(lo, hi)
+            kinds = {part.kind for part in comp.components}
+            assert kinds <= {"subtree", "path"}
+            assert "subtree" in kinds
+
+    def test_path_components_are_ascending(self, rq):
+        comp = rq.composite_instance(int(rq.keys[3]), int(rq.keys[90]))
+        for part in comp.components:
+            if part.kind == "path":
+                for a, b in zip(part.nodes, part.nodes[1:]):
+                    assert coords.parent(int(a)) == int(b)
+
+    def test_empty_match_rejected(self, rq):
+        keys = rq.keys
+        gap_lo = int(keys[10]) + 1
+        gap_hi = int(keys[11]) - 1
+        if gap_lo <= gap_hi:
+            with pytest.raises(ValueError):
+                rq.composite_instance(gap_lo, gap_hi)

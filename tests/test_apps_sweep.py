@@ -1,0 +1,60 @@
+"""Unit tests for level-sweep workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import level_sweep_trace, reduction_trace
+from repro.core import ModuloMapping
+from repro.memory import ParallelMemorySystem
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestLevelSweep:
+    def test_covers_every_node_once(self, tree8):
+        trace = level_sweep_trace(tree8, window=8)
+        seen = np.concatenate([nodes for _, nodes in trace])
+        assert np.array_equal(np.sort(seen), np.arange(tree8.num_nodes))
+
+    def test_window_sizes(self, tree8):
+        trace = level_sweep_trace(tree8, window=8)
+        for _, nodes in trace:
+            assert nodes.size <= 8
+
+    def test_single_level_accesses(self, tree8):
+        for _, nodes in level_sweep_trace(tree8, window=16):
+            assert len({coords.level_of(int(v)) for v in nodes}) == 1
+
+    def test_bottom_up_order(self, tree8):
+        trace = level_sweep_trace(tree8, window=300, top_down=False)
+        first_levels = [coords.level_of(int(nodes[0])) for _, nodes in trace]
+        assert first_levels == sorted(first_levels, reverse=True)
+
+    def test_invalid_window(self, tree8):
+        with pytest.raises(ValueError):
+            level_sweep_trace(tree8, window=0)
+
+    def test_modulo_is_good_at_level_sweeps(self, tree8):
+        """Sanity: the level-window workload is the baseline's best case."""
+        mapping = ModuloMapping(tree8, 8)
+        stats = ParallelMemorySystem(mapping).run_trace(level_sweep_trace(tree8, 8))
+        assert stats.total_conflicts == 0
+
+
+class TestReduction:
+    def test_accesses_include_parents(self, tree8):
+        for _, nodes in reduction_trace(tree8, window=8):
+            node_set = {int(v) for v in nodes}
+            children = [v for v in node_set if coords.level_of(v) == max(
+                coords.level_of(u) for u in node_set)]
+            for v in children:
+                assert coords.parent(v) in node_set
+
+    def test_all_internal_nodes_touched_as_parents(self, tree8):
+        seen = set()
+        for _, nodes in reduction_trace(tree8, window=4):
+            seen.update(int(v) for v in nodes)
+        assert seen == set(range(tree8.num_nodes))
+
+    def test_invalid_window(self, tree8):
+        with pytest.raises(ValueError):
+            reduction_trace(tree8, window=1)

@@ -1,0 +1,103 @@
+"""Unit tests for the baseline mappings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost
+from repro.core import (
+    InterleavedMapping,
+    LevelModuloMapping,
+    ModuloMapping,
+    RandomMapping,
+)
+from repro.templates import LTemplate, PTemplate
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestModulo:
+    def test_color_is_id_mod_M(self, tree8):
+        mapping = ModuloMapping(tree8, 7)
+        arr = mapping.color_array()
+        assert np.array_equal(arr, np.arange(tree8.num_nodes) % 7)
+        assert mapping.module_of(10) == 3
+
+    def test_cf_on_level_windows_up_to_M(self, tree8):
+        mapping = ModuloMapping(tree8, 7)
+        assert family_cost(mapping, LTemplate(7)) == 0
+
+    def test_bad_on_paths(self, tree8):
+        """The spine v, 2v+1, 4v+3... collides mod M — paths conflict heavily."""
+        mapping = ModuloMapping(tree8, 7)
+        assert family_cost(mapping, PTemplate(7)) >= 1
+
+
+class TestLevelModulo:
+    def test_color_is_index_mod_M(self, tree8):
+        mapping = LevelModuloMapping(tree8, 5)
+        for v in (0, 5, 20, 100):
+            assert mapping.module_of(v) == coords.index_in_level(v) % 5
+        assert np.array_equal(
+            mapping.color_array(),
+            np.array([coords.index_in_level(v) % 5 for v in range(tree8.num_nodes)]),
+        )
+
+    def test_cf_on_levels_but_leftmost_path_monochrome(self, tree8):
+        mapping = LevelModuloMapping(tree8, 5)
+        assert family_cost(mapping, LTemplate(5)) == 0
+        # leftmost spine: index 0 at every level -> all color 0
+        spine = [coords.coord_to_id(0, j) for j in range(8)]
+        assert len({mapping.module_of(v) for v in spine}) == 1
+
+
+class TestInterleaved:
+    def test_formula(self, tree8):
+        mapping = InterleavedMapping(tree8, 6)
+        for v in (0, 3, 17, 99):
+            i, j = coords.id_to_coord(v)
+            assert mapping.module_of(v) == (i + j) % 6
+
+    def test_array_matches_scalar(self, tree8):
+        mapping = InterleavedMapping(tree8, 6)
+        arr = mapping.color_array()
+        assert all(arr[v] == mapping.module_of(v) for v in range(tree8.num_nodes))
+
+    def test_leftmost_spine_not_monochrome(self, tree8):
+        mapping = InterleavedMapping(tree8, 6)
+        spine = [coords.coord_to_id(0, j) for j in range(8)]
+        assert len({mapping.module_of(v) for v in spine}) > 1
+
+
+class TestRandom:
+    def test_reproducible(self, tree8):
+        a = RandomMapping(tree8, 9, seed=3).color_array()
+        b = RandomMapping(tree8, 9, seed=3).color_array()
+        c = RandomMapping(tree8, 9, seed=4).color_array()
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_colors_in_range(self, tree8):
+        RandomMapping(tree8, 9, seed=0).validate()
+
+    def test_module_of_matches_array(self, tree8):
+        mapping = RandomMapping(tree8, 9, seed=1)
+        arr = mapping.color_array()
+        assert all(mapping.module_of(v) == arr[v] for v in range(0, 255, 17))
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("cls", [ModuloMapping, LevelModuloMapping, InterleavedMapping])
+    def test_invalid_module_count(self, cls, tree8):
+        with pytest.raises(ValueError):
+            cls(tree8, 0)
+
+    def test_loads_sum_to_tree_size(self, tree8):
+        for mapping in (
+            ModuloMapping(tree8, 7),
+            RandomMapping(tree8, 7),
+            InterleavedMapping(tree8, 7),
+        ):
+            assert mapping.module_loads().sum() == tree8.num_nodes
+
+    def test_out_of_tree_node_rejected(self, tree8):
+        with pytest.raises(ValueError):
+            ModuloMapping(tree8, 7).module_of(tree8.num_nodes)

@@ -1,0 +1,122 @@
+"""Unit tests for BASIC-COLOR (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost
+from repro.core import BasicColorMapping, basic_color_array, num_colors
+from repro.core.basic_color import check_basic_color_params
+from repro.templates import LTemplate, PTemplate, STemplate, TPTemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestParams:
+    def test_num_colors_formula(self):
+        assert num_colors(5, 2) == 5 + 3 - 2
+        assert num_colors(4, 3) == 4 + 7 - 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            check_basic_color_params(2, 0)
+        with pytest.raises(ValueError):
+            check_basic_color_params(2, 3)  # N < k
+
+
+class TestColoringStructure:
+    def test_top_k_levels_get_distinct_sigma_colors(self):
+        colors = basic_color_array(6, 3)
+        K = 7
+        top = colors[:K]
+        assert sorted(top.tolist()) == list(range(K))
+
+    def test_uses_exactly_n_plus_K_minus_k_colors(self):
+        for N, k in [(4, 2), (6, 3), (8, 2), (5, 4)]:
+            colors = basic_color_array(N, k)
+            assert np.unique(colors).size == num_colors(N, k)
+            assert colors.max() == num_colors(N, k) - 1
+
+    def test_gamma_colors_one_fresh_per_level(self):
+        """Level j >= k introduces exactly one new color, K + (j - k)."""
+        N, k = 7, 3
+        K = 7
+        colors = basic_color_array(N, k)
+        seen: set[int] = set(range(K))
+        for j in range(k, N):
+            level = colors[(1 << j) - 1 : (1 << (j + 1)) - 1]
+            new = set(level.tolist()) - seen
+            assert new == {K + (j - k)}
+            seen |= new
+
+    def test_last_block_node_gets_gamma(self):
+        N, k = 6, 3
+        K = 7
+        colors = basic_color_array(N, k)
+        half = 1 << (k - 1)
+        for j in range(k, N):
+            base = (1 << j) - 1
+            lasts = colors[base + half - 1 : base + (1 << j) : half]
+            assert np.all(lasts == K + (j - k))
+
+    def test_block_inherits_sibling_subtree_bfs(self):
+        """b_0 of block(h, j) gets the color of v2 (paper: w_2)."""
+        N, k = 6, 3
+        colors = basic_color_array(N, k)
+        j = 4
+        base = (1 << j) - 1
+        for h in range(1 << (j - k + 1)):
+            b0 = base + h * (1 << (k - 1))
+            h2 = h + 1 if h % 2 == 0 else h - 1
+            v2 = (1 << (j - k + 1)) - 1 + h2
+            assert colors[b0] == colors[v2]
+
+    def test_k_equals_one_colors_by_level(self):
+        """For k=1 every block is a singleton; each level is monochrome."""
+        colors = basic_color_array(5, 1)
+        for j in range(5):
+            level = colors[(1 << j) - 1 : (1 << (j + 1)) - 1]
+            assert np.unique(level).size == 1
+
+    def test_n_equals_k_is_just_sigma(self):
+        colors = basic_color_array(3, 3)
+        assert np.array_equal(colors, np.arange(7))
+
+
+class TestTheorems:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("N", [5, 8, 10])
+    def test_theorem1_cf_on_S_and_P(self, N, k):
+        if N < k:
+            pytest.skip("N >= k required")
+        tree = CompleteBinaryTree(N)
+        mapping = BasicColorMapping(tree, k)
+        K = (1 << k) - 1
+        assert family_cost(mapping, STemplate(K)) == 0
+        assert family_cost(mapping, PTemplate(N)) == 0
+
+    @pytest.mark.parametrize("k,N", [(2, 6), (3, 7), (4, 8)])
+    def test_lemma1_cf_on_tp_family(self, k, N):
+        """BASIC-COLOR is CF on TP(K, j) for every anchor level j."""
+        tree = CompleteBinaryTree(N)
+        mapping = BasicColorMapping(tree, k)
+        K = (1 << k) - 1
+        for j in range(N):
+            fam = TPTemplate(K, anchor_level=j)
+            assert family_cost(mapping, fam) == 0, f"TP conflict at anchor level {j}"
+
+    @pytest.mark.parametrize("k,N", [(2, 6), (3, 7), (4, 9)])
+    def test_lemma2_at_most_one_conflict_on_L(self, k, N):
+        tree = CompleteBinaryTree(N)
+        mapping = BasicColorMapping(tree, k)
+        K = (1 << k) - 1
+        assert family_cost(mapping, LTemplate(K)) <= 1
+
+    def test_mapping_interface(self):
+        tree = CompleteBinaryTree(6)
+        mapping = BasicColorMapping(tree, 3)
+        assert mapping.num_modules == num_colors(6, 3)
+        assert mapping.K == 7 and mapping.N == 6 and mapping.k == 3
+        mapping.validate()
+        arr = mapping.color_array()
+        assert all(mapping.module_of(v) == arr[v] for v in range(0, tree.num_nodes, 7))
+        with pytest.raises(ValueError):
+            mapping.module_of(tree.num_nodes)

@@ -1,0 +1,191 @@
+"""Tests for the binomial-tree extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import chromatic_number, conflict_graph
+from repro.analysis.conflicts import instance_conflicts
+from repro.binomial import (
+    BinomialTree,
+    DepthMapping,
+    ProductMapping,
+    SubcubeMapping,
+    TwistedMapping,
+    binomial_depth,
+    binomial_parent,
+    binomial_path_instances,
+    binomial_subtree_instances,
+    lowbit_index,
+    subtree_roots,
+)
+
+
+class TestAddressing:
+    def test_parent_clears_lowest_bit(self):
+        assert binomial_parent(0b1011) == 0b1010
+        assert binomial_parent(0b1000) == 0
+        with pytest.raises(ValueError):
+            binomial_parent(0)
+
+    def test_depth_is_popcount(self):
+        assert binomial_depth(0) == 0
+        assert binomial_depth(0b1011) == 3
+
+    def test_lowbit_index(self):
+        assert lowbit_index(0b1000, 5) == 3
+        assert lowbit_index(1, 5) == 0
+        assert lowbit_index(0, 5) == 5
+
+    def test_children_add_lower_bits(self):
+        tree = BinomialTree(4)
+        assert tree.children(0b1000) == [0b1001, 0b1010, 0b1100]
+        assert tree.children(0) == [1, 2, 4, 8]
+        assert tree.children(0b0101) == [] if lowbit_index(0b0101, 4) == 0 else True
+
+    def test_children_parent_inverse(self):
+        tree = BinomialTree(6)
+        for x in range(tree.num_nodes):
+            for c in tree.children(x):
+                assert binomial_parent(c) == x
+
+    def test_node_count_and_depths(self):
+        tree = BinomialTree(5)
+        assert tree.num_nodes == 32
+        depths = tree.depths()
+        assert depths[0] == 0
+        assert depths[31] == 5
+        # depth histogram is binomial(5, .)
+        assert np.bincount(depths).tolist() == [1, 5, 10, 10, 5, 1]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            BinomialTree(-1)
+        with pytest.raises(ValueError):
+            BinomialTree(30)
+
+
+class TestTemplates:
+    def test_subtree_roots_are_aligned(self):
+        tree = BinomialTree(5)
+        roots = subtree_roots(tree, 2)
+        assert np.array_equal(roots, np.arange(0, 32, 4))
+        for r in roots:
+            assert lowbit_index(int(r), 5) >= 2
+
+    def test_subtree_instances_are_descendant_sets(self):
+        tree = BinomialTree(5)
+        for inst in binomial_subtree_instances(tree, 2):
+            root = int(inst[0])
+            for v in inst[1:]:
+                # v descends from root: ancestors reach root
+                x = int(v)
+                while x > root:
+                    x = binomial_parent(x)
+                assert x == root
+
+    def test_path_instances_are_chains(self):
+        tree = BinomialTree(6)
+        count = 0
+        for inst in binomial_path_instances(tree, 3):
+            count += 1
+            for a, b in zip(inst, inst[1:]):
+                assert binomial_parent(int(a)) == int(b)
+        # bottoms are nodes with depth >= 2
+        assert count == sum(1 for x in range(64) if binomial_depth(x) >= 2)
+
+    def test_invalid(self):
+        tree = BinomialTree(4)
+        with pytest.raises(ValueError):
+            list(binomial_path_instances(tree, 0))
+        with pytest.raises(ValueError):
+            subtree_roots(tree, -1)
+
+
+class TestMappings:
+    @pytest.mark.parametrize("n,k", [(5, 1), (6, 2), (7, 3)])
+    def test_subcube_cf_and_optimal(self, n, k):
+        tree = BinomialTree(n)
+        mapping = SubcubeMapping(tree, k)
+        colors = mapping.color_array()
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in binomial_subtree_instances(tree, k)
+        )
+        assert mapping.num_modules == 1 << k  # instance size = clique
+
+    @pytest.mark.parametrize("n,P", [(5, 3), (6, 4), (7, 5)])
+    def test_depth_cf_and_optimal(self, n, P):
+        tree = BinomialTree(n)
+        mapping = DepthMapping(tree, P)
+        colors = mapping.color_array()
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in binomial_path_instances(tree, P)
+        )
+        assert mapping.num_modules == P
+
+    @pytest.mark.parametrize("n,k,P", [(6, 2, 3), (7, 3, 4), (8, 2, 4)])
+    def test_product_cf_on_both(self, n, k, P):
+        tree = BinomialTree(n)
+        mapping = ProductMapping(tree, k, P)
+        colors = mapping.color_array()
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in binomial_subtree_instances(tree, k)
+        )
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in binomial_path_instances(tree, P)
+        )
+
+    @pytest.mark.parametrize("n,k,P", [(6, 2, 3), (7, 3, 4), (8, 3, 4)])
+    def test_twisted_cf_on_both_when_safe(self, n, k, P):
+        tree = BinomialTree(n)
+        mapping = TwistedMapping(tree, k, P)
+        colors = mapping.color_array()
+        assert mapping.num_modules == 1 << k
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in binomial_subtree_instances(tree, k)
+        )
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in binomial_path_instances(tree, P)
+        )
+
+    @pytest.mark.parametrize("k,P", [(2, 4), (3, 6), (2, 5)])
+    def test_twisted_rejects_unsafe_parameters(self, k, P):
+        with pytest.raises(ValueError):
+            TwistedMapping(BinomialTree(8), k, P)
+
+    def test_twisted_matches_exact_optimum_small(self):
+        """Where the twist applies, 2**k equals the exact chromatic number."""
+        n, k, P = 5, 2, 3
+        tree = BinomialTree(n)
+        instances = list(binomial_subtree_instances(tree, k)) + list(
+            binomial_path_instances(tree, P)
+        )
+        chi = chromatic_number(conflict_graph(instances, tree.num_nodes))
+        assert chi == TwistedMapping(tree, k, P).num_modules == 4
+
+    def test_single_template_mappings_fail_other_template(self):
+        tree = BinomialTree(6)
+        sub = SubcubeMapping(tree, 2).color_array()
+        dep = DepthMapping(tree, 3).color_array()
+        assert any(
+            instance_conflicts(sub, inst) > 0
+            for inst in binomial_path_instances(tree, 3)
+        )
+        assert any(
+            instance_conflicts(dep, inst) > 0
+            for inst in binomial_subtree_instances(tree, 2)
+        )
+
+    def test_invalid_params(self):
+        tree = BinomialTree(5)
+        with pytest.raises(ValueError):
+            SubcubeMapping(tree, 9)
+        with pytest.raises(ValueError):
+            DepthMapping(tree, 0)
+        with pytest.raises(ValueError):
+            ProductMapping(tree, 2, 0)

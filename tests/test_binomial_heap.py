@@ -1,0 +1,96 @@
+"""Tests for the binomial-heap application."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conflicts import instance_conflicts
+from repro.binomial import BinomialHeapApp
+
+
+class TestSemantics:
+    def test_heapsort(self, rng):
+        heap = BinomialHeapApp(order=10)
+        values = rng.integers(0, 10**6, 500).tolist()
+        for v in values:
+            heap.insert(int(v))
+        heap.check_invariant()
+        out = [heap.extract_min() for _ in range(len(values))]
+        assert out == sorted(values)
+        assert len(heap) == 0
+
+    def test_interleaved_ops(self, rng):
+        heap = BinomialHeapApp(order=8)
+        reference: list[int] = []
+        for _ in range(300):
+            if reference and rng.random() < 0.45:
+                assert heap.extract_min() == reference.pop(0)
+            else:
+                v = int(rng.integers(0, 10**6))
+                heap.insert(v)
+                reference.append(v)
+                reference.sort()
+            heap.check_invariant()
+
+    def test_peek(self):
+        heap = BinomialHeapApp(order=4)
+        for v in (9, 2, 7):
+            heap.insert(v)
+        assert heap.peek_min() == 2
+        assert len(heap) == 3
+
+    def test_duplicates(self):
+        heap = BinomialHeapApp(order=4)
+        for v in (3, 3, 1, 3):
+            heap.insert(v)
+        assert [heap.extract_min() for _ in range(4)] == [1, 3, 3, 3]
+
+    def test_capacity_and_errors(self):
+        heap = BinomialHeapApp(order=2)
+        heap.insert(1)
+        heap.insert(2)
+        heap.insert(3)
+        with pytest.raises(OverflowError):
+            heap.insert(4)
+        empty = BinomialHeapApp(order=2)
+        with pytest.raises(IndexError):
+            empty.extract_min()
+        with pytest.raises(IndexError):
+            empty.peek_min()
+        with pytest.raises(ValueError):
+            BinomialHeapApp(order=0)
+
+
+class TestTrace:
+    def test_accesses_are_aligned_blocks(self, rng):
+        heap = BinomialHeapApp(order=7)
+        for v in rng.integers(0, 1000, 60):
+            heap.insert(int(v))
+        for _ in range(20):
+            heap.extract_min()
+        for _, nodes in heap.trace:
+            size = nodes.size
+            assert size & (size - 1) == 0  # power of two
+            base = int(nodes[0])
+            assert base % size == 0 or base % heap.arena % size == 0
+            assert np.array_equal(nodes, np.arange(base, base + size))
+
+    def test_subcube_style_mapping_is_cf_on_heap_trace(self, rng):
+        """Every block access lands on distinct modules under x mod 2**k ...
+        using M = max block size, each access of size 2**k <= M is CF."""
+        heap = BinomialHeapApp(order=6)
+        for v in rng.integers(0, 1000, 50):
+            heap.insert(int(v))
+        for _ in range(25):
+            heap.extract_min()
+        M = 1 << (heap.order - 1)
+        colors = np.arange(heap.address_space, dtype=np.int64) % M
+        for _, nodes in heap.trace:
+            if nodes.size <= M:
+                assert instance_conflicts(colors, nodes) == 0
+
+    def test_insert_records_cascade(self):
+        heap = BinomialHeapApp(order=5)
+        heap.insert(1)  # place at rank 0
+        heap.insert(2)  # link rank 0, place rank 1
+        labels = [label for label, _ in heap.trace]
+        assert labels == ["bheap-place", "bheap-link", "bheap-place"]

@@ -1,0 +1,112 @@
+"""End-to-end tests for the pmtree CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def mapping_file(tmp_path):
+    path = tmp_path / "m.npz"
+    assert main(["build", "--levels", "10", "--color", "5,2", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.npz"
+    code = main(
+        ["trace", "heap", "--levels", "10", "--ops", "60", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_build_labeltree(self, tmp_path, capsys):
+        out = tmp_path / "lt.npz"
+        assert main(["build", "--levels", "9", "--labeltree", "15", "--out", str(out)]) == 0
+        assert "LabelTreeMapping" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_build_bad_color_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", "--levels", "9", "--color", "five", "--out", str(tmp_path / "x")])
+
+
+class TestInfo:
+    def test_info_prints_summary(self, mapping_file, capsys):
+        assert main(["info", str(mapping_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ColorMapping" in out
+        assert "M=6" in out
+        assert "load" in out
+
+
+class TestVerify:
+    def test_verify_cf_families_exit_zero(self, mapping_file, capsys):
+        code = main(["verify", str(mapping_file), "--subtree", "3", "--path", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("conflict-free") == 2
+
+    def test_verify_flags_conflicts(self, mapping_file, capsys):
+        code = main(["verify", str(mapping_file), "--level", "3"])
+        assert code == 2
+        assert "max 1 conflicts" in capsys.readouterr().out
+
+    def test_verify_requires_a_family(self, mapping_file):
+        with pytest.raises(SystemExit):
+            main(["verify", str(mapping_file)])
+
+    def test_verify_skips_oversized_families(self, mapping_file, capsys):
+        assert main(["verify", str(mapping_file), "--path", "30", "--subtree", "3"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+class TestTraceAndSimulate:
+    def test_trace_workloads(self, tmp_path, capsys):
+        for workload in ("heap", "range-query", "scan"):
+            out = tmp_path / f"{workload}.npz"
+            assert main(
+                ["trace", workload, "--levels", "9", "--ops", "30", "--out", str(out)]
+            ) == 0
+            assert out.exists()
+
+    @pytest.mark.parametrize("mode", ["barrier", "pipelined", "open-loop"])
+    def test_simulate_modes(self, mapping_file, trace_file, capsys, mode):
+        code = main(["simulate", str(mapping_file), str(trace_file), "--mode", mode])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TraceStats" in out
+        assert "items/cycle" in out
+
+    def test_cf_mapping_simulates_without_conflicts(
+        self, mapping_file, trace_file, capsys
+    ):
+        main(["simulate", str(mapping_file), str(trace_file)])
+        assert "conflicts total=0" in capsys.readouterr().out
+
+
+class TestProfileAndChart:
+    def test_profile_prints_level_histogram(self, trace_file, capsys):
+        assert main(["profile", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "TraceProfile" in out
+        assert "level  0" in out
+        assert "hottest node: 0" in out  # heap traces always touch the root
+
+    def test_chart_single_mapping(self, mapping_file, capsys):
+        assert main(["chart", str(mapping_file), "--kind", "path",
+                     "--sizes", "4,6,8"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case conflicts" in out
+        assert "|" in out
+
+    def test_chart_versus(self, mapping_file, tmp_path, capsys):
+        other = tmp_path / "lt.npz"
+        main(["build", "--levels", "10", "--labeltree", "15", "--out", str(other)])
+        capsys.readouterr()
+        assert main(["chart", str(mapping_file), "--versus", str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "o =" in out and "x =" in out

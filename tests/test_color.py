@@ -1,0 +1,131 @@
+"""Unit tests for COLOR (paper Sections 3.2 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost
+from repro.core import (
+    ColorMapping,
+    basic_color_array,
+    color_array,
+    max_parallelism_params,
+    num_colors,
+)
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestColorArray:
+    def test_restriction_to_first_subtree_is_basic_color(self):
+        """COLOR on B(0,0) must coincide with BASIC-COLOR."""
+        N, k = 5, 2
+        full = color_array(11, N, k)
+        assert np.array_equal(full[: (1 << N) - 1], basic_color_array(N, k))
+
+    def test_total_colors_never_exceed_M(self):
+        for N, k, H in [(4, 2, 10), (5, 3, 12), (6, 2, 13), (3, 1, 9)]:
+            colors = color_array(H, N, k)
+            assert np.unique(colors).size <= num_colors(N, k)
+
+    def test_all_M_colors_used_on_tall_trees(self):
+        N, k = 5, 2
+        colors = color_array(12, N, k)
+        assert np.unique(colors).size == num_colors(N, k)
+
+    def test_dummy_level_consistency(self):
+        """A shorter tree's coloring is the prefix of a taller one's."""
+        N, k = 5, 2
+        tall = color_array(13, N, k)
+        for H in (6, 9, 11):
+            short = color_array(H, N, k)
+            assert np.array_equal(short, tall[: (1 << H) - 1])
+
+    def test_h_smaller_than_k(self):
+        colors = color_array(2, 5, 3)
+        assert np.array_equal(colors, np.arange(3))
+
+    def test_n_equals_k_rejected_for_tall_trees(self):
+        with pytest.raises(ValueError):
+            color_array(8, 3, 3)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize(
+        "N,k,H",
+        [
+            (4, 2, 10), (4, 2, 13),
+            (5, 2, 11), (5, 3, 12),
+            (6, 3, 12), (7, 4, 13),
+            (3, 1, 10), (2, 1, 9),
+        ],
+    )
+    def test_cf_optimal_on_S_and_P(self, N, k, H):
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping(tree, N=N, k=k)
+        K = (1 << k) - 1
+        assert family_cost(mapping, STemplate(K)) == 0
+        assert family_cost(mapping, PTemplate(N)) == 0
+
+    def test_paths_spanning_many_layers_still_cf(self):
+        """P(N) instances crossing a B(N) boundary exercise the Gamma rule."""
+        N, k, H = 4, 2, 14
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping(tree, N=N, k=k)
+        colors = mapping.color_array()
+        # examine only paths whose top is strictly inside a deeper layer
+        fam = PTemplate(N)
+        m = fam.instance_matrix(tree)
+        from repro.analysis import matrix_conflicts
+
+        conf = matrix_conflicts(colors, m, mapping.num_modules)
+        assert conf.max() == 0
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_max_parallelism_one_conflict(self, m):
+        N, k, M = max_parallelism_params(m)
+        H = min(16, max(M + 1, N + 4))
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping.max_parallelism(tree, m)
+        assert mapping.num_modules == M
+        if STemplate(M).admits(tree):
+            assert family_cost(mapping, STemplate(M)) <= 1
+        if PTemplate(M).admits(tree):
+            assert family_cost(mapping, PTemplate(M)) <= 1
+
+    def test_max_parallelism_params(self):
+        assert max_parallelism_params(3) == (6, 2, 7)
+        assert max_parallelism_params(4) == (11, 3, 15)
+        with pytest.raises(ValueError):
+            max_parallelism_params(1)
+
+    def test_cannot_be_conflict_free_at_full_parallelism(self):
+        """The other half of Theorem 4/5: 0 conflicts is impossible, so 1 is optimal."""
+        m = 3
+        N, k, M = max_parallelism_params(m)
+        tree = CompleteBinaryTree(M + 1)
+        mapping = ColorMapping.max_parallelism(tree, m)
+        s_cost = family_cost(mapping, STemplate(M))
+        p_cost = family_cost(mapping, PTemplate(M))
+        assert max(s_cost, p_cost) == 1  # exactly one, not zero
+
+
+class TestMappingInterface:
+    def test_module_of_matches_array(self):
+        tree = CompleteBinaryTree(10)
+        mapping = ColorMapping(tree, N=5, k=2)
+        arr = mapping.color_array()
+        for v in range(0, tree.num_nodes, 13):
+            assert mapping.module_of(v) == arr[v]
+
+    def test_validate(self):
+        tree = CompleteBinaryTree(9)
+        ColorMapping(tree, N=4, k=2).validate()
+
+    def test_invalid_construction(self):
+        tree = CompleteBinaryTree(9)
+        with pytest.raises(ValueError):
+            ColorMapping(tree, N=3, k=3)  # N == k with tall tree
+        with pytest.raises(ValueError):
+            ColorMapping(tree, N=2, k=3)  # N < k

@@ -1,0 +1,176 @@
+"""Tests for the d-ary extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import chromatic_number, conflict_graph
+from repro.analysis.conflicts import instance_conflicts
+from repro.core import color_array
+from repro.dary import (
+    DaryColorMapping,
+    DaryTree,
+    dary_color_array,
+    dary_level_instances,
+    dary_num_colors,
+    dary_path_instances,
+    dary_resolve_color,
+    dary_subtree_instances,
+)
+from repro.dary import coords as dc
+
+
+class TestDaryCoords:
+    def test_level_start(self):
+        assert [dc.level_start(j, 3) for j in range(4)] == [0, 1, 4, 13]
+
+    def test_coord_round_trip(self):
+        for d in (2, 3, 4, 5):
+            for j in range(4):
+                for i in range(d**j):
+                    node = dc.coord_to_id(i, j, d)
+                    assert dc.id_to_coord(node, d) == (i, j)
+
+    def test_parent_child_inverse(self):
+        for d in (2, 3, 4):
+            for node in range(1, 100):
+                for which in range(d):
+                    assert dc.parent(dc.child(node, which, d), d) == node
+
+    def test_siblings(self):
+        assert dc.siblings(1, 3) == [2, 3]
+        assert dc.siblings(2, 3) == [1, 3]
+        assert sorted(dc.siblings(5, 2) + [5]) == [5, 6]
+
+    def test_ancestor_matches_repeated_parent(self):
+        d = 3
+        node = dc.coord_to_id(17, 3, d)
+        walk = node
+        for t in range(4):
+            assert dc.ancestor(node, t, d) == walk
+            if walk:
+                walk = dc.parent(walk, d)
+
+    def test_path_up(self):
+        assert dc.path_up(13, 3, 3) == [13, 4, 1]
+
+    def test_subtree_size(self):
+        assert dc.subtree_size(3, 3) == 13
+        assert dc.subtree_size(2, 4) == 5
+
+    def test_bfs_node_of_subtree(self):
+        d = 3
+        nodes = dc.subtree_nodes_list(2, 3, d)
+        for rank, node in enumerate(nodes):
+            assert dc.bfs_node_of_subtree(2, rank, d) == node
+
+    def test_binary_agrees_with_binary_module(self):
+        from repro.trees import coords as bc
+
+        for node in range(1, 200):
+            assert dc.parent(node, 2) == bc.parent(node)
+            assert dc.level_of(node, 2) == bc.level_of(node)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            dc.parent(0, 3)
+        with pytest.raises(ValueError):
+            dc.child(0, 3, 3)
+        with pytest.raises(ValueError):
+            dc.level_start(0, 1)
+
+
+class TestDaryTree:
+    def test_geometry(self):
+        t = DaryTree(3, 4)
+        assert t.num_nodes == 40
+        assert t.level_size(3) == 27
+        assert t.level_start(2) == 4
+
+    def test_membership(self):
+        t = DaryTree(3, 3)
+        assert 12 in t and 13 not in t
+        with pytest.raises(ValueError):
+            t.check_node(13)
+
+    def test_template_enumeration_counts(self):
+        t = DaryTree(3, 4)
+        assert sum(1 for _ in dary_subtree_instances(t, 2)) == 13  # levels 0..2
+        assert sum(1 for _ in dary_path_instances(t, 2)) == t.num_nodes - 1
+        assert sum(1 for _ in dary_level_instances(t, 3)) == 1 + 7 + 25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DaryTree(1, 3)
+        with pytest.raises(ValueError):
+            DaryTree(3, 0)
+
+
+class TestDaryColor:
+    @pytest.mark.parametrize(
+        "d,k,N,H",
+        [(2, 2, 4, 8), (3, 1, 3, 5), (3, 2, 4, 6), (3, 3, 4, 5), (4, 2, 3, 5), (5, 2, 3, 4)],
+    )
+    def test_cf_on_subtrees_and_paths(self, d, k, N, H):
+        tree = DaryTree(d, H)
+        mapping = DaryColorMapping(tree, N=N, k=k)
+        colors = mapping.color_array()
+        for inst in dary_subtree_instances(tree, k):
+            assert instance_conflicts(colors, inst) == 0
+        for inst in dary_path_instances(tree, N):
+            assert instance_conflicts(colors, inst) == 0
+        assert mapping.colors_used() <= mapping.num_modules
+
+    def test_num_colors_formula(self):
+        assert dary_num_colors(4, 2, 3) == 4 + 4 - 2
+        assert dary_num_colors(5, 2, 4) == 5 + 5 - 2
+
+    @pytest.mark.parametrize(
+        "d,N,k,H", [(2, 5, 2, 10), (3, 4, 2, 7), (3, 4, 3, 6), (4, 3, 2, 5), (5, 3, 2, 4)]
+    )
+    def test_vectorized_matches_reference(self, d, N, k, H):
+        from repro.dary.color import dary_color_array_reference
+
+        tree = DaryTree(d, H)
+        assert np.array_equal(
+            dary_color_array(tree, N, k), dary_color_array_reference(tree, N, k)
+        )
+
+    def test_d2_bit_identical_to_binary(self):
+        tree = DaryTree(2, 11)
+        a = dary_color_array(tree, N=5, k=2)
+        assert np.array_equal(a, color_array(11, 5, 2))
+
+    def test_resolver_matches_array(self):
+        tree = DaryTree(3, 6)
+        mapping = DaryColorMapping(tree, N=4, k=2)
+        arr = mapping.color_array()
+        for v in range(tree.num_nodes):
+            assert dary_resolve_color(v, 4, 2, 3) == arr[v]
+
+    def test_level_windows_cheap(self):
+        tree = DaryTree(3, 6)
+        mapping = DaryColorMapping(tree, N=4, k=2)
+        colors = mapping.color_array()
+        K = mapping.K
+        worst = max(
+            instance_conflicts(colors, inst) for inst in dary_level_instances(tree, K)
+        )
+        assert worst <= 2  # the d-ary analogue of Lemma 2 (constant, small)
+
+    def test_palette_is_optimal_small_cases(self):
+        """Theorem 2's argument survives arity: chromatic number of the
+        S(K)+P(N) conflict graph equals N + K - k for d = 3 too."""
+        d, k, N = 3, 2, 3
+        tree = DaryTree(d, N)
+        instances = list(dary_subtree_instances(tree, k)) + list(
+            dary_path_instances(tree, N)
+        )
+        adj = conflict_graph(instances, tree.num_nodes)
+        assert chromatic_number(adj) == dary_num_colors(N, k, d)
+
+    def test_invalid_params(self):
+        tree = DaryTree(3, 6)
+        with pytest.raises(ValueError):
+            DaryColorMapping(tree, N=1, k=2)
+        with pytest.raises(ValueError):
+            dary_color_array(DaryTree(3, 6), N=2, k=2)  # N == k, tall tree

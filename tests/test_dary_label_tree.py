@@ -1,0 +1,112 @@
+"""Tests for the d-ary LABEL-TREE extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conflicts import instance_conflicts
+from repro.core import micro_label_index_array
+from repro.dary import (
+    DaryLabelTreeMapping,
+    DaryTree,
+    dary_level_instances,
+    dary_micro_label_index_array,
+    dary_micro_label_list_size,
+    dary_path_instances,
+    dary_subtree_instances,
+)
+
+
+class TestMicroPattern:
+    def test_d2_matches_binary_minus_skipped_index(self):
+        """The binary pattern skips Sigma index 2**l - 1 (a paper artifact);
+        the d-ary generalization does not — otherwise identical."""
+        for m, l in [(4, 2), (5, 3), (6, 4)]:
+            dary = dary_micro_label_index_array(m, l, 2)
+            binary = micro_label_index_array(m, l)
+            compacted = np.where(binary >= (1 << l), binary - 1, binary)
+            assert np.array_equal(dary, compacted)
+
+    def test_list_size_consistent_with_pattern(self):
+        for d, m, l in [(2, 5, 2), (3, 4, 2), (4, 3, 1), (3, 3, 2)]:
+            idx = dary_micro_label_index_array(m, l, d)
+            assert idx.max() == dary_micro_label_list_size(m, l, d) - 1
+            assert idx.min() == 0
+
+    def test_top_levels_identity(self):
+        idx = dary_micro_label_index_array(4, 2, 3)
+        assert np.array_equal(idx[:4], np.arange(4))
+
+    def test_sibling_blocks_share_fresh_index(self):
+        d, m, l = 3, 3, 2
+        idx = dary_micro_label_index_array(m, l, d)
+        from repro.dary import coords
+
+        block = d ** (l - 1)
+        start = coords.level_start(2, d)
+        lasts = [idx[start + h * block + block - 1] for h in range(d ** (m - l))]
+        # groups of d consecutive blocks share the index
+        for g in range(len(lasts) // d):
+            assert len(set(lasts[g * d : (g + 1) * d])) == 1
+
+    def test_within_subtree_paths_conflict_free(self):
+        """Full-height paths inside one pattern subtree are rainbow."""
+        for d, m, l in [(3, 3, 2), (4, 3, 1), (2, 5, 3)]:
+            idx = dary_micro_label_index_array(m, l, d)
+            tree = DaryTree(d, m)
+            worst = max(
+                instance_conflicts(idx, inst) for inst in dary_path_instances(tree, m)
+            )
+            assert worst == 0
+
+    def test_small_subtrees_conflict_free(self):
+        for d, m, l in [(3, 3, 2), (2, 5, 3)]:
+            idx = dary_micro_label_index_array(m, l, d)
+            tree = DaryTree(d, m)
+            worst = max(
+                instance_conflicts(idx, inst) for inst in dary_subtree_instances(tree, l)
+            )
+            assert worst == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dary_micro_label_index_array(3, 0, 3)
+        with pytest.raises(ValueError):
+            dary_micro_label_index_array(2, 3, 3)
+
+
+class TestDaryLabelTreeMapping:
+    @pytest.mark.parametrize("d,M,H", [(3, 13, 6), (4, 21, 5), (2, 15, 10)])
+    def test_colors_in_range_and_loads(self, d, M, H):
+        tree = DaryTree(d, H)
+        lt = DaryLabelTreeMapping(tree, M)
+        colors = lt.color_array()
+        assert colors.min() >= 0 and colors.max() < M
+        loads = lt.module_loads()
+        assert loads.sum() == tree.num_nodes
+        assert loads.max() / max(1, loads.min()) < 2.0
+
+    def test_conflicts_stay_small(self):
+        tree = DaryTree(3, 6)
+        M = 13
+        lt = DaryLabelTreeMapping(tree, M)
+        colors = lt.color_array()
+        worst_l = max(
+            instance_conflicts(colors, inst) for inst in dary_level_instances(tree, M)
+        )
+        worst_p = max(
+            instance_conflicts(colors, inst) for inst in dary_path_instances(tree, 6)
+        )
+        # far below the trivial worst case of M-1 / path length - 1
+        assert worst_l <= 4
+        assert worst_p <= 2
+
+    def test_module_of_matches_color_array(self):
+        tree = DaryTree(3, 5)
+        lt = DaryLabelTreeMapping(tree, 13)
+        colors = lt.color_array()
+        for v in range(tree.num_nodes):
+            assert lt.module_of(v) == colors[v]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DaryLabelTreeMapping(DaryTree(3, 5), 2)

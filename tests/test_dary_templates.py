@@ -1,0 +1,105 @@
+"""Unit tests for the d-ary template families (TemplateFamily protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost, load_report
+from repro.dary import (
+    DaryColorMapping,
+    DaryLTemplate,
+    DaryPTemplate,
+    DarySTemplate,
+    DaryTree,
+    dary_level_instances,
+    dary_path_instances,
+    dary_subtree_instances,
+)
+
+
+@pytest.fixture
+def tree3():
+    return DaryTree(3, 6)
+
+
+class TestMatricesMatchIterators:
+    def test_subtree(self, tree3):
+        fam = DarySTemplate(3, 2)
+        matrix = fam.instance_matrix(tree3)
+        legacy = list(dary_subtree_instances(tree3, 2))
+        assert matrix.shape == (len(legacy), fam.size)
+        for row, inst in zip(matrix, legacy):
+            assert np.array_equal(np.sort(row), np.sort(inst))
+
+    def test_path(self, tree3):
+        fam = DaryPTemplate(3, 4)
+        matrix = fam.instance_matrix(tree3)
+        legacy = list(dary_path_instances(tree3, 4))
+        assert matrix.shape == (len(legacy), 4)
+        for row, inst in zip(matrix, legacy):
+            assert np.array_equal(row, inst)
+
+    def test_level(self, tree3):
+        fam = DaryLTemplate(3, 5)
+        matrix = fam.instance_matrix(tree3)
+        legacy = list(dary_level_instances(tree3, 5))
+        assert matrix.shape == (len(legacy), 5)
+        for row, inst in zip(matrix, legacy):
+            assert np.array_equal(row, inst)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "fam", [DarySTemplate(3, 2), DaryLTemplate(3, 5), DaryPTemplate(3, 4)],
+        ids=["S", "L", "P"],
+    )
+    def test_count_matches_enumeration(self, fam, tree3):
+        assert fam.count(tree3) == sum(1 for _ in fam.instances(tree3))
+
+    @pytest.mark.parametrize(
+        "fam", [DarySTemplate(3, 2), DaryLTemplate(3, 5), DaryPTemplate(3, 4)],
+        ids=["S", "L", "P"],
+    )
+    def test_instance_at_bounds(self, fam, tree3):
+        with pytest.raises(IndexError):
+            fam.instance_at(tree3, fam.count(tree3))
+
+    @pytest.mark.parametrize(
+        "fam", [DarySTemplate(3, 2), DaryLTemplate(3, 5), DaryPTemplate(3, 4)],
+        ids=["S", "L", "P"],
+    )
+    def test_sample(self, fam, tree3, rng):
+        inst = fam.sample(tree3, rng)
+        assert inst.size == fam.size
+
+    def test_arity_mismatch_rejected(self, tree3):
+        with pytest.raises(ValueError):
+            DarySTemplate(2, 2).count(tree3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DarySTemplate(1, 2)
+        with pytest.raises(ValueError):
+            DaryLTemplate(3, 0)
+        with pytest.raises(ValueError):
+            DaryPTemplate(3, 0)
+
+
+class TestAnalysisStackIntegration:
+    def test_family_cost_works_on_dary(self, tree3):
+        """The headline: the binary analysis stack runs on d-ary unchanged."""
+        mapping = DaryColorMapping(tree3, N=4, k=2)
+        assert family_cost(mapping, DarySTemplate(3, 2)) == 0
+        assert family_cost(mapping, DaryPTemplate(3, 4)) == 0
+        assert family_cost(mapping, DaryLTemplate(3, mapping.K)) <= 2
+
+    def test_load_report_works_on_dary(self, tree3):
+        mapping = DaryColorMapping(tree3, N=4, k=2)
+        report = load_report(mapping)
+        assert report.loads.sum() == tree3.num_nodes
+
+    def test_spectrum_works_on_dary(self, tree3):
+        from repro.analysis import conflict_spectrum
+
+        mapping = DaryColorMapping(tree3, N=4, k=2)
+        spec = conflict_spectrum(mapping, DaryPTemplate(3, 4))
+        assert spec.max == 0 and spec.cf_fraction == 1.0

@@ -1,0 +1,112 @@
+"""Error-handling audit: every public constructor rejects bad inputs loudly.
+
+A systematic sweep of invalid arguments across the public API — each case
+must raise ``ValueError`` (or the documented exception), never return a
+half-constructed object or silently clamp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import BatchParallelQueue, ParallelMinHeap, RangeQueryTree, StaticDictionary
+from repro.core import (
+    BasicColorMapping,
+    ColorMapping,
+    LabelTreeMapping,
+    ModuloMapping,
+    PathOnlyMapping,
+    SubtreeOnlyMapping,
+)
+from repro.dary import DaryColorMapping, DaryLabelTreeMapping, DaryTree
+from repro.memory import FaultModel, MemoryModule, MultiBus
+from repro.templates import (
+    CompositeSampler,
+    LTemplate,
+    PTemplate,
+    STemplate,
+    TPTemplate,
+    elementary_family,
+)
+from repro.trees import CompleteBinaryTree
+
+TREE = CompleteBinaryTree(8)
+
+CASES = [
+    # (label, thunk)
+    ("tree: zero levels", lambda: CompleteBinaryTree(0)),
+    ("tree: negative levels", lambda: CompleteBinaryTree(-3)),
+    ("tree: absurd levels", lambda: CompleteBinaryTree(64)),
+    ("dary tree: arity 1", lambda: DaryTree(1, 4)),
+    ("dary tree: oversized", lambda: DaryTree(8, 20)),
+    ("S-template: non-complete size", lambda: STemplate(6)),
+    ("S-template: zero", lambda: STemplate(0)),
+    ("L-template: zero", lambda: LTemplate(0)),
+    ("P-template: zero", lambda: PTemplate(0)),
+    ("TP: bad K", lambda: TPTemplate(4, anchor_level=1)),
+    ("TP: negative anchor", lambda: TPTemplate(3, anchor_level=-1)),
+    ("elementary factory: bad kind", lambda: elementary_family("ring", 3)),
+    ("basic color: k zero", lambda: BasicColorMapping(TREE, 0)),
+    ("basic color: k above N", lambda: BasicColorMapping(CompleteBinaryTree(2), 5)),
+    ("color: N below k", lambda: ColorMapping(TREE, N=1, k=3)),
+    ("color: N equals k tall tree", lambda: ColorMapping(TREE, N=3, k=3)),
+    ("color general M too small", lambda: ColorMapping.for_modules(TREE, 2)),
+    ("label tree: M too small", lambda: LabelTreeMapping(TREE, 2)),
+    ("label tree: bad macro", lambda: LabelTreeMapping(TREE, 15, macro_policy="zig")),
+    ("label tree: bad rotate", lambda: LabelTreeMapping(TREE, 15, rotate_policy="zag")),
+    ("modulo: zero modules", lambda: ModuloMapping(TREE, 0)),
+    ("path-only: zero", lambda: PathOnlyMapping(TREE, 0)),
+    ("subtree-only: zero", lambda: SubtreeOnlyMapping(TREE, 0)),
+    ("dary color: N below k", lambda: DaryColorMapping(DaryTree(3, 4), N=1, k=2)),
+    ("dary labeltree: tiny M", lambda: DaryLabelTreeMapping(DaryTree(3, 4), 2)),
+    ("module: zero latency", lambda: MemoryModule(module_id=0, latency=0)),
+    ("module: zero ports", lambda: MemoryModule(module_id=0, ports=0)),
+    ("multibus: zero buses", lambda: MultiBus(0)),
+    ("faults: slow latency zero", lambda: FaultModel(slow={0: 0})),
+    ("faults: overlap", lambda: FaultModel(slow={1: 2}, failed={1})),
+    ("sampler: bad kinds", lambda: CompositeSampler(TREE, kinds=("blob",))),
+    ("sampler: empty kinds", lambda: CompositeSampler(TREE, kinds=())),
+    ("range query: key count", lambda: RangeQueryTree(TREE, np.arange(3))),
+    ("range query: unsorted", lambda: RangeQueryTree(
+        TREE, np.arange(TREE.num_leaves)[::-1].copy())),
+    ("dictionary: key count", lambda: StaticDictionary(TREE, np.arange(3))),
+]
+
+
+@pytest.mark.parametrize("label,thunk", CASES, ids=[c[0] for c in CASES])
+def test_invalid_construction_raises_value_error(label, thunk):
+    with pytest.raises(ValueError):
+        thunk()
+
+
+class TestRuntimeErrors:
+    def test_heap_overflow_is_overflow_error(self):
+        heap = ParallelMinHeap(CompleteBinaryTree(2))
+        heap.insert(1)
+        heap.insert(2)
+        heap.insert(3)
+        with pytest.raises(OverflowError):
+            heap.insert(4)
+
+    def test_queue_overflow_is_overflow_error(self):
+        queue = BatchParallelQueue(CompleteBinaryTree(2))
+        with pytest.raises(OverflowError):
+            queue.batch_insert(np.arange(10))
+
+    def test_empty_extract_is_index_error(self):
+        with pytest.raises(IndexError):
+            ParallelMinHeap(CompleteBinaryTree(3)).extract_min()
+
+    def test_messages_name_the_offender(self):
+        """Error messages must carry the offending value."""
+        try:
+            CompleteBinaryTree(-7)
+        except ValueError as exc:
+            assert "-7" in str(exc)
+        try:
+            STemplate(12)
+        except ValueError as exc:
+            assert "12" in str(exc)
+        try:
+            TREE.check_node(999)
+        except ValueError as exc:
+            assert "999" in str(exc)

@@ -1,0 +1,126 @@
+"""Tests for the extension features: facade, general M, policies, viz, CLI."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import family_cost, load_report, render_coloring, render_module_histogram
+from repro.bench.ablations import ABLATIONS
+from repro.bench.experiments import run_experiment
+from repro.core import ColorMapping, LabelTreeMapping
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestFacade:
+    def test_public_exports_work(self):
+        tree = repro.CompleteBinaryTree(8)
+        mapping = repro.ColorMapping(tree, N=5, k=2)
+        assert repro.family_cost(mapping, repro.PTemplate(5)) == 0
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestGeneralM:
+    def test_power_of_two_minus_one_unchanged(self, tree12):
+        mapping = ColorMapping.for_modules(tree12, 15)
+        assert mapping.num_modules == 15
+        assert mapping.colors_used() <= 15
+
+    def test_intermediate_M_leaves_spare_modules(self, tree12):
+        mapping = ColorMapping.for_modules(tree12, 20)
+        assert mapping.num_modules == 20
+        assert mapping.colors_used() <= 15  # largest 2**m - 1 <= 20
+        mapping.validate()
+
+    def test_conflicts_within_constant_factor(self, tree12):
+        """The paper's general-case remark, in miniature."""
+        exact = ColorMapping.for_modules(tree12, 15)
+        general = ColorMapping.for_modules(tree12, 20)
+        for D in (20, 40):
+            got = family_cost(general, LTemplate(D))
+            reference = family_cost(exact, LTemplate(D))
+            assert got <= 2 * reference + 2
+
+    def test_too_small_M(self, tree12):
+        with pytest.raises(ValueError):
+            ColorMapping.for_modules(tree12, 2)
+
+
+class TestLabelTreePolicies:
+    def test_default_policies(self, tree12):
+        lt = LabelTreeMapping(tree12, 31)
+        assert lt._macro_policy == "diagonal" and lt._rotate_policy == "unit"
+
+    def test_layer_macro_unbalances_load(self):
+        tree = CompleteBinaryTree(14)
+        good = load_report(LabelTreeMapping(tree, 31)).ratio
+        bad = load_report(LabelTreeMapping(tree, 31, macro_policy="layer")).ratio
+        assert good < 1.25
+        assert bad > 2 * good
+
+    def test_no_rotation_hurts_levels(self, tree12):
+        default = LabelTreeMapping(tree12, 31)
+        ablated = LabelTreeMapping(tree12, 31, rotate_policy="none")
+        assert family_cost(ablated, LTemplate(62)) > family_cost(default, LTemplate(62))
+
+    def test_policies_keep_addressing_consistent(self, tree12, rng):
+        for macro in ("diagonal", "layer"):
+            for rotate in ("unit", "none"):
+                lt = LabelTreeMapping(tree12, 31, macro_policy=macro, rotate_policy=rotate)
+                arr = lt.color_array()
+                for v in rng.integers(0, tree12.num_nodes, 60):
+                    assert lt.module_of(int(v)) == arr[int(v)]
+
+    def test_unknown_policy_rejected(self, tree12):
+        with pytest.raises(ValueError):
+            LabelTreeMapping(tree12, 31, macro_policy="bogus")
+        with pytest.raises(ValueError):
+            LabelTreeMapping(tree12, 31, rotate_policy="bogus")
+
+
+class TestViz:
+    def test_render_coloring_shows_top_levels(self, tree8):
+        mapping = ColorMapping(tree8, N=5, k=2)
+        art = render_coloring(mapping, max_levels=4)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip() == "0"  # root is module 0
+        assert set(lines[1].split()) == {"1", "2"}
+
+    def test_render_histogram(self, tree8):
+        mapping = ColorMapping(tree8, N=5, k=2)
+        art = render_module_histogram(mapping, width=20)
+        assert len(art.splitlines()) == mapping.num_modules
+        assert "#" in art
+
+
+class TestAblationRegistry:
+    def test_all_ablations_run_quick(self):
+        for exp_id in ABLATIONS:
+            result = run_experiment(exp_id, "quick")
+            assert result.holds, f"{exp_id}: {result}"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "A6" in out
+
+    def test_run_single_quick(self, capsys, tmp_path):
+        from repro.bench.cli import main
+
+        md = tmp_path / "out.md"
+        assert main(["run", "E3", "--quick", "--markdown", str(md)]) == 0
+        assert "claim holds: YES" in capsys.readouterr().out
+        assert md.read_text().startswith("# Regenerated results")

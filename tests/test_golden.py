@@ -1,0 +1,77 @@
+"""Golden regression tests: exact colorings pinned against hand-checked values.
+
+The BASIC-COLOR array below was verified by hand against Fig. 2 of the paper
+(N=4, k=2: Sigma = {0,1,2} rainbow on the top two levels; block donors via
+the sibling subtree; Gamma = {3,4} one fresh color per level).  Any semantic
+change to the construction — even one that preserves conflict-freeness —
+will trip these tests, so accidental drift is caught immediately.
+"""
+
+import numpy as np
+
+from repro.core import (
+    LabelTreeMapping,
+    basic_color_array,
+    color_array,
+    micro_label_index_array,
+)
+from repro.core.single_template import SubtreeOnlyMapping
+from repro.trees import CompleteBinaryTree
+
+
+class TestGoldenColorings:
+    def test_basic_color_n4_k2_hand_verified(self):
+        # Hand-checked against the paper's Fig. 2 (see module docstring).
+        expected = [0, 1, 2, 2, 3, 1, 3, 3, 4, 2, 4, 3, 4, 1, 4]
+        assert basic_color_array(4, 2).tolist() == expected
+
+    def test_color_h6_n4_k2(self):
+        expected = [
+            0, 1, 2, 2, 3, 1, 3, 3, 4, 2, 4, 3, 4, 1, 4,
+            4, 0, 3, 0, 4, 0, 2, 0, 4, 0, 3, 0, 4, 0, 1, 0,
+            0, 1, 4, 1, 0, 1, 3, 1, 0, 1, 4, 1, 0, 1, 2, 1,
+            0, 2, 4, 2, 0, 2, 3, 2, 0, 2, 4, 2, 0, 2, 1, 2,
+        ]
+        assert color_array(6, 4, 2).tolist() == expected
+
+    def test_color_prefix_is_basic_color(self):
+        assert color_array(6, 4, 2).tolist()[:15] == basic_color_array(4, 2).tolist()
+
+    def test_micro_label_m4_l2(self):
+        expected = [0, 1, 2, 2, 4, 1, 4, 4, 5, 2, 5, 4, 6, 1, 6]
+        assert micro_label_index_array(4, 2).tolist() == expected
+
+    def test_label_tree_m7_h5(self):
+        expected = [
+            0, 1, 2, 2, 4, 1, 4, 0, 1, 2, 3, 4, 5, 6, 0,
+            1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 0, 0, 1, 1, 2,
+        ]
+        mapping = LabelTreeMapping(CompleteBinaryTree(5), 7)
+        assert mapping.color_array().tolist() == expected
+
+    def test_subtree_only_k2_h5(self):
+        expected = [
+            0, 1, 2, 2, 0, 1, 0, 0, 1, 2, 1, 0, 2, 1, 2,
+            1, 2, 0, 2, 1, 0, 2, 0, 2, 1, 0, 1, 2, 0, 1, 0,
+        ]
+        mapping = SubtreeOnlyMapping(CompleteBinaryTree(5), 2)
+        assert mapping.color_array().tolist() == expected
+
+    def test_basic_color_paper_phase1_rule(self):
+        """Paper phase 1: v(i, j) gets color 2**j + i - 1 (== its heap id)."""
+        colors = basic_color_array(6, 3)
+        for j in range(3):
+            for i in range(1 << j):
+                node = (1 << j) - 1 + i
+                assert colors[node] == (1 << j) + i - 1 == node
+
+    def test_basic_color_paper_block_rule_spot(self):
+        """Paper step 7: b_0 of block(h, j) gets w_2's color, spot-checked."""
+        colors = basic_color_array(5, 3)
+        j, k = 4, 3
+        base = (1 << j) - 1
+        for h in range(1 << (j - k + 1)):
+            b0 = base + h * (1 << (k - 1))
+            h2 = h + 1 if h % 2 == 0 else h - 1
+            w2 = (1 << (j - k + 1)) - 1 + h2
+            assert colors[b0] == colors[w2]

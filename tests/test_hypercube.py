@@ -1,0 +1,141 @@
+"""Tests for the hypercube extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import chromatic_number, conflict_graph
+from repro.analysis.conflicts import instance_conflicts
+from repro.hypercube import (
+    Hypercube,
+    SyndromeMapping,
+    bch_like_check_matrix,
+    code_min_distance,
+    extended_hamming_check_matrix,
+    hamming_check_matrix,
+    hamming_distance,
+    parity_check_matrix,
+    subcube_instance,
+    subcube_instances,
+    submasks,
+)
+
+
+class TestCube:
+    def test_geometry(self):
+        cube = Hypercube(5)
+        assert cube.num_nodes == 32
+        assert len(cube.neighbors(0)) == 5
+        assert sorted(cube.neighbors(0b101)) == sorted(
+            [0b100, 0b111, 0b001, 0b1101, 0b10101]
+        )
+
+    def test_submasks(self):
+        assert sorted(submasks(0b101)) == [0, 1, 4, 5]
+        assert list(submasks(0)) == [0]
+
+    def test_subcube_instance(self):
+        cube = Hypercube(4)
+        inst = subcube_instance(cube, base=0b1000, mask=0b0011)
+        assert inst.tolist() == [8, 9, 10, 11]
+        with pytest.raises(ValueError):
+            subcube_instance(cube, base=0b0001, mask=0b0011)  # overlap
+
+    def test_instance_counts(self):
+        cube = Hypercube(5)
+        # C(5, k) * 2**(5-k)
+        from math import comb
+
+        for k in range(4):
+            count = sum(1 for _ in subcube_instances(cube, k))
+            assert count == comb(5, k) * (1 << (5 - k))
+
+    def test_membership_property(self):
+        """Two nodes share a k-subcube iff hamming distance <= k."""
+        cube = Hypercube(5)
+        k = 2
+        together = set()
+        for inst in subcube_instances(cube, k):
+            nodes = inst.tolist()
+            for i, a in enumerate(nodes):
+                for b in nodes[i + 1 :]:
+                    together.add((a, b))
+        for a in range(32):
+            for b in range(a + 1, 32):
+                expected = hamming_distance(a, b) <= k
+                assert ((a, b) in together) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+        with pytest.raises(ValueError):
+            list(subcube_instances(Hypercube(4), 9))
+
+
+class TestCheckMatrices:
+    def test_parity_distance_2(self):
+        assert code_min_distance(parity_check_matrix(6)) == 2
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_hamming_distance_3(self, n):
+        assert code_min_distance(hamming_check_matrix(n)) >= 3
+
+    @pytest.mark.parametrize("n", [4, 7, 8])
+    def test_extended_hamming_distance_4(self, n):
+        assert code_min_distance(extended_hamming_check_matrix(n)) >= 4
+
+    def test_bch_like_reaches_requested_distance(self):
+        for n, d in [(6, 4), (7, 5), (8, 5)]:
+            check = bch_like_check_matrix(n, d)
+            assert check.shape[1] == n
+            assert code_min_distance(check) >= d
+
+    def test_hamming_row_count_tight(self):
+        # n = 7 fits in r = 3 (perfect Hamming)
+        assert hamming_check_matrix(7).shape[0] == 3
+
+
+class TestSyndromeMapping:
+    @pytest.mark.parametrize("n,k", [(5, 1), (6, 2), (7, 2), (6, 3), (7, 4)])
+    def test_cf_on_all_k_subcubes(self, n, k):
+        cube = Hypercube(n)
+        mapping = SyndromeMapping.for_subcubes(cube, k)
+        colors = mapping.color_array()
+        assert all(
+            instance_conflicts(colors, inst) == 0
+            for inst in subcube_instances(cube, k)
+        )
+
+    def test_cosets_perfectly_balanced(self):
+        mapping = SyndromeMapping.for_subcubes(Hypercube(7), 2)
+        loads = mapping.module_loads()
+        assert loads.max() == loads.min()  # cosets of a linear code
+
+    def test_module_of_matches_array(self):
+        cube = Hypercube(6)
+        mapping = SyndromeMapping.for_subcubes(cube, 2)
+        arr = mapping.color_array()
+        for x in range(cube.num_nodes):
+            assert mapping.module_of(x) == arr[x]
+
+    def test_perfect_hamming_is_exactly_optimal(self):
+        """Q_5, k=2: exact chromatic number equals the syndrome count."""
+        cube = Hypercube(5)
+        instances = list(subcube_instances(cube, 2))
+        chi = chromatic_number(conflict_graph(instances, cube.num_nodes))
+        assert chi == SyndromeMapping.for_subcubes(cube, 2).num_modules == 8
+
+    def test_smaller_codes_fail(self):
+        """A distance-2 code cannot serve k = 2 subcubes: planted conflict."""
+        cube = Hypercube(6)
+        weak = SyndromeMapping(cube, parity_check_matrix(6))
+        colors = weak.color_array()
+        assert any(
+            instance_conflicts(colors, inst) > 0
+            for inst in subcube_instances(cube, 2)
+        )
+
+    def test_bad_check_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SyndromeMapping(Hypercube(5), np.ones((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            SyndromeMapping.for_subcubes(Hypercube(5), 0)

@@ -1,0 +1,76 @@
+"""Unit tests for mapping persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost
+from repro.core import ColorMapping, LabelTreeMapping
+from repro.io import FrozenMapping, load_mapping, save_mapping
+from repro.templates import PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestRoundTrip:
+    def test_color_mapping_round_trips(self, tmp_path, tree12):
+        mapping = ColorMapping(tree12, N=6, k=2)
+        path = save_mapping(mapping, tmp_path / "color.npz", params={"N": 6, "k": 2})
+        restored = load_mapping(path)
+        assert np.array_equal(restored.color_array(), mapping.color_array())
+        assert restored.num_modules == mapping.num_modules
+        assert restored.tree.num_levels == 12
+        assert restored.source == "ColorMapping"
+        assert restored.params == {"N": 6, "k": 2}
+
+    def test_restored_mapping_keeps_guarantees(self, tmp_path, tree12):
+        mapping = ColorMapping(tree12, N=6, k=2)
+        restored = load_mapping(save_mapping(mapping, tmp_path / "m.npz"))
+        assert family_cost(restored, STemplate(3)) == 0
+        assert family_cost(restored, PTemplate(6)) == 0
+
+    def test_labeltree_round_trips(self, tmp_path, tree12):
+        mapping = LabelTreeMapping(tree12, 31)
+        restored = load_mapping(save_mapping(mapping, tmp_path / "lt.npz"))
+        assert np.array_equal(restored.color_array(), mapping.color_array())
+
+    def test_suffix_added(self, tmp_path, tree8):
+        mapping = ColorMapping(tree8, N=4, k=2)
+        path = save_mapping(mapping, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert load_mapping(path).num_modules == mapping.num_modules
+
+    def test_module_of_matches(self, tmp_path, tree8):
+        mapping = ColorMapping(tree8, N=4, k=2)
+        restored = load_mapping(save_mapping(mapping, tmp_path / "m.npz"))
+        for v in range(0, tree8.num_nodes, 13):
+            assert restored.module_of(v) == mapping.module_of(v)
+
+
+class TestValidation:
+    def test_rejects_bad_shape(self, tree8):
+        with pytest.raises(ValueError):
+            FrozenMapping(tree8, 5, np.zeros(10, dtype=np.int64))
+
+    def test_rejects_out_of_range_colors(self, tree8):
+        colors = np.zeros(tree8.num_nodes, dtype=np.int64)
+        colors[0] = 99
+        with pytest.raises(ValueError):
+            FrozenMapping(tree8, 5, colors)
+
+    def test_rejects_non_mapping_file(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, stuff=np.arange(3))
+        with pytest.raises(ValueError):
+            load_mapping(bogus)
+
+    def test_rejects_future_format(self, tmp_path, tree8):
+        import json
+
+        path = tmp_path / "future.npz"
+        meta = {"format_version": 99, "num_levels": 8, "num_modules": 5}
+        np.savez(
+            path,
+            colors=np.zeros(tree8.num_nodes, dtype=np.int64),
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError):
+            load_mapping(path)

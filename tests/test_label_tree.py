@@ -1,0 +1,132 @@
+"""Unit tests for LABEL-TREE (paper Section 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost, load_report
+from repro.core import LabelTreeMapping, label_tree_params
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestParams:
+    def test_m_is_ceil_log(self):
+        assert label_tree_params(7)["m"] == 3
+        assert label_tree_params(8)["m"] == 3
+        assert label_tree_params(9)["m"] == 4
+        assert label_tree_params(31)["m"] == 5
+
+    def test_groups_cover_colors(self):
+        tree = CompleteBinaryTree(8)
+        for M in (7, 31, 63, 100):
+            lt = LabelTreeMapping(tree, M)
+            all_colors = np.concatenate(lt._groups)
+            assert np.array_equal(np.sort(all_colors), np.arange(M))
+
+    def test_group_sizes_nearly_equal(self):
+        tree = CompleteBinaryTree(6)
+        lt = LabelTreeMapping(tree, 63)
+        sizes = [g.size for g in lt._groups]
+        assert max(sizes) - min(sizes) <= 1
+        assert min(sizes) >= lt.ell
+
+    def test_too_few_modules_rejected(self):
+        tree = CompleteBinaryTree(6)
+        with pytest.raises(ValueError):
+            LabelTreeMapping(tree, 2)
+
+
+class TestMacroRotate:
+    def test_same_path_same_group_distance(self):
+        """Same-group subtrees on an ascending chain of layers recur with
+        period p when the chain index is fixed."""
+        tree = CompleteBinaryTree(12)
+        lt = LabelTreeMapping(tree, 31)
+        g0 = lt.group_index(0, 0)
+        for t in range(1, lt.p):
+            assert lt.group_index(t, 0) != g0 or lt.p == 1
+
+    def test_groups_balanced_within_layer(self):
+        """MACRO must spread a deep layer's subtrees over all groups."""
+        tree = CompleteBinaryTree(12)
+        lt = LabelTreeMapping(tree, 31)
+        t = 2
+        counts = np.bincount(
+            [lt.group_index(t, q) for q in range(1 << (t * lt.m))], minlength=lt.p
+        )
+        assert counts.min() > 0
+        assert counts.max() - counts.min() <= 1
+
+    def test_consecutive_same_group_lists_shift_by_one(self):
+        """The property Lemma 7's proof uses (see DESIGN.md)."""
+        tree = CompleteBinaryTree(12)
+        lt = LabelTreeMapping(tree, 31)
+        t, q = 2, 3
+        a = lt.list_of_subtree(t, q)
+        b = lt.list_of_subtree(t, q + lt.p)  # next subtree with the same group
+        assert lt.group_index(t, q) == lt.group_index(t, q + lt.p)
+        assert np.array_equal(a[1:], b[:-1])
+
+    def test_list_draws_from_assigned_group(self):
+        tree = CompleteBinaryTree(10)
+        lt = LabelTreeMapping(tree, 63)
+        for t, q in [(0, 0), (1, 5), (2, 100)]:
+            lst = lt.list_of_subtree(t, q)
+            assert lst.size == lt.ell
+            assert set(lst.tolist()) <= set(lt.group_of_subtree(t, q).tolist())
+
+
+class TestAddressing:
+    @pytest.mark.parametrize("M", [7, 15, 31, 63])
+    def test_three_schemes_agree(self, M, rng):
+        tree = CompleteBinaryTree(13)
+        lt = LabelTreeMapping(tree, M)
+        arr = lt.color_array()
+        for v in rng.integers(0, tree.num_nodes, 300):
+            v = int(v)
+            assert lt.module_of(v) == arr[v]
+            color, hops = lt.module_of_no_table(v)
+            assert color == arr[v]
+            assert hops <= lt.m  # O(log M) without the table
+
+    def test_pattern_table_is_O_of_M(self):
+        tree = CompleteBinaryTree(8)
+        lt = LabelTreeMapping(tree, 31)
+        assert lt._pattern.size == (1 << lt.m) - 1  # ~M entries
+
+    def test_validate(self):
+        tree = CompleteBinaryTree(12)
+        LabelTreeMapping(tree, 31).validate()
+
+
+class TestTheorem7:
+    @pytest.mark.parametrize("M", [7, 15, 31])
+    def test_elementary_conflicts_scale(self, M):
+        """O(sqrt(M / log M)) conflicts on elementary templates of size M."""
+        tree = CompleteBinaryTree(13)
+        lt = LabelTreeMapping(tree, M)
+        scale = math.sqrt(M / math.log2(M))
+        budget = 3 * scale + 2  # generous constant, the bench fits it tightly
+        assert family_cost(lt, LTemplate(M)) <= budget
+        if PTemplate(M).admits(tree):
+            assert family_cost(lt, PTemplate(M)) <= budget
+        if (M + 1) & M == 0:
+            assert family_cost(lt, STemplate(M)) <= budget
+
+    @pytest.mark.parametrize("M", [7, 31, 63])
+    def test_load_balance_one_plus_o1(self, M):
+        tree = CompleteBinaryTree(14)
+        lt = LabelTreeMapping(tree, M)
+        report = load_report(lt)
+        assert report.ratio < 1.25
+
+    def test_load_much_better_than_color(self):
+        """The trade-off: LABEL-TREE balances load, COLOR does not."""
+        from repro.core import ColorMapping
+
+        tree = CompleteBinaryTree(14)
+        lt = LabelTreeMapping(tree, 15)
+        cm = ColorMapping.max_parallelism(tree, 4)  # also M = 15
+        assert load_report(lt).ratio < 1.1 < load_report(cm).ratio

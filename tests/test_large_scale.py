@@ -1,0 +1,90 @@
+"""Large-scale sanity: the guarantees and kernels at million-node sizes.
+
+These runs guard the vectorized code paths against size-dependent bugs
+(index overflow, chunking boundaries, level-alignment) that small trees
+cannot expose.  Kept to a few seconds total.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost, load_report
+from repro.core import (
+    ChaseTable,
+    ColorMapping,
+    LabelTreeMapping,
+    resolve_color,
+    resolve_color_with_table,
+)
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def tree20():
+    return CompleteBinaryTree(20)  # ~1M nodes
+
+
+@pytest.fixture(scope="module")
+def color20(tree20):
+    mapping = ColorMapping(tree20, N=6, k=2)
+    mapping.color_array()
+    return mapping
+
+
+class TestMillionNodeColor:
+    def test_cf_on_paths_exhaustive(self, color20):
+        assert family_cost(color20, PTemplate(6)) == 0
+
+    def test_cf_on_subtrees_exhaustive(self, color20):
+        assert family_cost(color20, STemplate(3)) == 0
+
+    def test_level_windows_lemma2_extension(self, color20):
+        assert family_cost(color20, LTemplate(3)) <= 1
+
+    def test_palette_exact(self, color20):
+        assert color20.colors_used() == color20.num_modules == 7
+
+    def test_resolver_spot_checks(self, color20, rng):
+        arr = color20.color_array()
+        table = ChaseTable.build(6, 2)
+        for v in rng.integers(0, color20.tree.num_nodes, 150):
+            v = int(v)
+            assert resolve_color(v, 6, 2) == arr[v]
+            assert resolve_color_with_table(v, table)[0] == arr[v]
+
+
+class TestMillionNodeLabelTree:
+    def test_load_ratio_within_group_size_bound(self, tree20):
+        """Theorem 7's 1 + o(1) is o(1) *in M*: the residual imbalance is the
+        unequal-group-size artifact 1/floor(M/p), and group sizes grow like
+        sqrt(M log M).  At fixed M the ratio plateaus at that value."""
+        for M in (15, 31):
+            mapping = LabelTreeMapping(tree20, M)
+            bound = 1 + 1 / (M // mapping.p) + 0.02
+            assert load_report(mapping).ratio <= bound
+
+    def test_load_residual_shrinks_with_M(self):
+        """The o(1)-in-M claim, measured: bigger M, smaller residual bound."""
+        tree = CompleteBinaryTree(18)
+        residuals = []
+        for M in (31, 255):
+            mapping = LabelTreeMapping(tree, M)
+            residuals.append(load_report(mapping).ratio - 1)
+        assert residuals[1] < residuals[0]
+
+    def test_wide_level_windows(self, tree20):
+        mapping = LabelTreeMapping(tree20, 31)
+        from repro.analysis.bounds import labeltree_elementary_scale
+
+        cost = family_cost(mapping, LTemplate(8 * 31))
+        assert cost <= 4 * labeltree_elementary_scale(8 * 31, 31) + 2
+
+    def test_addressing_agrees_at_depth(self, tree20, rng):
+        mapping = LabelTreeMapping(tree20, 31)
+        arr = mapping.color_array()
+        deep = rng.integers(tree20.num_nodes // 2, tree20.num_nodes, 100)
+        for v in deep:
+            v = int(v)
+            assert mapping.module_of(v) == arr[v]
+            assert mapping.module_of_no_table(v)[0] == arr[v]

@@ -1,0 +1,100 @@
+"""Failure-injection tests: how the guarantees degrade under module faults."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost
+from repro.core import ColorMapping, ModuloMapping
+from repro.memory import (
+    FaultModel,
+    ParallelMemorySystem,
+    RemappedMapping,
+    apply_faults,
+)
+from repro.templates import PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(slow={0: 0})
+        with pytest.raises(ValueError):
+            FaultModel(slow={1: 2}, failed={1})
+        FaultModel(slow={1: 2}, failed={2}).validate_against(5)
+        with pytest.raises(ValueError):
+            FaultModel(failed={9}).validate_against(5)
+        with pytest.raises(ValueError):
+            FaultModel(failed={0, 1}).validate_against(2)
+
+
+class TestRemappedMapping:
+    def test_no_nodes_left_on_dead_modules(self, tree12):
+        base = ColorMapping.max_parallelism(tree12, 4)
+        remapped = RemappedMapping(base, frozenset({0, 3}))
+        colors = remapped.color_array()
+        assert 0 not in colors and 3 not in colors
+        remapped.validate()
+
+    def test_survivor_nodes_untouched(self, tree12):
+        base = ColorMapping.max_parallelism(tree12, 4)
+        remapped = RemappedMapping(base, frozenset({2}))
+        base_colors = base.color_array()
+        keep = base_colors != 2
+        assert np.array_equal(remapped.color_array()[keep], base_colors[keep])
+
+    def test_requires_failures(self, tree12):
+        base = ModuloMapping(tree12, 9)
+        with pytest.raises(ValueError):
+            RemappedMapping(base, frozenset())
+
+    def test_remap_destroys_conflict_freeness(self, tree12):
+        """The structural point: CF is a property of the intact mapping."""
+        base = ColorMapping(tree12, N=6, k=2)
+        assert family_cost(base, PTemplate(6)) == 0
+        remapped = RemappedMapping(base, frozenset({1}))
+        # some path now collides on a survivor module
+        assert family_cost(remapped, PTemplate(6)) >= 1
+
+    def test_degradation_is_bounded(self, tree12):
+        """One dead module among M adds only O(1) conflicts per template."""
+        base = ColorMapping.max_parallelism(tree12, 4)
+        remapped = RemappedMapping(base, frozenset({5}))
+        assert family_cost(remapped, STemplate(15)) <= family_cost(
+            base, STemplate(15)
+        ) + 3
+
+
+class TestApplyFaults:
+    def test_slow_module_stretches_cycles(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        nodes = PTemplate(11).instance_at(tree12, 40).nodes
+        healthy = ParallelMemorySystem(mapping).access(nodes).cycles
+        colors = mapping.colors_of(nodes)
+        slow_module = int(colors[0])
+        pms = apply_faults(mapping, FaultModel(slow={slow_module: 6}))
+        degraded = pms.access(nodes).cycles
+        assert degraded >= healthy + 5  # the slow bank's service dominates
+
+    def test_failed_module_system_still_serves_everything(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        pms = apply_faults(mapping, FaultModel(failed={0}))
+        nodes = STemplate(15).instance_at(tree12, 7).nodes
+        result = pms.access(nodes)
+        assert result.module_counts.sum() == nodes.size
+        assert result.module_counts[0] == 0
+
+    def test_unknown_module_rejected(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        with pytest.raises(ValueError):
+            apply_faults(mapping, FaultModel(failed={20}))
+
+    def test_quantified_degradation_under_faults(self, tree12):
+        """Heap workload: one dead module costs extra cycles but not collapse."""
+        from repro.bench.workloads import heap_workload
+
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        trace = heap_workload(tree12, ops=150)
+        healthy = ParallelMemorySystem(mapping).run_trace(trace).total_cycles
+        faulted = apply_faults(mapping, FaultModel(failed={2})).run_trace(trace)
+        assert healthy <= faulted.total_cycles <= 2 * healthy

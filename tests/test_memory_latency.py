@@ -1,0 +1,61 @@
+"""Unit tests for per-request latency recording."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColorMapping, ModuloMapping, LabelTreeMapping
+from repro.memory import ParallelMemorySystem, latency_summary
+from repro.templates import PTemplate
+from repro.trees import CompleteBinaryTree
+from repro.apps import level_sweep_trace
+
+
+class TestRecording:
+    def test_off_by_default(self, tree12):
+        pms = ParallelMemorySystem(ModuloMapping(tree12, 9))
+        pms.access(np.arange(20))
+        assert pms.last_latencies is None
+
+    def test_latencies_cover_every_request(self, tree12):
+        pms = ParallelMemorySystem(ModuloMapping(tree12, 9), record_latencies=True)
+        pms.access(np.arange(20))
+        assert pms.last_latencies.size == 20
+
+    def test_cf_access_all_latency_one(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 3)
+        pms = ParallelMemorySystem(mapping, record_latencies=True)
+        nodes = PTemplate(6).instance_at(tree12, 77).nodes
+        result = pms.access(nodes)
+        if result.conflicts == 0:
+            assert np.all(pms.last_latencies == 1)
+
+    def test_max_latency_equals_cycles(self, tree12):
+        pms = ParallelMemorySystem(ModuloMapping(tree12, 9), record_latencies=True)
+        result = pms.access(np.arange(50))
+        assert int(pms.last_latencies.max()) == result.cycles
+
+    def test_pipelined_sojourn_distribution(self, tree12):
+        trace = level_sweep_trace(tree12, window=15)
+        good = ParallelMemorySystem(LabelTreeMapping(tree12, 15), record_latencies=True)
+        good.run_trace(trace, pipelined=True)
+        bad = ParallelMemorySystem(
+            ColorMapping.max_parallelism(tree12, 4), record_latencies=True
+        )
+        bad.run_trace(trace, pipelined=True)
+        # balanced mapping drains with lower p95 sojourn than the skewed one
+        assert latency_summary(good.last_latencies)["p95"] < latency_summary(
+            bad.last_latencies
+        )["p95"]
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = latency_summary(np.array([1, 2, 3, 4, 100]))
+        assert s["mean"] == pytest.approx(22.0)
+        assert s["p50"] == 3.0
+        assert s["max"] == 100.0
+        assert s["p50"] <= s["p95"] <= s["max"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary(np.array([]))

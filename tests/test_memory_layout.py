@@ -1,0 +1,72 @@
+"""Unit tests for the physical memory layout."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColorMapping, LabelTreeMapping, ModuloMapping
+from repro.memory import MemoryLayout
+from repro.trees import CompleteBinaryTree
+
+
+class TestAddressing:
+    def test_round_trip_every_node(self, tree8):
+        layout = MemoryLayout(ModuloMapping(tree8, 7))
+        for node in range(tree8.num_nodes):
+            module, offset = layout.address_of(node)
+            assert layout.node_at(module, offset) == node
+
+    def test_module_matches_mapping(self, tree8):
+        mapping = ColorMapping(tree8, N=5, k=2)
+        layout = MemoryLayout(mapping)
+        for node in range(0, tree8.num_nodes, 11):
+            module, _ = layout.address_of(node)
+            assert module == mapping.module_of(node)
+
+    def test_offsets_are_dense_per_module(self, tree8):
+        mapping = LabelTreeMapping(tree8, 15)
+        layout = MemoryLayout(mapping)
+        for g in range(15):
+            contents = layout.module_contents(g)
+            offsets = [layout.address_of(int(v))[1] for v in contents]
+            assert offsets == list(range(contents.size))
+
+    def test_offsets_bfs_ordered_within_module(self, tree8):
+        layout = MemoryLayout(ModuloMapping(tree8, 5))
+        contents = layout.module_contents(2)
+        assert np.all(np.diff(contents) > 0)  # heap ids ascend with offset
+
+    def test_invalid_addresses(self, tree8):
+        layout = MemoryLayout(ModuloMapping(tree8, 5))
+        with pytest.raises(ValueError):
+            layout.node_at(5, 0)
+        with pytest.raises(ValueError):
+            layout.node_at(0, 10**6)
+        with pytest.raises(ValueError):
+            layout.address_of(tree8.num_nodes)
+
+
+class TestOccupancy:
+    def test_sizes_sum_to_tree(self, tree8):
+        layout = MemoryLayout(ModuloMapping(tree8, 7))
+        assert layout.module_sizes.sum() == tree8.num_nodes
+
+    def test_capacity_and_waste(self, tree8):
+        # 255 nodes on 5 modules: exact split, zero waste
+        layout = MemoryLayout(ModuloMapping(tree8, 5))
+        assert layout.required_module_capacity == 51
+        assert layout.wasted_fraction == 0.0
+
+    def test_color_wastes_more_than_labeltree(self):
+        """The concrete cost of COLOR's load imbalance (Theorem 7's point)."""
+        tree = CompleteBinaryTree(14)
+        waste_color = MemoryLayout(ColorMapping.max_parallelism(tree, 4)).wasted_fraction
+        waste_lt = MemoryLayout(LabelTreeMapping(tree, 15)).wasted_fraction
+        assert waste_lt < 0.05
+        assert waste_color > 0.3
+
+    def test_offsets_view_readonly(self, tree8):
+        layout = MemoryLayout(ModuloMapping(tree8, 5))
+        with pytest.raises(ValueError):
+            layout.offsets()[0] = 3
+        with pytest.raises(ValueError):
+            layout.module_contents(0)[0] = 3

@@ -1,0 +1,83 @@
+"""Unit tests for the open-loop arrival model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import level_sweep_trace
+from repro.bench.workloads import heap_workload
+from repro.core import ColorMapping, LabelTreeMapping
+from repro.memory import AccessTrace, ParallelMemorySystem, latency_summary
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = CompleteBinaryTree(11)
+    return tree, heap_workload(tree, ops=150)
+
+
+class TestOpenLoop:
+    def test_everything_served(self, setup):
+        tree, trace = setup
+        mapping = ColorMapping.max_parallelism(tree, 4)
+        pms = ParallelMemorySystem(mapping)
+        stats = pms.run_open_loop(trace, arrival_interval=3)
+        assert stats.total_items == trace.total_items
+        served = sum(mod.served for mod in pms.modules)
+        assert served == trace.total_items
+
+    def test_slack_arrivals_no_queueing(self, setup):
+        """With generous spacing, every request completes almost immediately."""
+        tree, trace = setup
+        mapping = ColorMapping.max_parallelism(tree, 4)  # CF on these paths
+        pms = ParallelMemorySystem(mapping, record_latencies=True)
+        pms.run_open_loop(trace, arrival_interval=4)
+        assert latency_summary(pms.last_latencies)["max"] <= 4
+
+    def test_overload_builds_queues(self, setup):
+        """Back-to-back arrivals of conflicting accesses inflate sojourns."""
+        tree, _ = setup
+        mapping = LabelTreeMapping(tree, 15)  # conflicts on paths
+        trace = heap_workload(tree, ops=150)
+        pms = ParallelMemorySystem(mapping, record_latencies=True)
+        pms.run_open_loop(trace, arrival_interval=1)
+        tight = latency_summary(pms.last_latencies)["p95"]
+        pms2 = ParallelMemorySystem(mapping, record_latencies=True)
+        pms2.run_open_loop(trace, arrival_interval=4)
+        relaxed = latency_summary(pms2.last_latencies)["p95"]
+        assert tight > relaxed
+
+    def test_total_cycles_at_least_last_arrival(self, setup):
+        tree, trace = setup
+        mapping = ColorMapping.max_parallelism(tree, 4)
+        stats = ParallelMemorySystem(mapping).run_open_loop(trace, arrival_interval=5)
+        assert stats.total_cycles >= (len(trace) - 1) * 5
+
+    def test_interval_validation(self, setup):
+        tree, trace = setup
+        mapping = ColorMapping.max_parallelism(tree, 4)
+        with pytest.raises(ValueError):
+            ParallelMemorySystem(mapping).run_open_loop(trace, arrival_interval=0)
+
+    def test_conflict_metric_matches_barrier(self, setup):
+        """The per-access conflict bookkeeping is mode-independent."""
+        tree, trace = setup
+        mapping = LabelTreeMapping(tree, 15)
+        barrier = ParallelMemorySystem(mapping).run_trace(trace)
+        open_loop = ParallelMemorySystem(mapping).run_open_loop(trace, 2)
+        assert barrier.total_conflicts == open_loop.total_conflicts
+        assert barrier.max_conflicts == open_loop.max_conflicts
+
+    def test_balanced_mapping_sustains_higher_load(self):
+        """Scan stream at interval 1: the balanced mapping keeps sojourns flat."""
+        tree = CompleteBinaryTree(11)
+        trace = level_sweep_trace(tree, window=15)
+        lt = ParallelMemorySystem(LabelTreeMapping(tree, 15), record_latencies=True)
+        lt.run_open_loop(trace, arrival_interval=1)
+        cm = ParallelMemorySystem(
+            ColorMapping.max_parallelism(tree, 4), record_latencies=True
+        )
+        cm.run_open_loop(trace, arrival_interval=1)
+        assert latency_summary(lt.last_latencies)["p95"] < latency_summary(
+            cm.last_latencies
+        )["p95"]

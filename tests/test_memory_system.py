@@ -1,0 +1,186 @@
+"""Unit tests for the parallel memory system simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColorMapping, ModuloMapping
+from repro.memory import (
+    AccessTrace,
+    Crossbar,
+    MemoryModule,
+    MultiBus,
+    ParallelMemorySystem,
+    SharedBus,
+)
+from repro.templates import PTemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestMemoryModule:
+    def test_fifo_service(self):
+        mod = MemoryModule(module_id=0)
+        mod.enqueue(1, 100)
+        mod.enqueue(2, 200)
+        assert mod.step(0) == (1, 100)
+        assert mod.step(1) == (2, 200)
+        assert mod.step(2) is None
+
+    def test_latency_blocks_service(self):
+        mod = MemoryModule(module_id=0, latency=3)
+        mod.enqueue(1, 100)
+        mod.enqueue(2, 200)
+        assert mod.step(0) == (1, 100)
+        assert mod.step(1) is None  # still busy
+        assert mod.step(2) is None
+        assert mod.step(3) == (2, 200)
+
+    def test_stats(self):
+        mod = MemoryModule(module_id=0)
+        for i in range(5):
+            mod.enqueue(i, i)
+        assert mod.max_queue_depth == 5
+        for now in range(5):
+            mod.step(now)
+        assert mod.served == 5 and mod.busy_cycles == 5
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            MemoryModule(module_id=0, latency=0)
+
+
+class TestInterconnects:
+    def test_issue_limits(self):
+        assert Crossbar().issue_limit(8) == 8
+        assert SharedBus().issue_limit(8) == 1
+        assert MultiBus(3).issue_limit(8) == 3
+        assert MultiBus(20).issue_limit(8) == 8
+
+    def test_invalid_multibus(self):
+        with pytest.raises(ValueError):
+            MultiBus(0)
+
+
+class TestAccessSemantics:
+    def test_crossbar_cycles_equal_conflicts_plus_one(self, tree12):
+        """The simulator realizes the paper's cost model exactly."""
+        mapping = ColorMapping.max_parallelism(tree12, 3)
+        pms = ParallelMemorySystem(mapping)
+        fam = PTemplate(7)
+        for idx in range(0, fam.count(tree12), 97):
+            result = pms.access(fam.instance_at(tree12, idx).nodes)
+            assert result.cycles == result.conflicts + 1
+
+    def test_bus_serializes_fully(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 3)
+        pms = ParallelMemorySystem(mapping, interconnect=SharedBus())
+        nodes = PTemplate(7).instance_at(tree12, 0).nodes
+        assert pms.access(nodes).cycles == nodes.size
+
+    def test_multibus_between_bus_and_crossbar(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 3)
+        nodes = PTemplate(7).instance_at(tree12, 5).nodes
+        bus = ParallelMemorySystem(mapping, interconnect=SharedBus()).access(nodes).cycles
+        xbar = ParallelMemorySystem(mapping).access(nodes).cycles
+        mb = ParallelMemorySystem(mapping, interconnect=MultiBus(3)).access(nodes).cycles
+        assert xbar <= mb <= bus
+
+    def test_module_latency_scales_cycles(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 3)
+        nodes = PTemplate(7).instance_at(tree12, 5).nodes
+        slow = ParallelMemorySystem(mapping, module_latency=4).access(nodes)
+        fast = ParallelMemorySystem(mapping).access(nodes)
+        assert slow.cycles >= 4 * fast.cycles - 3
+
+    def test_module_counts_sum_to_size(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        result = ParallelMemorySystem(mapping).access(np.arange(50))
+        assert result.module_counts.sum() == 50
+        assert result.size == 50
+
+    def test_empty_access_rejected(self, tree12):
+        pms = ParallelMemorySystem(ModuloMapping(tree12, 9))
+        with pytest.raises(ValueError):
+            pms.access(np.empty(0, dtype=np.int64))
+
+
+class TestTraceReplay:
+    def _trace(self, tree, n=30):
+        fam = PTemplate(6)
+        trace = AccessTrace()
+        for i in range(n):
+            trace.add_instance(fam.instance_at(tree, (i * 41) % fam.count(tree)))
+        return trace
+
+    def test_barrier_totals(self, tree12):
+        mapping = ColorMapping(tree12, N=6, k=2)
+        pms = ParallelMemorySystem(mapping)
+        trace = self._trace(tree12)
+        stats = pms.run_trace(trace)
+        assert stats.num_accesses == len(trace)
+        assert stats.total_items == trace.total_items
+        assert stats.total_cycles == stats.total_conflicts + stats.num_accesses
+
+    def test_cf_mapping_runs_trace_without_conflicts(self, tree12):
+        mapping = ColorMapping(tree12, N=6, k=2)  # CF on P(6)
+        stats = ParallelMemorySystem(mapping).run_trace(self._trace(tree12))
+        assert stats.total_conflicts == 0
+        assert stats.mean_parallelism == 6.0
+
+    def test_pipelined_drains_everything(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        pms = ParallelMemorySystem(mapping)
+        trace = self._trace(tree12)
+        stats = pms.run_trace(trace, pipelined=True)
+        assert stats.total_items == trace.total_items
+        # drain time is at least the busiest module's load
+        assert stats.total_cycles >= int(stats.module_totals.max())
+        served = sum(mod.served for mod in pms.modules)
+        assert served == trace.total_items
+
+    def test_pipelined_no_faster_than_ideal(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        pms = ParallelMemorySystem(mapping)
+        trace = self._trace(tree12)
+        stats = pms.run_trace(trace, pipelined=True)
+        assert stats.total_cycles * 9 >= trace.total_items
+
+    def test_per_label_stats(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        trace = AccessTrace()
+        trace.add(np.arange(5), label="a")
+        trace.add(np.arange(10), label="b")
+        stats = ParallelMemorySystem(mapping).run_trace(trace)
+        assert set(stats.per_label_cycles) == {"a", "b"}
+        assert stats.per_label_accesses == {"a": 1, "b": 1}
+
+    def test_reset_clears_state(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        pms = ParallelMemorySystem(mapping)
+        pms.run_trace(self._trace(tree12))
+        pms.reset()
+        assert all(mod.served == 0 for mod in pms.modules)
+        assert all(mod.idle for mod in pms.modules)
+
+
+class TestAccessTrace:
+    def test_builders(self, tree8):
+        trace = AccessTrace()
+        trace.add(np.arange(4), label="x")
+        inst = PTemplate(5).instance_at(tree8, 0)
+        trace.add_instance(inst)
+        assert len(trace) == 2
+        assert trace.total_items == 4 + 5
+        assert trace.labels() == ["path", "x"]
+
+    def test_extend(self):
+        a = AccessTrace([("x", np.arange(3))])
+        b = AccessTrace([("y", np.arange(2))])
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_invalid_access(self):
+        trace = AccessTrace()
+        with pytest.raises(ValueError):
+            trace.add(np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            trace.add(np.zeros((2, 2)))

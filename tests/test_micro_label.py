@@ -1,0 +1,106 @@
+"""Unit tests for MICRO-LABEL (paper Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import matrix_conflicts
+from repro.core import (
+    default_l,
+    micro_label_index_array,
+    micro_label_index_resolve,
+    micro_label_list_size,
+)
+from repro.templates import PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestSizing:
+    def test_list_size_formula(self):
+        # corrected size: max index + 1 = 2**l + 2**(m-l) - 1
+        assert micro_label_list_size(5, 2) == 4 + 8 - 1
+        assert micro_label_list_size(6, 3) == 8 + 8 - 1
+
+    def test_degenerate_m_equals_l(self):
+        assert micro_label_list_size(3, 3) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            micro_label_list_size(2, 0)
+        with pytest.raises(ValueError):
+            micro_label_list_size(2, 3)
+
+    def test_default_l_scaling(self):
+        """l ~ log2(sqrt(M log M)): grows with M, stays within [1, m-1]."""
+        prev = 0
+        for M in (7, 15, 31, 63, 127, 255, 511, 1023):
+            m = (M - 1).bit_length()
+            l = default_l(M)
+            assert 1 <= l <= m - 1
+            assert l >= prev
+            prev = l
+
+
+class TestIndexPattern:
+    def test_indices_within_list(self):
+        for m, l in [(4, 2), (5, 2), (5, 3), (6, 4), (7, 3)]:
+            idx = micro_label_index_array(m, l)
+            assert idx.min() >= 0
+            assert idx.max() == micro_label_list_size(m, l) - 1
+
+    def test_top_l_levels_are_identity(self):
+        idx = micro_label_index_array(5, 3)
+        assert np.array_equal(idx[:7], np.arange(7))
+
+    def test_index_2l_minus_1_skipped(self):
+        """Fig. 10's fresh-color formula skips Sigma index 2**l - 1 (see module doc)."""
+        idx = micro_label_index_array(6, 3)
+        assert (1 << 3) - 1 not in set(idx.tolist())
+
+    def test_fresh_index_shared_by_block_pairs(self):
+        """Blocks 2h and 2h+1 of a level share their fresh Sigma index."""
+        m, l = 6, 3
+        idx = micro_label_index_array(m, l)
+        half = 1 << (l - 1)
+        j = 5
+        base = (1 << j) - 1
+        lasts = idx[base + half - 1 : base + (1 << j) : half]
+        assert np.array_equal(lasts[0::2], lasts[1::2])
+
+    def test_readonly(self):
+        idx = micro_label_index_array(4, 2)
+        with pytest.raises(ValueError):
+            idx[0] = 0
+
+
+class TestConflictProperties:
+    @pytest.mark.parametrize("m,l", [(4, 2), (5, 2), (5, 3), (6, 4)])
+    def test_paths_within_subtree_conflict_free(self, m, l):
+        """MICRO-LABEL is CF on P(m) within the subtree (paper's claim)."""
+        idx = micro_label_index_array(m, l)
+        tree = CompleteBinaryTree(m)
+        pm = PTemplate(m).instance_matrix(tree)
+        conf = matrix_conflicts(idx, pm, micro_label_list_size(m, l))
+        assert conf.max() == 0
+
+    @pytest.mark.parametrize("m,l", [(4, 2), (5, 3), (6, 4)])
+    def test_small_subtrees_conflict_free(self, m, l):
+        """MICRO-LABEL is CF on S(2**l - 1) (paper's claim)."""
+        idx = micro_label_index_array(m, l)
+        tree = CompleteBinaryTree(m)
+        sm = STemplate((1 << l) - 1).instance_matrix(tree)
+        conf = matrix_conflicts(idx, sm, micro_label_list_size(m, l))
+        assert conf.max() == 0
+
+
+class TestResolver:
+    @pytest.mark.parametrize("m,l", [(4, 2), (5, 3), (6, 4), (7, 3)])
+    def test_matches_pattern_array(self, m, l):
+        idx = micro_label_index_array(m, l)
+        for rel in range(idx.size):
+            got, hops = micro_label_index_resolve(rel, m, l)
+            assert got == idx[rel]
+            assert hops <= m
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            micro_label_index_resolve((1 << 4) - 1, 4, 2)

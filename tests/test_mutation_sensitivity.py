@@ -1,0 +1,80 @@
+"""Mutation tests: the verification machinery must *detect* broken colorings.
+
+A verifier that always returns 0 would pass every conflict-freeness test in
+this suite.  These tests corrupt known-good colorings in controlled ways and
+assert the analysis stack flags them — proving the green results elsewhere
+are earned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_cost, instance_conflicts, matrix_conflicts
+from repro.core import ColorMapping
+from repro.io import FrozenMapping
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture
+def good(tree12):
+    return ColorMapping(tree12, N=6, k=2)
+
+
+def _mutate(mapping, node, new_color) -> FrozenMapping:
+    colors = mapping.color_array().copy()
+    colors[node] = new_color
+    return FrozenMapping(mapping.tree, mapping.num_modules, colors, source="mutant")
+
+
+class TestMutationDetection:
+    def test_parent_color_copy_breaks_paths(self, good):
+        """Copying a parent's color onto its child must show up in P costs."""
+        node = 2000
+        mutant = _mutate(good, node, good.module_of((node - 1) >> 1))
+        assert family_cost(good, PTemplate(6)) == 0
+        assert family_cost(mutant, PTemplate(6)) >= 1
+
+    def test_sibling_color_copy_breaks_subtrees(self, good):
+        node = 2001
+        sibling = node + 1 if node % 2 else node - 1
+        mutant = _mutate(good, node, good.module_of(sibling))
+        assert family_cost(mutant, STemplate(3)) >= 1
+
+    def test_single_mutation_localized(self, good):
+        """Exactly the instances containing the mutated node may change."""
+        node = 1500
+        mutant = _mutate(good, node, (good.module_of(node) + 1) % good.num_modules)
+        fam = PTemplate(6)
+        matrix = fam.instance_matrix(good.tree)
+        before = matrix_conflicts(good.color_array(), matrix, good.num_modules)
+        after = matrix_conflicts(mutant.color_array(), matrix, good.num_modules)
+        changed = np.nonzero(before != after)[0]
+        for idx in changed:
+            assert node in matrix[idx]
+
+    def test_every_single_swap_near_top_is_caught(self, good):
+        """For nodes in the top levels, ANY recoloring to an ancestor's color
+        is caught by the path family — no blind spots."""
+        for node in range(1, 31):
+            ancestor_color = good.module_of(0)
+            if good.module_of(node) == ancestor_color:
+                continue
+            mutant = _mutate(good, node, ancestor_color)
+            assert family_cost(mutant, PTemplate(6)) >= 1, f"missed node {node}"
+
+    def test_level_window_mutation(self, good):
+        """Recoloring a node to its neighbor's color breaks L windows."""
+        node = 3000
+        mutant = _mutate(good, node, good.module_of(node + 1))
+        base = family_cost(good, LTemplate(3))
+        assert family_cost(mutant, LTemplate(3)) >= base
+
+    def test_instance_conflicts_sees_planted_duplicates(self, rng):
+        colors = np.arange(64)
+        nodes = rng.choice(64, size=10, replace=False)
+        assert instance_conflicts(colors, nodes) == 0
+        colors[nodes[1]] = colors[nodes[0]]
+        assert instance_conflicts(colors, nodes) == 1
+        colors[nodes[2]] = colors[nodes[0]]
+        assert instance_conflicts(colors, nodes) == 2

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import instance_conflicts
+from repro.core import resolve_color
+from repro.core.basic_color import basic_color_array, num_colors
+from repro.core.micro_label import micro_label_index_array, micro_label_list_size
+from repro.trees import coords, traversal
+from repro.trees.blocks import block_nodes, block_of, position_in_block
+
+# -- strategies ---------------------------------------------------------------
+
+node_ids = st.integers(min_value=0, max_value=(1 << 40) - 2)
+small_nodes = st.integers(min_value=0, max_value=(1 << 16) - 2)
+
+
+class TestCoordProperties:
+    @given(node_ids)
+    def test_coord_round_trip(self, node):
+        i, j = coords.id_to_coord(node)
+        assert coords.coord_to_id(i, j) == node
+        assert 0 <= i < (1 << j)
+
+    @given(node_ids)
+    def test_children_invert_parent(self, node):
+        assert coords.parent(coords.child_left(node)) == node
+        assert coords.parent(coords.child_right(node)) == node
+        assert coords.child_right(node) == coords.sibling(coords.child_left(node))
+
+    @given(node_ids, st.integers(min_value=0, max_value=40))
+    def test_ancestor_composition(self, node, d):
+        """anc(anc(v, a), b) == anc(v, a+b) whenever both exist."""
+        level = coords.level_of(node)
+        if d > level:
+            d = level
+        a = d // 2
+        b = d - a
+        assert coords.ancestor(coords.ancestor(node, a), b) == coords.ancestor(node, d)
+
+    @given(node_ids)
+    def test_level_consistent_with_ancestors(self, node):
+        level = coords.level_of(node)
+        assert coords.ancestor(node, level) == 0
+        if level:
+            assert coords.level_of(coords.parent(node)) == level - 1
+
+    @given(small_nodes, small_nodes)
+    def test_lca_is_common_and_lowest(self, a, b):
+        lca = coords.lowest_common_ancestor(a, b)
+        assert coords.is_ancestor(lca, a) and coords.is_ancestor(lca, b)
+        # one level further down loses common-ancestry
+        for child in (coords.child_left(lca), coords.child_right(lca)):
+            assert not (coords.is_ancestor(child, a) and coords.is_ancestor(child, b))
+
+    @given(node_ids, st.integers(min_value=1, max_value=30))
+    def test_path_up_is_ancestor_chain(self, node, length):
+        level = coords.level_of(node)
+        length = min(length, level + 1)
+        path = coords.path_up(node, length)
+        assert len(path) == length
+        for d, v in enumerate(path):
+            assert v == coords.ancestor(node, d)
+
+
+class TestTraversalProperties:
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=8))
+    def test_subtree_nodes_size_and_membership(self, root, levels):
+        nodes = traversal.subtree_nodes(root, levels)
+        assert nodes.size == (1 << levels) - 1
+        assert len(set(nodes.tolist())) == nodes.size
+        for v in nodes:
+            assert coords.is_ancestor(root, int(v))
+            assert coords.level_of(int(v)) - coords.level_of(root) < levels
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=254))
+    def test_bfs_rank_inverse(self, root, rank):
+        node = traversal.bfs_node_of_subtree(root, rank)
+        r, s = traversal.bfs_rank_decompose(rank)
+        assert coords.level_of(node) == coords.level_of(root) + r
+
+
+class TestBlockProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=5, max_value=14),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_block_partition(self, k, j, seed):
+        """Every node is in exactly the block its index arithmetic says."""
+        n = 1 << j
+        i = seed % n
+        node = (1 << j) - 1 + i
+        h = block_of(node, k)
+        assert node in set(block_nodes(h, j, k).tolist())
+        assert position_in_block(node, k) == i % (1 << (k - 1))
+
+
+class TestColoringProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=9),
+    )
+    def test_basic_color_palette(self, k, N):
+        if N < k:
+            N = k
+        colors = basic_color_array(N, k)
+        assert colors.min() >= 0
+        assert colors.max() < num_colors(N, k)
+        # Phase 1: top k levels are a rainbow
+        top = colors[: (1 << min(k, N)) - 1]
+        assert np.unique(top).size == top.size
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=(1 << 20) - 2),
+    )
+    def test_resolver_color_range(self, k, N, node):
+        if N <= k:
+            N = k + 1
+        color = resolve_color(node, N, k)
+        assert 0 <= color < num_colors(N, k)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=(1 << 18) - 2),
+    )
+    def test_resolver_agrees_with_parentchild_rainbow(self, k, N, node):
+        """Any node and its parent always differ in color (paths are P(N)-CF
+        for N >= 2, so adjacent tree nodes never collide)."""
+        if N <= k:
+            N = k + 1
+        if node == 0:
+            return
+        assert resolve_color(node, N, k) != resolve_color(coords.parent(node), N, k)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=7))
+    def test_micro_label_pattern_palette(self, m):
+        for l in range(1, m):
+            idx = micro_label_index_array(m, l)
+            assert idx.min() >= 0
+            assert idx.max() < micro_label_list_size(m, l)
+
+
+class TestConflictMetricProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20, unique=True),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_conflicts_bounds(self, nodes, M):
+        """0 <= conflicts <= size - 1, and == ceil(size/M) - 1 at least."""
+        rng = np.random.default_rng(42)
+        colors = rng.integers(0, M, 64)
+        arr = np.array(nodes)
+        got = instance_conflicts(colors, arr)
+        assert 0 <= got <= arr.size - 1
+        assert got >= -(-arr.size // M) - 1  # trivial lower bound
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=30, unique=True))
+    def test_conflicts_permutation_invariant(self, nodes):
+        rng = np.random.default_rng(7)
+        colors = rng.integers(0, 5, 64)
+        arr = np.array(nodes)
+        shuffled = arr.copy()
+        rng.shuffle(shuffled)
+        assert instance_conflicts(colors, arr) == instance_conflicts(colors, shuffled)

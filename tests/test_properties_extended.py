@@ -1,0 +1,132 @@
+"""Extended property-based tests: d-ary coords, composites, layout, io, theory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dary import coords as dc
+from repro.memory import MemoryLayout
+from repro.core import ModuloMapping, RandomMapping
+from repro.trees import CompleteBinaryTree
+
+arities = st.integers(min_value=2, max_value=6)
+small_ranks = st.integers(min_value=0, max_value=400)
+
+
+class TestDaryCoordProperties:
+    @given(arities, small_ranks)
+    def test_round_trip(self, d, node):
+        i, j = dc.id_to_coord(node, d)
+        assert dc.coord_to_id(i, j, d) == node
+        assert 0 <= i < d**j
+
+    @given(arities, small_ranks, st.integers(min_value=0, max_value=5))
+    def test_child_parent_inverse(self, d, node, which):
+        which = which % d
+        assert dc.parent(dc.child(node, which, d), d) == node
+
+    @given(arities, small_ranks)
+    def test_level_consistency(self, d, node):
+        j = dc.level_of(node, d)
+        assert dc.level_start(j, d) <= node < dc.level_start(j + 1, d)
+        assert dc.ancestor(node, j, d) == 0
+
+    @given(arities, small_ranks)
+    def test_siblings_share_parent(self, d, node):
+        if node == 0:
+            return
+        for sib in dc.siblings(node, d):
+            assert dc.parent(sib, d) == dc.parent(node, d)
+            assert sib != node
+        assert len(dc.siblings(node, d)) == d - 1
+
+    @given(arities, small_ranks, small_ranks)
+    def test_bfs_rank_is_bfs_order(self, d, root, rank):
+        rank = rank % 40
+        node = dc.bfs_node_of_subtree(root, rank, d)
+        nxt = dc.bfs_node_of_subtree(root, rank + 1, d)
+        assert nxt > node  # BFS ranks ascend in heap-id order within a subtree
+
+    @given(arities, st.integers(min_value=0, max_value=7))
+    def test_subtree_size_recurrence(self, d, levels):
+        # size(k+1) = d * size(k) + 1
+        assert dc.subtree_size(levels + 1, d) == d * dc.subtree_size(levels, d) + 1
+
+
+class TestLayoutProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10**6))
+    def test_address_round_trip(self, M, seed):
+        tree = CompleteBinaryTree(7)
+        layout = MemoryLayout(RandomMapping(tree, M, seed=seed % 100))
+        node = seed % tree.num_nodes
+        module, offset = layout.address_of(node)
+        assert layout.node_at(module, offset) == node
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_sizes_partition(self, M):
+        tree = CompleteBinaryTree(7)
+        layout = MemoryLayout(ModuloMapping(tree, M))
+        assert layout.module_sizes.sum() == tree.num_nodes
+        assert layout.required_module_capacity == layout.module_sizes.max()
+
+
+class TestIoProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=50))
+    def test_save_load_identity(self, M, seed):
+        import tempfile
+        from pathlib import Path
+
+        from repro.io import load_mapping, save_mapping
+
+        tree = CompleteBinaryTree(6)
+        mapping = RandomMapping(tree, M, seed=seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"m_{M}_{seed}.npz"
+            restored = load_mapping(save_mapping(mapping, path))
+        assert np.array_equal(restored.color_array(), mapping.color_array())
+
+
+class TestColorCfProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_color_cf_for_random_parameters(self, k, n_extra, h_extra):
+        """Theorem 3 as a hypothesis property: CF on S(K), P(N) for random
+        (k, N, H) combinations."""
+        from repro.analysis import family_cost
+        from repro.core import ColorMapping
+        from repro.templates import PTemplate, STemplate
+
+        N = k + n_extra
+        H = N + h_extra
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping(tree, N=N, k=k)
+        assert family_cost(mapping, STemplate((1 << k) - 1)) == 0
+        assert family_cost(mapping, PTemplate(N)) == 0
+
+
+class TestTheoryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=20))
+    def test_cdf_is_monotone_distribution(self, D, M):
+        from repro.analysis.theory import max_load_cdf
+
+        values = [max_load_cdf(D, M, t) for t in range(D + 1)]
+        assert values[-1] == pytest.approx(1.0)
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=20))
+    def test_expectation_within_support(self, D, M):
+        from repro.analysis.theory import expected_max_load
+
+        e = expected_max_load(D, M)
+        assert max(D / M, 1.0) - 1e-9 <= e <= D + 1e-9

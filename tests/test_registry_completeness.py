@@ -1,0 +1,63 @@
+"""Meta-tests: the experiment registry, bench files, and docs stay in sync."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.ablations import ABLATIONS
+from repro.bench.experiments import EXPERIMENTS
+
+REPO = Path(__file__).parent.parent
+
+
+class TestRegistryBenchSync:
+    def test_every_experiment_has_a_bench_file(self):
+        """Deliverable (d): one harness file per regenerated result."""
+        bench_dir = REPO / "benchmarks"
+        stems = {p.stem for p in bench_dir.glob("bench_*.py")}
+        for exp_id in list(EXPERIMENTS) + list(ABLATIONS):
+            num = int(exp_id[1:])
+            prefix = {"E": "bench_e", "A": "bench_a", "X": "bench_x"}[exp_id[0]]
+            matches = [s for s in stems if s.startswith(f"{prefix}{num:02d}")]
+            assert matches, f"no benchmark file for experiment {exp_id}"
+
+    def test_every_bench_file_asserts_its_claim(self):
+        """Each experiment bench must run the claim check, not just time kernels."""
+        for path in (REPO / "benchmarks").glob("bench_[eax]*.py"):
+            text = path.read_text()
+            assert "_claim_holds" in text, f"{path.name} lacks a claim test"
+
+    def test_experiment_ids_sequential(self):
+        e_nums = sorted(int(k[1:]) for k in EXPERIMENTS)
+        assert e_nums == list(range(1, len(e_nums) + 1))
+
+    def test_design_doc_lists_all_e_experiments(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for exp_id in EXPERIMENTS:
+            assert re.search(rf"\b{exp_id}\b", design), f"{exp_id} missing from DESIGN.md"
+
+    def test_experiments_md_covers_registry(self):
+        experiments_md = (REPO / "EXPERIMENTS.md").read_text()
+        for exp_id in list(EXPERIMENTS) + list(ABLATIONS):
+            assert re.search(rf"\b{exp_id}\b", experiments_md), (
+                f"{exp_id} missing from EXPERIMENTS.md — regenerate it"
+            )
+
+    def test_no_claim_violations_recorded(self):
+        experiments_md = (REPO / "EXPERIMENTS.md").read_text()
+        assert "measured data: NO" not in experiments_md
+
+
+class TestDocsSync:
+    def test_paper_map_mentions_all_core_modules(self):
+        paper_map = (REPO / "docs" / "paper_map.md").read_text()
+        for module in ("basic_color", "color", "retrieval", "micro_label",
+                       "label_tree", "single_template"):
+            assert module in paper_map
+
+    def test_readme_run_commands_exist(self):
+        readme = (REPO / "README.md").read_text()
+        assert "pytest tests/" in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+        assert "python -m repro.bench run all" in readme

@@ -1,0 +1,100 @@
+"""Unit tests for COLOR's addressing schemes (paper Figs. 4 and 9)."""
+
+import pytest
+
+from repro.core import (
+    ChaseTable,
+    ColorMapping,
+    color_array,
+    resolve_color,
+    resolve_color_steps,
+    resolve_color_with_table,
+)
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestPureResolver:
+    @pytest.mark.parametrize("N,k,H", [(4, 2, 11), (5, 3, 12), (3, 1, 9), (6, 4, 13)])
+    def test_matches_full_coloring(self, N, k, H):
+        colors = color_array(H, N, k)
+        for v in range(colors.size):
+            assert resolve_color(v, N, k) == colors[v], f"node {v}"
+
+    def test_hops_bounded_by_height(self):
+        N, k, H = 4, 2, 16
+        for v in [(1 << H) - 2, (1 << H) // 2, (1 << (H - 1)) - 1]:
+            _, hops = resolve_color_steps(v, N, k)
+            assert hops <= H
+
+    def test_works_beyond_materializable_trees(self):
+        """Pure arithmetic: address a node at level 60 of a virtual tree."""
+        N, k = 5, 2
+        node = (1 << 60) + 12345  # some node at level 60
+        color = resolve_color(node, N, k)
+        assert 0 <= color < N + 3 - 2 + 3  # within M = N + K - k
+
+    def test_consistency_on_shared_levels_of_virtual_tree(self):
+        """The resolver must agree with itself through the inheritance chain:
+        a last-in-block node's color equals its distance-N ancestor's."""
+        N, k = 5, 2
+        half = 1 << (k - 1)
+        level = 30
+        base = (1 << level) - 1
+        node = base + 5 * half + (half - 1)  # last node of block 5
+        anc = coords.ancestor(node, N)
+        assert resolve_color(node, N, k) == resolve_color(anc, N, k)
+
+    def test_n_equals_k_depth_limit(self):
+        assert resolve_color(3, 3, 3) == 3  # inside the single subtree: Sigma
+        with pytest.raises(ValueError):
+            resolve_color(1 << 4, 3, 3)
+
+
+class TestChaseTable:
+    @pytest.mark.parametrize("N,k,H", [(4, 2, 12), (5, 3, 13), (6, 2, 14), (7, 4, 14)])
+    def test_matches_full_coloring(self, N, k, H):
+        colors = color_array(H, N, k)
+        table = ChaseTable.build(N, k)
+        for v in range(0, colors.size, 3):
+            got, _ = resolve_color_with_table(v, table)
+            assert got == colors[v], f"node {v}"
+
+    def test_lookups_bounded_by_layers(self):
+        """O(H / (N-k)) lookups per query — the paper's RETRIEVING-COLOR cost."""
+        N, k, H = 5, 2, 15
+        table = ChaseTable.build(N, k)
+        tree = CompleteBinaryTree(H)
+        worst = 0
+        for v in range(tree.num_nodes - 1, tree.num_nodes - 200, -1):
+            _, lookups = resolve_color_with_table(v, table)
+            worst = max(worst, lookups)
+        layers = H // (N - k) + 1
+        assert worst <= 2 * layers
+
+    def test_table_size_is_subtree_not_tree(self):
+        table = ChaseTable.build(6, 2)
+        assert table.kind.size == (1 << 6) - 1
+        assert table.terminal.size == (1 << 6) - 1
+
+    def test_table_is_readonly(self):
+        table = ChaseTable.build(4, 2)
+        with pytest.raises(ValueError):
+            table.kind[0] = 1
+
+    def test_top_entries_are_identity(self):
+        table = ChaseTable.build(5, 3)
+        for rel in range((1 << 3) - 1):
+            assert table.terminal[rel] == rel
+
+
+class TestThreeSchemesAgree:
+    def test_resolver_table_and_array_identical(self):
+        N, k, H = 4, 2, 13
+        tree = CompleteBinaryTree(H)
+        mapping = ColorMapping(tree, N=N, k=k)
+        arr = mapping.color_array()
+        table = ChaseTable.build(N, k)
+        for v in range(0, tree.num_nodes, 11):
+            assert resolve_color(v, N, k) == arr[v]
+            assert resolve_color_with_table(v, table)[0] == arr[v]
+            assert mapping.module_of(v) == arr[v]

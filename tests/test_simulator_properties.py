@@ -1,0 +1,96 @@
+"""Property-based tests of the simulator's conservation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ModuloMapping, RandomMapping
+from repro.memory import (
+    AccessTrace,
+    Crossbar,
+    MultiBus,
+    ParallelMemorySystem,
+    SharedBus,
+)
+from repro.trees import CompleteBinaryTree
+
+TREE = CompleteBinaryTree(9)
+
+traces = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=TREE.num_nodes - 1),
+        min_size=1,
+        max_size=20,
+        unique=True,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _build(trace_lists) -> AccessTrace:
+    trace = AccessTrace()
+    for nodes in trace_lists:
+        trace.add(np.array(nodes, dtype=np.int64))
+    return trace
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(traces, st.integers(min_value=1, max_value=20))
+    def test_everything_served_exactly_once(self, trace_lists, M):
+        trace = _build(trace_lists)
+        pms = ParallelMemorySystem(ModuloMapping(TREE, M))
+        stats = pms.run_trace(trace)
+        assert stats.total_items == trace.total_items
+        assert sum(mod.served for mod in pms.modules) == trace.total_items
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces, st.integers(min_value=2, max_value=16))
+    def test_barrier_cycles_identity(self, trace_lists, M):
+        """On a unit-latency crossbar: cycles == conflicts + accesses."""
+        trace = _build(trace_lists)
+        stats = ParallelMemorySystem(RandomMapping(TREE, M, seed=1)).run_trace(trace)
+        assert stats.total_cycles == stats.total_conflicts + stats.num_accesses
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces, st.integers(min_value=2, max_value=16))
+    def test_interconnect_ordering(self, trace_lists, M):
+        """Narrower interconnects never finish faster."""
+        trace = _build(trace_lists)
+        mapping = RandomMapping(TREE, M, seed=2)
+        xbar = ParallelMemorySystem(mapping, interconnect=Crossbar()).run_trace(trace)
+        mb = ParallelMemorySystem(mapping, interconnect=MultiBus(2)).run_trace(trace)
+        bus = ParallelMemorySystem(mapping, interconnect=SharedBus()).run_trace(trace)
+        assert xbar.total_cycles <= mb.total_cycles <= bus.total_cycles
+        assert bus.total_cycles == trace.total_items  # fully serial
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces, st.integers(min_value=2, max_value=16))
+    def test_pipelined_bounds(self, trace_lists, M):
+        """Drain time sits between busiest-module load and total items."""
+        trace = _build(trace_lists)
+        pms = ParallelMemorySystem(RandomMapping(TREE, M, seed=3))
+        stats = pms.run_trace(trace, pipelined=True)
+        busiest = int(stats.module_totals.max())
+        assert busiest <= stats.total_cycles <= trace.total_items
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces, st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=4))
+    def test_latency_scales_cycles(self, trace_lists, M, latency):
+        trace = _build(trace_lists)
+        mapping = RandomMapping(TREE, M, seed=4)
+        fast = ParallelMemorySystem(mapping).run_trace(trace)
+        slow = ParallelMemorySystem(mapping, module_latency=latency).run_trace(trace)
+        assert slow.total_cycles >= fast.total_cycles
+        assert slow.total_cycles <= latency * fast.total_cycles
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces, st.integers(min_value=2, max_value=8))
+    def test_open_loop_conserves(self, trace_lists, M):
+        trace = _build(trace_lists)
+        pms = ParallelMemorySystem(ModuloMapping(TREE, M))
+        stats = pms.run_open_loop(trace, arrival_interval=2)
+        assert stats.total_items == trace.total_items
+        assert sum(mod.served for mod in pms.modules) == trace.total_items

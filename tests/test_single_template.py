@@ -1,0 +1,98 @@
+"""Unit tests for the single-template baselines (paper Section 1.2 context)."""
+
+import pytest
+
+from repro.analysis import cf_modules_required, family_cost
+from repro.core import ColorMapping, PathOnlyMapping, SubtreeOnlyMapping
+from repro.templates import LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+class TestPathOnly:
+    @pytest.mark.parametrize("N", [2, 4, 7])
+    def test_cf_on_paths_with_minimum_modules(self, tree12, N):
+        mapping = PathOnlyMapping(tree12, N)
+        assert mapping.num_modules == N
+        assert family_cost(mapping, PTemplate(N)) == 0
+
+    def test_N_modules_are_necessary(self):
+        """An N-node path is a clique: no mapping does it with N-1."""
+        tree = CompleteBinaryTree(4)
+        assert cf_modules_required(tree, [PTemplate(4)]) == 4
+
+    def test_fails_subtrees(self, tree12):
+        mapping = PathOnlyMapping(tree12, 6)
+        assert family_cost(mapping, STemplate(3)) >= 1
+
+    def test_module_of_matches_array(self, tree12):
+        mapping = PathOnlyMapping(tree12, 5)
+        arr = mapping.color_array()
+        for v in range(0, tree12.num_nodes, 111):
+            assert mapping.module_of(v) == arr[v]
+
+    def test_longer_paths_wrap(self, tree12):
+        mapping = PathOnlyMapping(tree12, 4)
+        # an 8-node path revisits each color exactly twice
+        assert family_cost(mapping, PTemplate(8)) == 1
+
+    def test_invalid(self, tree12):
+        with pytest.raises(ValueError):
+            PathOnlyMapping(tree12, 0)
+
+
+class TestSubtreeOnly:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("H", [6, 11])
+    def test_cf_on_subtrees_with_minimum_modules(self, k, H):
+        if H <= k:
+            pytest.skip("tree too small")
+        tree = CompleteBinaryTree(H)
+        mapping = SubtreeOnlyMapping(tree, k)
+        K = (1 << k) - 1
+        assert mapping.num_modules == K
+        assert mapping.colors_used() <= K
+        assert family_cost(mapping, STemplate(K)) == 0
+
+    def test_K_modules_are_necessary(self):
+        tree = CompleteBinaryTree(5)
+        assert cf_modules_required(tree, [STemplate(7)]) == 7
+
+    def test_fails_paths(self, tree12):
+        mapping = SubtreeOnlyMapping(tree12, 3)
+        assert family_cost(mapping, PTemplate(7)) >= 1
+
+    def test_levels_behave_like_basic_color(self, tree12):
+        """Blocks are rainbow, so level windows stay cheap."""
+        mapping = SubtreeOnlyMapping(tree12, 3)
+        assert family_cost(mapping, LTemplate(7)) <= 2
+
+    def test_module_of_matches_array(self, tree12):
+        mapping = SubtreeOnlyMapping(tree12, 3)
+        arr = mapping.color_array()
+        for v in range(0, tree12.num_nodes, 97):
+            assert mapping.module_of(v) == arr[v]
+
+    def test_invalid(self, tree12):
+        with pytest.raises(ValueError):
+            SubtreeOnlyMapping(tree12, 0)
+
+
+class TestUnifyingGap:
+    """The quantitative pitch of the paper, in one test."""
+
+    def test_color_serves_both_with_fewer_than_sum(self):
+        tree = CompleteBinaryTree(13)
+        N, k = 6, 3
+        K = (1 << k) - 1
+        color = ColorMapping(tree, N=N, k=k)
+        assert family_cost(color, STemplate(K)) == 0
+        assert family_cost(color, PTemplate(N)) == 0
+        # strictly between the single-template optimum and their sum
+        assert max(N, K) < color.num_modules < N + K
+
+    def test_single_template_mappings_cannot_be_combined_naively(self):
+        """Neither single-template optimum is CF on the other family even
+        when granted COLOR's module budget."""
+        tree = CompleteBinaryTree(13)
+        p_only = PathOnlyMapping(tree, 10)  # same M as COLOR(N=6,k=3)
+        assert family_cost(p_only, STemplate(7)) >= 1

@@ -1,0 +1,95 @@
+"""Unit tests for TemplateInstance and the family protocol."""
+
+import numpy as np
+import pytest
+
+from repro.templates import LTemplate, PTemplate, STemplate, TemplateInstance
+from repro.trees import CompleteBinaryTree
+
+
+class TestTemplateInstance:
+    def test_basic_properties(self):
+        inst = TemplateInstance(kind="level", nodes=np.array([3, 4, 5]), anchor=3)
+        assert inst.size == len(inst) == 3
+        assert 4 in inst and 7 not in inst
+        assert inst.node_set() == frozenset({3, 4, 5})
+
+    def test_nodes_are_immutable(self):
+        inst = TemplateInstance(kind="level", nodes=np.array([3, 4, 5]))
+        with pytest.raises(ValueError):
+            inst.nodes[0] = 9
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateInstance(kind="path", nodes=np.array([1, 2, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateInstance(kind="path", nodes=np.array([], dtype=np.int64))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateInstance(kind="path", nodes=np.array([[1, 2]]))
+
+    def test_equality_is_set_based(self):
+        a = TemplateInstance(kind="level", nodes=np.array([3, 4, 5]))
+        b = TemplateInstance(kind="level", nodes=np.array([5, 4, 3]))
+        c = TemplateInstance(kind="path", nodes=np.array([3, 4, 5]))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_disjoint_from(self):
+        a = TemplateInstance(kind="level", nodes=np.array([3, 4]))
+        b = TemplateInstance(kind="level", nodes=np.array([5, 6]))
+        c = TemplateInstance(kind="level", nodes=np.array([4, 5]))
+        assert a.disjoint_from(b)
+        assert not a.disjoint_from(c)
+
+
+class TestFamilyProtocol:
+    @pytest.mark.parametrize(
+        "family", [STemplate(7), LTemplate(5), PTemplate(4)], ids=["S", "L", "P"]
+    )
+    def test_matrix_rows_match_instance_iteration(self, family, tree8):
+        matrix = family.instance_matrix(tree8)
+        insts = list(family.instances(tree8))
+        assert matrix.shape == (len(insts), family.size)
+        for row, inst in zip(matrix, insts):
+            assert set(int(v) for v in row) == inst.node_set()
+
+    @pytest.mark.parametrize(
+        "family", [STemplate(7), LTemplate(5), PTemplate(4)], ids=["S", "L", "P"]
+    )
+    def test_count_matches_enumeration(self, family, tree8):
+        assert family.count(tree8) == sum(1 for _ in family.instances(tree8))
+
+    @pytest.mark.parametrize(
+        "family", [STemplate(7), LTemplate(5), PTemplate(4)], ids=["S", "L", "P"]
+    )
+    def test_instance_at_matches_iteration(self, family, tree8):
+        insts = list(family.instances(tree8))
+        for idx in (0, len(insts) // 2, len(insts) - 1):
+            assert family.instance_at(tree8, idx) == insts[idx]
+
+    @pytest.mark.parametrize(
+        "family", [STemplate(7), LTemplate(5), PTemplate(4)], ids=["S", "L", "P"]
+    )
+    def test_instance_at_out_of_range(self, family, tree8):
+        with pytest.raises(IndexError):
+            family.instance_at(tree8, family.count(tree8))
+
+    @pytest.mark.parametrize(
+        "family", [STemplate(7), LTemplate(5), PTemplate(4)], ids=["S", "L", "P"]
+    )
+    def test_sample_returns_valid_instance(self, family, tree8, rng):
+        for _ in range(20):
+            inst = family.sample(tree8, rng)
+            assert inst.size == family.size
+            assert all(int(v) in tree8 for v in inst.nodes)
+
+    def test_all_instance_nodes_in_tree(self, tree8):
+        for family in (STemplate(7), LTemplate(6), PTemplate(8)):
+            matrix = family.instance_matrix(tree8)
+            assert matrix.min() >= 0
+            assert matrix.max() < tree8.num_nodes

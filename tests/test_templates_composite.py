@@ -1,0 +1,91 @@
+"""Unit tests for the composite C-template."""
+
+import numpy as np
+import pytest
+
+from repro.templates import (
+    CompositeSampler,
+    LTemplate,
+    PTemplate,
+    STemplate,
+    TemplateInstance,
+    make_composite,
+)
+from repro.trees import CompleteBinaryTree
+
+
+def _inst(kind, nodes):
+    return TemplateInstance(kind=kind, nodes=np.array(nodes, dtype=np.int64))
+
+
+class TestMakeComposite:
+    def test_valid_composite(self):
+        comp = make_composite([_inst("level", [3, 4]), _inst("path", [11, 5, 2])])
+        assert comp.kind == "composite"
+        assert comp.num_components == 2
+        assert comp.size == 5
+        assert comp.component_sizes() == (2, 3)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            make_composite([_inst("level", [3, 4]), _inst("path", [4, 1, 0])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_composite([])
+
+    def test_nesting_rejected(self):
+        comp = make_composite([_inst("level", [3, 4])])
+        with pytest.raises(ValueError):
+            make_composite([comp])
+
+
+class TestCompositeSampler:
+    def test_sample_has_exact_component_count(self, tree12, rng):
+        sampler = CompositeSampler(tree12)
+        for c in (1, 3, 7):
+            comp = sampler.sample(c, target_size=120, rng=rng)
+            assert comp.num_components == c
+
+    def test_sample_components_are_disjoint(self, tree12, rng):
+        sampler = CompositeSampler(tree12)
+        comp = sampler.sample(6, target_size=200, rng=rng)
+        seen = set()
+        for part in comp.components:
+            assert seen.isdisjoint(part.node_set())
+            seen |= part.node_set()
+        assert len(seen) == comp.size
+
+    def test_sample_size_tracks_target(self, tree12, rng):
+        sampler = CompositeSampler(tree12)
+        for target in (50, 150, 400):
+            comp = sampler.sample(4, target_size=target, rng=rng)
+            assert target / 3 <= comp.size <= 2 * target
+
+    def test_component_kinds_respect_filter(self, tree12, rng):
+        sampler = CompositeSampler(tree12, kinds=("path",))
+        comp = sampler.sample(3, target_size=30, rng=rng)
+        assert {part.kind for part in comp.components} == {"path"}
+
+    def test_subtree_sizes_are_complete(self, tree12, rng):
+        sampler = CompositeSampler(tree12, kinds=("subtree",))
+        comp = sampler.sample(3, target_size=40, rng=rng)
+        for part in comp.components:
+            assert (part.size + 1) & part.size == 0  # 2**x - 1
+
+    def test_invalid_args(self, tree12, rng):
+        sampler = CompositeSampler(tree12)
+        with pytest.raises(ValueError):
+            sampler.sample(0, target_size=10, rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample(5, target_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample(2, target_size=tree12.num_nodes, rng=rng)
+        with pytest.raises(ValueError):
+            CompositeSampler(tree12, kinds=("bogus",))
+
+    def test_deterministic_under_seed(self, tree12):
+        sampler = CompositeSampler(tree12)
+        a = sampler.sample(4, 100, np.random.default_rng(7))
+        b = sampler.sample(4, 100, np.random.default_rng(7))
+        assert a.node_set() == b.node_set()

@@ -1,0 +1,62 @@
+"""Unit tests for the L-template."""
+
+import numpy as np
+import pytest
+
+from repro.templates import LTemplate
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestLTemplate:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LTemplate(0)
+
+    def test_count_sums_windows_per_level(self):
+        t = CompleteBinaryTree(5)
+        fam = LTemplate(4)
+        # levels 2..4 admit windows: sizes 4, 8, 16 -> 1 + 5 + 13
+        assert fam.count(t) == 1 + 5 + 13
+
+    def test_admits(self):
+        assert LTemplate(8).admits(CompleteBinaryTree(4))
+        assert not LTemplate(16).admits(CompleteBinaryTree(4))
+
+    def test_instances_are_single_level_consecutive(self):
+        t = CompleteBinaryTree(5)
+        for inst in LTemplate(4).instances(t):
+            levels = {coords.level_of(int(v)) for v in inst.nodes}
+            assert len(levels) == 1
+            assert np.array_equal(np.diff(np.sort(inst.nodes)), [1, 1, 1])
+
+    def test_windows_do_not_wrap_levels(self):
+        t = CompleteBinaryTree(4)
+        fam = LTemplate(3)
+        for inst in fam.instances(t):
+            i = [coords.index_in_level(int(v)) for v in np.sort(inst.nodes)]
+            assert i == list(range(i[0], i[0] + 3))
+
+    def test_size_one_counts_every_node(self):
+        t = CompleteBinaryTree(4)
+        assert LTemplate(1).count(t) == t.num_nodes
+
+    def test_full_level_window(self):
+        t = CompleteBinaryTree(4)
+        fam = LTemplate(8)
+        assert fam.count(t) == 1
+        assert fam.instance_at(t, 0).node_set() == set(range(7, 15))
+
+    def test_instance_at_crosses_level_boundaries(self):
+        t = CompleteBinaryTree(5)
+        fam = LTemplate(4)
+        # index 0 is the single level-2 window; index 1 starts level 3
+        assert fam.instance_at(t, 0).anchor == 3
+        assert fam.instance_at(t, 1).anchor == 7
+        assert fam.instance_at(t, 6).anchor == 15
+
+    def test_matrix_matches_windows(self):
+        t = CompleteBinaryTree(5)
+        fam = LTemplate(4)
+        m = fam.instance_matrix(t)
+        assert m.shape == (fam.count(t), 4)
+        assert np.array_equal(m[0], [3, 4, 5, 6])

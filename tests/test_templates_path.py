@@ -1,0 +1,56 @@
+"""Unit tests for the P-template."""
+
+import numpy as np
+import pytest
+
+from repro.templates import PTemplate
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestPTemplate:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PTemplate(0)
+
+    def test_count_one_per_deep_node(self):
+        t = CompleteBinaryTree(5)
+        fam = PTemplate(3)
+        # anchored at every node of levels 2..4
+        assert fam.count(t) == t.num_nodes - 3
+
+    def test_admits(self):
+        assert PTemplate(5).admits(CompleteBinaryTree(5))
+        assert not PTemplate(6).admits(CompleteBinaryTree(5))
+
+    def test_instances_are_ascending_chains(self):
+        t = CompleteBinaryTree(5)
+        for inst in PTemplate(4).instances(t):
+            nodes = inst.nodes
+            for a, b in zip(nodes, nodes[1:]):
+                assert coords.parent(int(a)) == int(b)
+
+    def test_leaf_to_root_paths(self):
+        t = CompleteBinaryTree(4)
+        fam = PTemplate(4)
+        # every instance of P(H) is a full leaf-to-root path
+        for inst in fam.instances(t):
+            assert t.is_leaf(int(inst.nodes[0]))
+            assert int(inst.nodes[-1]) == 0
+        assert fam.count(t) == t.num_leaves
+
+    def test_single_node_paths(self):
+        t = CompleteBinaryTree(3)
+        assert PTemplate(1).count(t) == t.num_nodes
+
+    def test_anchor_is_bottom(self):
+        t = CompleteBinaryTree(5)
+        inst = PTemplate(3).instance_at(t, 0)
+        assert inst.anchor == int(inst.nodes[0]) == 3  # first node at level 2
+
+    def test_matrix_matches_path_up(self):
+        t = CompleteBinaryTree(6)
+        fam = PTemplate(4)
+        m = fam.instance_matrix(t)
+        bottoms = fam.bottoms(t)
+        for row, bottom in zip(m[::7], bottoms[::7]):
+            assert list(row) == coords.path_up(int(bottom), 4)

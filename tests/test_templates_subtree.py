@@ -1,0 +1,66 @@
+"""Unit tests for the S-template."""
+
+import numpy as np
+import pytest
+
+from repro.templates import STemplate
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestSTemplate:
+    def test_size_must_be_complete(self):
+        for bad in (2, 4, 6, 8):
+            with pytest.raises(ValueError):
+                STemplate(bad)
+
+    def test_levels_property(self):
+        assert STemplate(7).levels == 3
+        assert STemplate(1).levels == 1
+
+    def test_count_paper_formula(self):
+        """Instances are rooted at every node of levels 0..H-k."""
+        t = CompleteBinaryTree(6)
+        fam = STemplate(7)  # k = 3
+        assert fam.count(t) == (1 << (6 - 3 + 1)) - 1  # all nodes at levels 0..3
+
+    def test_admits(self):
+        assert STemplate(7).admits(CompleteBinaryTree(3))
+        assert not STemplate(7).admits(CompleteBinaryTree(2))
+
+    def test_count_when_not_admitted(self):
+        assert STemplate(15).count(CompleteBinaryTree(3)) == 0
+
+    def test_instance_is_complete_subtree(self):
+        t = CompleteBinaryTree(5)
+        inst = STemplate(7).instance_at(t, 4)
+        assert inst.anchor == 4
+        # every non-root node's parent is in the instance
+        for v in inst.nodes:
+            v = int(v)
+            if v != 4:
+                assert coords.parent(v) in inst
+
+    def test_deepest_roots_reach_tree_bottom(self):
+        t = CompleteBinaryTree(5)
+        fam = STemplate(7)
+        last_root = fam.count(t) - 1
+        inst = fam.instance_at(t, last_root)
+        assert int(inst.nodes.max()) == t.num_nodes - 1
+
+    def test_single_node_subtree(self):
+        t = CompleteBinaryTree(3)
+        fam = STemplate(1)
+        assert fam.count(t) == t.num_nodes
+        assert fam.instance_at(t, 5).node_set() == {5}
+
+    def test_instances_cover_every_possible_root(self):
+        t = CompleteBinaryTree(5)
+        fam = STemplate(3)
+        roots = {inst.anchor for inst in fam.instances(t)}
+        assert roots == set(range((1 << 5) - 1 - (1 << 4)))  # levels 0..3
+
+    def test_matrix_first_column_is_roots(self):
+        t = CompleteBinaryTree(6)
+        fam = STemplate(7)
+        matrix = fam.instance_matrix(t)
+        assert np.array_equal(matrix[:, 0], fam.roots(t))

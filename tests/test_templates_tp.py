@@ -1,0 +1,75 @@
+"""Unit tests for the TP proof-machinery template."""
+
+import numpy as np
+import pytest
+
+from repro.templates import TPTemplate
+from repro.trees import CompleteBinaryTree, coords
+
+
+class TestTPTemplate:
+    def test_size_is_anchor_level_plus_K(self):
+        fam = TPTemplate(7, anchor_level=4)
+        assert fam.size == 4 + 7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TPTemplate(6, anchor_level=2)  # K not 2**k - 1
+        with pytest.raises(ValueError):
+            TPTemplate(7, anchor_level=-1)
+
+    def test_count_one_per_anchor(self):
+        t = CompleteBinaryTree(8)
+        assert TPTemplate(7, anchor_level=3).count(t) == 8
+
+    def test_instance_structure(self):
+        t = CompleteBinaryTree(8)
+        fam = TPTemplate(7, anchor_level=3)
+        inst = fam.instance_at(t, 5)
+        anchor = coords.coord_to_id(5, 3)
+        assert inst.anchor == anchor
+        nodes = inst.node_set()
+        # contains the whole root path
+        for v in coords.path_up(anchor, 4):
+            assert v in nodes
+        # contains the size-7 subtree below the anchor
+        assert coords.child_left(anchor) in nodes
+        assert coords.child_left(coords.child_left(anchor)) in nodes
+        assert inst.size == fam.size
+
+    def test_thm2_instances_have_exactly_n_plus_K_minus_k_nodes(self):
+        """The counting step of Theorem 2: |TP_K(i, N-k)| = N + K - k."""
+        N, k = 6, 2
+        K = (1 << k) - 1
+        t = CompleteBinaryTree(N)
+        fam = TPTemplate(K, anchor_level=N - k)
+        assert not fam.is_clipped(t)
+        for inst in fam.instances(t):
+            assert inst.size == N + K - k
+
+    def test_clipped_at_tree_bottom(self):
+        t = CompleteBinaryTree(5)
+        fam = TPTemplate(7, anchor_level=4)  # subtree would need 3 levels below
+        assert fam.is_clipped(t)
+        inst = fam.instance_at(t, 0)
+        # only the anchor itself survives of the subtree part
+        assert inst.size == 4 + 1
+
+    def test_anchor_level_zero_is_pure_subtree(self):
+        t = CompleteBinaryTree(5)
+        inst = TPTemplate(7, anchor_level=0).instance_at(t, 0)
+        assert inst.node_set() == set(range(7))
+
+    def test_matrix_matches_instances(self):
+        t = CompleteBinaryTree(7)
+        fam = TPTemplate(3, anchor_level=4)
+        m = fam.instance_matrix(t)
+        insts = list(fam.instances(t))
+        assert m.shape[0] == len(insts)
+        for row, inst in zip(m, insts):
+            assert set(int(v) for v in row) == inst.node_set()
+
+    def test_matrix_empty_when_not_admitted(self):
+        t = CompleteBinaryTree(3)
+        fam = TPTemplate(3, anchor_level=5)
+        assert fam.instance_matrix(t).shape[0] == 0

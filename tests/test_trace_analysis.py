@@ -1,0 +1,54 @@
+"""Unit tests for trace profiling."""
+
+import numpy as np
+import pytest
+
+from repro.apps import level_sweep_trace
+from repro.bench.workloads import heap_workload
+from repro.memory import AccessTrace, profile_trace
+from repro.trees import CompleteBinaryTree
+
+
+class TestProfile:
+    def test_basic_counts(self):
+        trace = AccessTrace()
+        trace.add(np.array([0, 1, 2]), label="a")
+        trace.add(np.array([0, 3]), label="b")
+        profile = profile_trace(trace)
+        assert profile.accesses == 2
+        assert profile.total_items == 5
+        assert profile.working_set == 4
+        assert profile.mean_access_size == 2.5
+        assert profile.max_access_size == 3
+
+    def test_hottest_node(self):
+        trace = AccessTrace()
+        for _ in range(5):
+            trace.add(np.array([7, 8]))
+        trace.add(np.array([1]))
+        profile = profile_trace(trace)
+        assert profile.hottest_node in (7, 8)
+        assert profile.hottest_count == 5
+
+    def test_heap_workload_root_bias_one(self):
+        tree = CompleteBinaryTree(10)
+        profile = profile_trace(heap_workload(tree, ops=150))
+        assert profile.root_bias == 1.0
+        assert profile.top_fraction > 0.1  # heavily concentrated
+
+    def test_scan_workload_uniform(self):
+        tree = CompleteBinaryTree(10)
+        profile = profile_trace(level_sweep_trace(tree, window=8))
+        assert profile.working_set == tree.num_nodes
+        assert profile.root_bias < 0.05  # one access out of many touches root
+        assert profile.hottest_count == 1  # every node exactly once
+
+    def test_level_histogram_sums_to_items(self):
+        tree = CompleteBinaryTree(9)
+        trace = heap_workload(tree, ops=100)
+        profile = profile_trace(trace)
+        assert profile.level_histogram.sum() == profile.total_items
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace(AccessTrace())

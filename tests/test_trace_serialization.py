@@ -1,0 +1,48 @@
+"""Unit tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import heap_workload
+from repro.core import ColorMapping
+from repro.memory import AccessTrace, ParallelMemorySystem
+from repro.trees import CompleteBinaryTree
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        trace = AccessTrace()
+        trace.add(np.array([1, 2, 3]), label="a")
+        trace.add(np.array([7]), label="b")
+        trace.add(np.array([4, 5]), label="")
+        path = trace.save(tmp_path / "t.npz")
+        restored = AccessTrace.load(path)
+        assert len(restored) == 3
+        for (la, na), (lb, nb) in zip(trace, restored):
+            assert la == lb
+            assert np.array_equal(na, nb)
+
+    def test_workload_replay_identical(self, tmp_path):
+        tree = CompleteBinaryTree(10)
+        trace = heap_workload(tree, ops=120)
+        restored = AccessTrace.load(trace.save(tmp_path / "heap.npz"))
+        mapping = ColorMapping.max_parallelism(tree, 4)
+        a = ParallelMemorySystem(mapping).run_trace(trace)
+        b = ParallelMemorySystem(mapping).run_trace(restored)
+        assert a.total_cycles == b.total_cycles
+        assert a.total_conflicts == b.total_conflicts
+
+    def test_suffix_added(self, tmp_path):
+        trace = AccessTrace([("x", np.arange(3))])
+        path = trace.save(tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            AccessTrace().save(tmp_path / "empty.npz")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, stuff=np.arange(3))
+        with pytest.raises(ValueError):
+            AccessTrace.load(bogus)

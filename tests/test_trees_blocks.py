@@ -1,0 +1,91 @@
+"""Unit tests for the block machinery (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.trees import blocks, coords
+
+
+class TestBlockGeometry:
+    def test_block_of_and_position(self):
+        # level 4 (ids 15..30), k=3 -> blocks of 4
+        k = 3
+        for node in range(15, 31):
+            i = node - 15
+            assert blocks.block_of(node, k) == i // 4
+            assert blocks.position_in_block(node, k) == i % 4
+
+    def test_block_count(self):
+        assert blocks.block_count(4, 3) == 4  # 16 nodes / 4 per block
+        assert blocks.block_count(3, 3) == 2
+        assert blocks.block_count(2, 3) == 1
+
+    def test_block_count_too_shallow(self):
+        with pytest.raises(ValueError):
+            blocks.block_count(1, 3)
+
+    def test_block_nodes_partition_level(self):
+        j, k = 5, 3
+        all_nodes = np.concatenate(
+            [blocks.block_nodes(h, j, k) for h in range(blocks.block_count(j, k))]
+        )
+        assert np.array_equal(all_nodes, np.arange(31, 63))
+
+    def test_block_nodes_out_of_range(self):
+        with pytest.raises(ValueError):
+            blocks.block_nodes(4, 4, 3)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            blocks.block_of(10, 0)
+
+
+class TestAnchors:
+    def test_paper_identity_block_leaves_of_subtree(self):
+        """block(h, j) consists of the leaves of S_K(h, j-k+1) (paper text)."""
+        j, k = 5, 3
+        for h in range(blocks.block_count(j, k)):
+            nodes = blocks.block_nodes(h, j, k)
+            v1 = blocks.block_anchor_ancestor(int(nodes[0]), k)
+            assert v1 == coords.coord_to_id(h, j - k + 1)
+            # every node of the block has v1 as (k-1)-st ancestor
+            for v in nodes:
+                assert coords.ancestor(int(v), k - 1) == v1
+
+    def test_sibling_anchor_parity(self):
+        """v2 = v(h + (-1)^(h mod 2), j-k+1): +1 for even h, -1 for odd h."""
+        j, k = 5, 3
+        for h in range(blocks.block_count(j, k)):
+            node = int(blocks.block_nodes(h, j, k)[0])
+            v2 = blocks.block_sibling_anchor(node, k)
+            expected_index = h + 1 if h % 2 == 0 else h - 1
+            assert v2 == coords.coord_to_id(expected_index, j - k + 1)
+
+    def test_sibling_anchor_of_root_block_raises(self):
+        # at level j = k-1 the anchor is the root
+        with pytest.raises(ValueError):
+            blocks.block_sibling_anchor(3, 3)  # node at level 2, k=3 -> anchor root
+
+    def test_sibling_anchor_array_matches_scalar(self):
+        j, k = 6, 3
+        nodes = np.arange((1 << j) - 1, (1 << (j + 1)) - 1, dtype=np.int64)
+        got = blocks.block_sibling_anchor_array(nodes, k)
+        expect = np.array([blocks.block_sibling_anchor(int(v), k) for v in nodes])
+        assert np.array_equal(got, expect)
+
+    def test_sibling_anchor_array_rejects_root_anchor(self):
+        with pytest.raises(ValueError):
+            blocks.block_sibling_anchor_array(np.array([3, 4]), 3)
+
+    def test_subtree_relative_block_alignment(self):
+        """Relative and absolute block parity agree inside aligned subtrees.
+
+        This is the property that lets COLOR's BOTTOM pass run on absolute
+        levels (DESIGN.md): for a subtree rooted at v(i0, L), the h-th
+        relative block at relative level rho >= k is the (i0 * 2**(rho-k+1)
+        + h)-th absolute block, and the added term is even.
+        """
+        k = 3
+        for L, i0, rho in [(2, 1, 3), (2, 3, 4), (4, 5, 3), (3, 7, 5)]:
+            shift = i0 << (rho - k + 1)
+            assert shift % 2 == 0

@@ -1,0 +1,189 @@
+"""Unit tests for node addressing (repro.trees.coords)."""
+
+import numpy as np
+import pytest
+
+from repro.trees import coords
+
+
+class TestCoordConversions:
+    def test_root(self):
+        assert coords.coord_to_id(0, 0) == 0
+        assert coords.id_to_coord(0) == (0, 0)
+
+    def test_round_trip_all_small(self):
+        for j in range(8):
+            for i in range(1 << j):
+                node = coords.coord_to_id(i, j)
+                assert coords.id_to_coord(node) == (i, j)
+
+    def test_bfs_ids_are_consecutive_per_level(self):
+        assert [coords.coord_to_id(i, 2) for i in range(4)] == [3, 4, 5, 6]
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            coords.coord_to_id(4, 2)
+        with pytest.raises(ValueError):
+            coords.coord_to_id(-1, 2)
+
+    def test_rejects_negative_level_and_id(self):
+        with pytest.raises(ValueError):
+            coords.coord_to_id(0, -1)
+        with pytest.raises(ValueError):
+            coords.id_to_coord(-1)
+        with pytest.raises(ValueError):
+            coords.level_of(-5)
+
+    def test_level_and_index(self):
+        assert coords.level_of(0) == 0
+        assert coords.level_of(1) == 1
+        assert coords.level_of(2) == 1
+        assert coords.level_of(6) == 2
+        assert coords.index_in_level(6) == 3
+
+    def test_level_at_power_boundaries(self):
+        for j in range(1, 20):
+            first = (1 << j) - 1
+            assert coords.level_of(first) == j
+            assert coords.level_of(first - 1) == j - 1
+
+
+class TestFamilyRelations:
+    def test_parent_child_inverse(self):
+        for node in range(1, 200):
+            assert coords.parent(coords.child_left(node)) == node
+            assert coords.parent(coords.child_right(node)) == node
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(ValueError):
+            coords.parent(0)
+
+    def test_sibling_is_involution(self):
+        for node in range(1, 200):
+            sib = coords.sibling(node)
+            assert sib != node
+            assert coords.sibling(sib) == node
+            assert coords.parent(sib) == coords.parent(node)
+
+    def test_sibling_of_root_raises(self):
+        with pytest.raises(ValueError):
+            coords.sibling(0)
+
+    def test_ancestor_matches_repeated_parent(self):
+        node = coords.coord_to_id(37, 6)
+        walk = node
+        for d in range(7):
+            assert coords.ancestor(node, d) == walk
+            if walk:
+                walk = coords.parent(walk)
+
+    def test_ancestor_formula_from_paper(self):
+        # ANC(i, j, m) = v(i >> m, j - m)
+        node = coords.coord_to_id(45, 6)
+        assert coords.ancestor(node, 2) == coords.coord_to_id(45 >> 2, 4)
+
+    def test_ancestor_above_root_raises(self):
+        with pytest.raises(ValueError):
+            coords.ancestor(3, 5)
+        with pytest.raises(ValueError):
+            coords.ancestor(3, -1)
+
+    def test_ancestors_iter_ends_at_root(self):
+        chain = list(coords.ancestors_iter(coords.coord_to_id(13, 4)))
+        assert len(chain) == 4
+        assert chain[-1] == 0
+
+    def test_is_ancestor(self):
+        assert coords.is_ancestor(0, 100)
+        assert coords.is_ancestor(5, 5)
+        assert coords.is_ancestor(1, 3)
+        assert not coords.is_ancestor(3, 1)
+        assert not coords.is_ancestor(1, 2)
+
+    def test_lowest_common_ancestor(self):
+        assert coords.lowest_common_ancestor(3, 4) == 1
+        assert coords.lowest_common_ancestor(3, 6) == 0
+        assert coords.lowest_common_ancestor(7, 8) == 3
+        assert coords.lowest_common_ancestor(7, 7) == 7
+        assert coords.lowest_common_ancestor(7, 3) == 3
+
+    def test_lca_different_levels(self):
+        deep = coords.coord_to_id(5, 5)
+        assert coords.lowest_common_ancestor(deep, coords.ancestor(deep, 3)) == \
+            coords.ancestor(deep, 3)
+
+
+class TestLeavesAndPaths:
+    def test_leftmost_rightmost_leaf(self):
+        # root of a 4-level tree spans leaves 7..14
+        assert coords.leftmost_leaf(0, 4) == 7
+        assert coords.rightmost_leaf(0, 4) == 14
+        assert coords.leftmost_leaf(2, 4) == 11
+        assert coords.rightmost_leaf(2, 4) == 14
+
+    def test_leaf_of_leaf_is_itself(self):
+        assert coords.leftmost_leaf(9, 4) == 9
+        assert coords.rightmost_leaf(9, 4) == 9
+
+    def test_leaf_below_tree_raises(self):
+        with pytest.raises(ValueError):
+            coords.leftmost_leaf(20, 4)
+
+    def test_node_exists(self):
+        assert coords.node_exists(0, 1)
+        assert not coords.node_exists(1, 1)
+        assert coords.node_exists(14, 4)
+        assert not coords.node_exists(15, 4)
+
+    def test_path_up_contents(self):
+        path = coords.path_up(11, 4)
+        assert path == [11, 5, 2, 0]
+
+    def test_path_up_length_one(self):
+        assert coords.path_up(6, 1) == [6]
+
+    def test_path_up_too_long_raises(self):
+        with pytest.raises(ValueError):
+            coords.path_up(3, 4)
+        with pytest.raises(ValueError):
+            coords.path_up(3, 0)
+
+    def test_path_down(self):
+        assert coords.path_down(0, 11) == [0, 2, 5, 11]
+        assert coords.path_down(5, 5) == [5]
+
+    def test_path_down_non_ancestor_raises(self):
+        with pytest.raises(ValueError):
+            coords.path_down(1, 6)
+
+
+class TestVectorized:
+    def test_level_of_array_matches_scalar(self):
+        nodes = np.arange(0, 5000, dtype=np.int64)
+        got = coords.level_of_array(nodes)
+        expect = np.array([coords.level_of(int(v)) for v in nodes])
+        assert np.array_equal(got, expect)
+
+    def test_level_of_array_large_power_boundaries(self):
+        # float log2 would round these wrong without the correction
+        nodes = np.array(
+            [(1 << j) - 1 for j in range(40, 62)]
+            + [(1 << j) - 2 for j in range(40, 62)],
+            dtype=np.int64,
+        )
+        got = coords.level_of_array(nodes)
+        expect = np.array([coords.level_of(int(v)) for v in nodes])
+        assert np.array_equal(got, expect)
+
+    def test_ancestor_array_matches_scalar(self):
+        nodes = np.arange(63, 127, dtype=np.int64)  # level 6
+        got = coords.ancestor_array(nodes, 3)
+        expect = np.array([coords.ancestor(int(v), 3) for v in nodes])
+        assert np.array_equal(got, expect)
+
+    def test_ancestor_array_broadcast_distance(self):
+        nodes = np.array([63, 64, 65], dtype=np.int64)
+        d = np.array([1, 2, 3])
+        got = coords.ancestor_array(nodes, d)
+        expect = np.array([coords.ancestor(63, 1), coords.ancestor(64, 2), coords.ancestor(65, 3)])
+        assert np.array_equal(got, expect)

@@ -1,0 +1,95 @@
+"""Unit tests for traversal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.trees import coords, traversal
+
+
+class TestSubtreeSizes:
+    def test_size_level_round_trip(self):
+        for k in range(1, 10):
+            assert traversal.subtree_num_levels(traversal.subtree_size(k)) == k
+
+    def test_non_complete_size_rejected(self):
+        for bad in (2, 4, 5, 6, 8, 100):
+            with pytest.raises(ValueError):
+                traversal.subtree_num_levels(bad)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            traversal.subtree_size(-1)
+        with pytest.raises(ValueError):
+            traversal.subtree_num_levels(0)
+
+
+class TestSubtreeNodes:
+    def test_root_subtree_is_whole_tree(self):
+        assert np.array_equal(traversal.subtree_nodes(0, 4), np.arange(15))
+
+    def test_inner_subtree(self):
+        # subtree of 2 levels rooted at node 2: {2, 5, 6}
+        assert np.array_equal(traversal.subtree_nodes(2, 2), [2, 5, 6])
+
+    def test_single_node(self):
+        assert np.array_equal(traversal.subtree_nodes(9, 1), [9])
+
+    def test_all_nodes_are_descendants(self):
+        root = 5
+        for v in traversal.subtree_nodes(root, 3):
+            assert coords.is_ancestor(root, int(v))
+
+    def test_bfs_order_is_level_then_left_to_right(self):
+        nodes = traversal.subtree_nodes(1, 3)
+        levels = [coords.level_of(int(v)) for v in nodes]
+        assert levels == sorted(levels)
+        assert np.array_equal(nodes, [1, 3, 4, 7, 8, 9, 10])
+
+
+class TestBfsRank:
+    def test_rank_decompose(self):
+        assert traversal.bfs_rank_decompose(0) == (0, 0)
+        assert traversal.bfs_rank_decompose(1) == (1, 0)
+        assert traversal.bfs_rank_decompose(2) == (1, 1)
+        assert traversal.bfs_rank_decompose(3) == (2, 0)
+        assert traversal.bfs_rank_decompose(6) == (2, 3)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            traversal.bfs_rank_decompose(-1)
+
+    def test_bfs_node_of_subtree_matches_enumeration(self):
+        root, levels = 6, 4
+        nodes = traversal.subtree_nodes(root, levels)
+        for rank, node in enumerate(nodes):
+            assert traversal.bfs_node_of_subtree(root, rank) == node
+
+    def test_bfs_node_of_root_subtree_is_identity(self):
+        for rank in range(63):
+            assert traversal.bfs_node_of_subtree(0, rank) == rank
+
+
+class TestIterators:
+    def test_bfs_order_matches_subtree_nodes(self):
+        assert list(traversal.bfs_order(2, 3)) == list(traversal.subtree_nodes(2, 3))
+
+    def test_dfs_preorder_visits_same_set(self):
+        dfs = list(traversal.dfs_preorder(1, 3))
+        assert sorted(dfs) == sorted(traversal.subtree_nodes(1, 3).tolist())
+
+    def test_dfs_preorder_parent_before_children(self):
+        dfs = list(traversal.dfs_preorder(0, 4))
+        pos = {v: idx for idx, v in enumerate(dfs)}
+        for v in dfs:
+            if v != 0:
+                assert pos[coords.parent(v)] < pos[v]
+
+    def test_dfs_preorder_left_subtree_first(self):
+        dfs = list(traversal.dfs_preorder(0, 3))
+        assert dfs == [0, 1, 3, 4, 2, 5, 6]
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            traversal.subtree_nodes(0, 0)
+        with pytest.raises(ValueError):
+            list(traversal.dfs_preorder(0, 0))

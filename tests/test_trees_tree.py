@@ -1,0 +1,92 @@
+"""Unit tests for CompleteBinaryTree."""
+
+import numpy as np
+import pytest
+
+from repro.trees import CompleteBinaryTree
+
+
+class TestGeometry:
+    def test_node_count(self):
+        assert CompleteBinaryTree(1).num_nodes == 1
+        assert CompleteBinaryTree(4).num_nodes == 15
+        assert CompleteBinaryTree(10).num_nodes == 1023
+
+    def test_paper_height_alias(self):
+        t = CompleteBinaryTree(6)
+        assert t.height == t.num_levels == 6
+        assert t.last_level == 5
+
+    def test_leaves(self):
+        t = CompleteBinaryTree(4)
+        assert t.num_leaves == 8
+        assert np.array_equal(t.leaves(), np.arange(7, 15))
+
+    def test_level_sizes_sum_to_total(self):
+        t = CompleteBinaryTree(7)
+        assert sum(t.level_size(j) for j in range(7)) == t.num_nodes
+
+    def test_level_slice_and_nodes_agree(self):
+        t = CompleteBinaryTree(6)
+        arr = t.nodes()
+        for j in range(6):
+            assert np.array_equal(arr[t.level_slice(j)], t.level_nodes(j))
+
+    def test_level_start(self):
+        t = CompleteBinaryTree(5)
+        assert [t.level_start(j) for j in range(5)] == [0, 1, 3, 7, 15]
+
+    def test_invalid_levels_raise(self):
+        t = CompleteBinaryTree(3)
+        with pytest.raises(ValueError):
+            t.level_nodes(3)
+        with pytest.raises(ValueError):
+            t.level_size(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CompleteBinaryTree(0)
+        with pytest.raises(ValueError):
+            CompleteBinaryTree(64)
+
+
+class TestMembership:
+    def test_contains(self):
+        t = CompleteBinaryTree(4)
+        assert 0 in t and 14 in t
+        assert 15 not in t and -1 not in t
+
+    def test_check_node(self):
+        t = CompleteBinaryTree(4)
+        assert t.check_node(7) == 7
+        with pytest.raises(ValueError):
+            t.check_node(15)
+
+    def test_is_leaf(self):
+        t = CompleteBinaryTree(4)
+        assert t.is_leaf(7) and t.is_leaf(14)
+        assert not t.is_leaf(6)
+        with pytest.raises(ValueError):
+            t.is_leaf(99)
+
+    def test_iteration_is_bfs_order(self):
+        t = CompleteBinaryTree(3)
+        assert list(t) == list(range(7))
+
+
+class TestDerived:
+    def test_subtree_levels_below(self):
+        t = CompleteBinaryTree(5)
+        assert t.subtree_levels_below(0) == 5
+        assert t.subtree_levels_below(3) == 3
+        assert t.subtree_levels_below(30) == 1
+
+    def test_max_path_length(self):
+        t = CompleteBinaryTree(5)
+        assert t.max_path_length(0) == 1
+        assert t.max_path_length(30) == 5
+
+    def test_frozen(self):
+        t = CompleteBinaryTree(3)
+        with pytest.raises(Exception):
+            t.num_levels = 5
