@@ -16,7 +16,8 @@ Subpackages: :mod:`repro.trees` (tree substrate), :mod:`repro.templates`
 (S/L/P/C templates), :mod:`repro.core` (the paper's mappings),
 :mod:`repro.memory` (memory-system simulator), :mod:`repro.analysis`
 (conflict analysis and bounds), :mod:`repro.apps` (motivating applications),
-:mod:`repro.bench` (experiment harness E1..E13).
+:mod:`repro.bench` (experiment harness E1..E13), :mod:`repro.obs`
+(cycle-level telemetry, reports, regression gating).
 """
 
 from repro.analysis import family_cost, instance_conflicts, load_report, mapping_cost
@@ -27,6 +28,7 @@ from repro.core import (
     TreeMapping,
 )
 from repro.memory import AccessTrace, ParallelMemorySystem
+from repro.obs import EventRecorder
 from repro.templates import (
     CompositeSampler,
     LTemplate,
@@ -45,6 +47,7 @@ __all__ = [
     "ColorMapping",
     "CompleteBinaryTree",
     "CompositeSampler",
+    "EventRecorder",
     "LTemplate",
     "LabelTreeMapping",
     "PTemplate",

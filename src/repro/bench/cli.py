@@ -36,6 +36,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the results as a markdown report",
     )
+    run.add_argument(
+        "--obs",
+        metavar="PATH",
+        help="record cycle-level telemetry from every simulated system "
+        "into one .jsonl artifact (see `pmtree obs report`)",
+    )
     return parser
 
 
@@ -51,11 +57,26 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     scale = "quick" if args.quick else "full"
+    recorder = None
+    if args.obs:
+        from repro.obs import EventRecorder, install
+
+        recorder = EventRecorder()
+        recorder.set_meta(harness="pmtree-bench", experiment=args.experiment, scale=scale)
+        install(recorder)  # every system built by the experiments records
     t0 = time.time()
-    if args.experiment.lower() == "all":
-        results = run_all(scale)
-    else:
-        results = [run_experiment(args.experiment, scale)]
+    try:
+        if args.experiment.lower() == "all":
+            results = run_all(scale)
+        else:
+            results = [run_experiment(args.experiment, scale)]
+    finally:
+        if recorder is not None:
+            from repro.obs import uninstall
+
+            uninstall()
+            path = recorder.save(args.obs)
+            print(f"wrote telemetry ({len(recorder.events)} events) to {path}")
     failures = 0
     for result in results:
         print(result)

@@ -7,7 +7,10 @@ CLI under ``python -m repro.bench``):
 * ``pmtree info``     — inspect a mapping: parameters, load, top-level view;
 * ``pmtree verify``   — exhaustively check a mapping against template families;
 * ``pmtree trace``    — generate a workload trace file;
-* ``pmtree simulate`` — replay a trace file against a mapping file.
+* ``pmtree simulate`` — replay a trace file against a mapping file
+  (``--obs out.jsonl`` records cycle-level telemetry);
+* ``pmtree obs``      — telemetry tooling: ``record`` / ``report`` /
+  ``diff`` (regression gate) / ``export`` (Chrome trace).
 """
 
 from __future__ import annotations
@@ -148,9 +151,12 @@ def cmd_chart(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro.obs import EventRecorder
+
     mapping = load_mapping(args.mapping)
     trace = AccessTrace.load(args.trace)
-    pms = ParallelMemorySystem(mapping)
+    recorder = EventRecorder() if getattr(args, "obs", None) else None
+    pms = ParallelMemorySystem(mapping, recorder=recorder)
     if args.mode == "pipelined":
         stats = pms.run_trace(trace, pipelined=True)
     elif args.mode == "open-loop":
@@ -159,6 +165,45 @@ def cmd_simulate(args) -> int:
         stats = pms.run_trace(trace)
     print(stats)
     print(f"items/cycle: {stats.mean_parallelism:.2f}")
+    if recorder is not None:
+        recorder.set_meta(mode=args.mode, trace=str(args.trace))
+        path = recorder.save(args.obs)
+        print(f"wrote telemetry ({len(recorder.events)} events) to {path}")
+    return 0
+
+
+def cmd_obs_record(args) -> int:
+    args.obs = args.out
+    return cmd_simulate(args)
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs.report import render_report
+
+    print(render_report(args.artifact, width=args.width))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from repro.obs.regress import THRESHOLD_METRICS, diff_artifacts
+
+    thresholds = {}
+    for flag in THRESHOLD_METRICS:
+        value = getattr(args, flag.replace("-", "_"))
+        if value is not None:
+            thresholds[flag] = value
+    if not thresholds:
+        thresholds = {"max-conflict-growth": 0.0, "max-p95-queue-growth": 0.0}
+    report = diff_artifacts(args.base, args.new, thresholds)
+    print(report)
+    return 0 if report.ok else 3
+
+
+def cmd_obs_export(args) -> int:
+    from repro.obs import to_chrome_trace
+
+    out = to_chrome_trace(args.artifact, args.out)
+    print(f"wrote Chrome trace to {out} (open in chrome://tracing or Perfetto)")
     return 0
 
 
@@ -214,7 +259,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mode", choices=["barrier", "pipelined", "open-loop"], default="barrier"
     )
     sim.add_argument("--interval", type=int, default=2, help="open-loop arrival interval")
+    sim.add_argument(
+        "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
+    )
     sim.set_defaults(fn=cmd_simulate)
+
+    obs = sub.add_parser("obs", help="telemetry: record / report / diff / export")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    rec = obs_sub.add_parser("record", help="simulate with telemetry enabled")
+    rec.add_argument("mapping", help="mapping .npz")
+    rec.add_argument("trace", help="trace .npz")
+    rec.add_argument("--out", required=True, help="telemetry .jsonl path")
+    rec.add_argument(
+        "--mode", choices=["barrier", "pipelined", "open-loop"], default="barrier"
+    )
+    rec.add_argument("--interval", type=int, default=2, help="open-loop arrival interval")
+    rec.set_defaults(fn=cmd_obs_record)
+
+    rep = obs_sub.add_parser("report", help="render utilization/conflict/queue views")
+    rep.add_argument("artifact", help="telemetry .jsonl")
+    rep.add_argument("--width", type=int, default=60, help="chart width in columns")
+    rep.set_defaults(fn=cmd_obs_report)
+
+    diff = obs_sub.add_parser("diff", help="gate a candidate artifact on a baseline")
+    diff.add_argument("base", help="baseline telemetry .jsonl")
+    diff.add_argument("new", help="candidate telemetry .jsonl")
+    diff.add_argument("--max-conflict-growth", type=float, default=None,
+                      help="allowed relative growth in total conflicts (0 = none)")
+    diff.add_argument("--max-p95-queue-growth", type=float, default=None,
+                      help="allowed relative growth in p95 queue depth")
+    diff.add_argument("--max-cycle-growth", type=float, default=None,
+                      help="allowed relative growth in recorded span cycles")
+    diff.add_argument("--max-stall-growth", type=float, default=None,
+                      help="allowed relative growth in stall events")
+    diff.set_defaults(fn=cmd_obs_diff)
+
+    exp = obs_sub.add_parser("export", help="convert an artifact to Chrome-trace JSON")
+    exp.add_argument("artifact", help="telemetry .jsonl")
+    exp.add_argument("--out", required=True, help="Chrome-trace .json path")
+    exp.set_defaults(fn=cmd_obs_export)
     return parser
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.events import NULL_RECORDER, NullRecorder
+
 __all__ = ["MemoryModule"]
 
 
@@ -26,6 +28,7 @@ class MemoryModule:
     served: int = 0
     busy_cycles: int = 0
     max_queue_depth: int = 0
+    recorder: NullRecorder = field(default=NULL_RECORDER, repr=False)
     _port_free: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -59,7 +62,25 @@ class MemoryModule:
                 self._port_free[p] = now + self.latency
                 self.served += 1
                 self.busy_cycles += self.latency
+                if self.recorder.enabled:
+                    self.recorder.event(
+                        "issue",
+                        cycle=now,
+                        module=self.module_id,
+                        tag=request[0],
+                        address=request[1],
+                        latency=self.latency,
+                        port=p,
+                    )
                 return request
+        if self.recorder.enabled:
+            self.recorder.event(
+                "stall",
+                cycle=now,
+                module=self.module_id,
+                where="module",
+                waiting=len(self.queue),
+            )
         return None
 
     @property

@@ -9,20 +9,25 @@ import numpy as np
 __all__ = ["AccessResult", "TraceStats", "latency_summary"]
 
 
-def latency_summary(latencies: np.ndarray) -> dict[str, float]:
-    """Mean / median / p95 / max of a per-request completion-cycle array.
+def latency_summary(latencies) -> dict[str, float]:
+    """Mean / median / p95 / p99 / max of per-request completion cycles.
 
     Produced by :class:`~repro.memory.system.ParallelMemorySystem` when
     constructed with ``record_latencies=True``; on a drained pipelined
-    replay this is the request sojourn-time distribution.
+    replay this is the request sojourn-time distribution.  Accepts any
+    sequence of numbers — plain integer lists from ad-hoc instrumentation
+    work as well as the simulator's ``int64`` arrays.
     """
-    latencies = np.asarray(latencies)
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if latencies.ndim != 1:
+        latencies = latencies.reshape(-1)
     if latencies.size == 0:
         raise ValueError("no latencies recorded")
     return {
         "mean": float(latencies.mean()),
         "p50": float(np.percentile(latencies, 50)),
         "p95": float(np.percentile(latencies, 95)),
+        "p99": float(np.percentile(latencies, 99)),
         "max": float(latencies.max()),
     }
 

@@ -25,12 +25,19 @@ from repro.memory.interconnect import Crossbar, Interconnect
 from repro.memory.module import MemoryModule
 from repro.memory.stats import AccessResult, TraceStats
 from repro.memory.trace import AccessTrace
+from repro.obs.events import NullRecorder, default_recorder
 
 __all__ = ["ParallelMemorySystem"]
 
 
 class ParallelMemorySystem:
-    """``M`` queued memory modules behind an interconnect, bound to a mapping."""
+    """``M`` queued memory modules behind an interconnect, bound to a mapping.
+
+    Pass ``recorder=EventRecorder()`` (see :mod:`repro.obs`) to capture
+    cycle-level telemetry; the default is the shared null recorder (or
+    whatever :func:`repro.obs.install` made the process default), which
+    keeps the simulation loop free of event construction.
+    """
 
     def __init__(
         self,
@@ -39,12 +46,19 @@ class ParallelMemorySystem:
         module_latency: int = 1,
         module_ports: int = 1,
         record_latencies: bool = False,
+        recorder: NullRecorder | None = None,
     ):
         self.mapping = mapping
         self.interconnect = interconnect or Crossbar()
         self.num_modules = mapping.num_modules
+        self.recorder = recorder if recorder is not None else default_recorder()
         self.modules = [
-            MemoryModule(module_id=i, latency=module_latency, ports=module_ports)
+            MemoryModule(
+                module_id=i,
+                latency=module_latency,
+                ports=module_ports,
+                recorder=self.recorder,
+            )
             for i in range(self.num_modules)
         ]
         self.record_latencies = record_latencies
@@ -52,6 +66,15 @@ class ParallelMemorySystem:
         #: populated only when ``record_latencies`` is set
         self.last_latencies: np.ndarray | None = None
         self._rr_start = 0  # round-robin pointer for issue-limited interconnects
+        self._access_index = -1  # running access number for telemetry
+        if self.recorder.enabled:
+            self.recorder.set_meta(
+                num_modules=self.num_modules,
+                interconnect=self.interconnect.name,
+                module_latency=module_latency,
+                module_ports=module_ports,
+                mapping=type(mapping).__name__,
+            )
 
     # -- core cycle loop -----------------------------------------------------
 
@@ -61,32 +84,71 @@ class ParallelMemorySystem:
         A request issued to a module at cycle ``t`` completes at
         ``t + latency`` (the module accepts its next request then), so the
         drain time is the latest completion across the array.
+
+        The round-robin scan starts at ``_rr_start + cycle`` within a drain
+        and the base pointer advances by one *per drain*, so consecutive
+        accesses on an issue-limited interconnect rotate which module is
+        served first (a fixed-length drain used to wrap the pointer back to
+        where it started, pinning module 0 at the head of every access).
         """
         limit = self.interconnect.issue_limit(self.num_modules)
         cycles = 0
         pending = sum(len(mod.queue) for mod in self.modules)
         latencies: list[int] | None = [] if self.record_latencies else None
         last_completion = 0
+        start = self._rr_start
+        rec = self.recorder
+        recording = rec.enabled
         while pending:
+            if recording:
+                for mod in self.modules:
+                    if mod.queue:
+                        rec.event(
+                            "queue_depth",
+                            cycle=cycles,
+                            module=mod.module_id,
+                            depth=len(mod.queue),
+                        )
             issued = 0
             # fair round-robin over modules so a narrow interconnect
             # does not starve high-numbered banks
             for off in range(self.num_modules):
                 if issued >= limit:
+                    if recording and pending:
+                        rec.event(
+                            "stall",
+                            cycle=cycles,
+                            where="interconnect",
+                            pending=pending,
+                        )
                     break
-                mod = self.modules[(self._rr_start + off) % self.num_modules]
+                mod = self.modules[(start + cycles + off) % self.num_modules]
                 while issued < limit and mod.step(cycles) is not None:
                     issued += 1
                     pending -= 1
                     completion = cycles + mod.latency
                     last_completion = max(last_completion, completion)
+                    if recording:
+                        rec.event(
+                            "complete", cycle=completion, module=mod.module_id
+                        )
                     if latencies is not None:
                         latencies.append(completion)
-            self._rr_start = (self._rr_start + 1) % self.num_modules
             cycles += 1
+        self._rr_start = (start + 1) % self.num_modules
         if latencies is not None:
             self.last_latencies = np.array(latencies, dtype=np.int64)
         return last_completion
+
+    def _emit_conflicts(self, counts: np.ndarray, cycle: int = 0) -> None:
+        """Emit one ``conflict`` event per module an access overloads."""
+        for module in np.nonzero(counts > 1)[0]:
+            self.recorder.event(
+                "conflict",
+                cycle=cycle,
+                module=int(module),
+                extra=int(counts[module]) - 1,
+            )
 
     # -- public API ------------------------------------------------------------
 
@@ -99,9 +161,24 @@ class ParallelMemorySystem:
         counts = np.bincount(colors, minlength=self.num_modules)
         for mod in self.modules:
             mod.busy_until = 0  # each barrier access starts a fresh clock
+        rec = self.recorder
+        if rec.enabled:
+            self._access_index += 1
+            rec.begin_access(self._access_index, label)
+            self._emit_conflicts(counts)
         for tag, (node, color) in enumerate(zip(nodes, colors)):
             self.modules[int(color)].enqueue(tag, int(node))
         cycles = self._drain()
+        if rec.enabled:
+            rec.event(
+                "access",
+                cycle=0,
+                label=label,
+                size=int(nodes.size),
+                conflicts=int(counts.max() - 1),
+                cycles=cycles,
+            )
+            rec.end_access(cycles)
         return AccessResult(
             cycles=cycles,
             conflicts=int(counts.max() - 1),
@@ -118,12 +195,17 @@ class ParallelMemorySystem:
                 stats.record(self.access(nodes, label=label))
             return stats
         # pipelined: enqueue everything, then drain once
+        rec = self.recorder
         total_counts = np.zeros(self.num_modules, dtype=np.int64)
         for label, nodes in trace:
             nodes = np.asarray(nodes, dtype=np.int64)
             colors = self.mapping.colors_of(nodes)
             counts = np.bincount(colors, minlength=self.num_modules)
             total_counts += counts
+            if rec.enabled:
+                self._access_index += 1
+                rec.begin_access(self._access_index, label)
+                self._emit_conflicts(counts)
             for tag, (node, color) in enumerate(zip(nodes, colors)):
                 self.modules[int(color)].enqueue(tag, int(node))
             # per-access conflict bookkeeping still uses the paper's metric
@@ -136,6 +218,9 @@ class ParallelMemorySystem:
                     label=label,
                 )
             )
+        if rec.enabled:
+            # drain events belong to the shared pipeline, not one access
+            rec.begin_access(-1)
         stats.total_cycles = self._drain()
         return stats
 
@@ -158,6 +243,9 @@ class ParallelMemorySystem:
         pending = 0
         cycle = 0
         last_completion = 0
+        start = self._rr_start
+        rec = self.recorder
+        recording = rec.enabled
         while next_idx < len(accesses) or pending:
             # arrivals scheduled for this cycle
             while next_idx < len(accesses) and cycle >= next_idx * arrival_interval:
@@ -165,6 +253,17 @@ class ParallelMemorySystem:
                 nodes = np.asarray(nodes, dtype=np.int64)
                 colors = self.mapping.colors_of(nodes)
                 counts = np.bincount(colors, minlength=self.num_modules)
+                if recording:
+                    self._access_index += 1
+                    rec.begin_access(self._access_index, label)
+                    self._emit_conflicts(counts, cycle=cycle)
+                    rec.event(
+                        "access",
+                        cycle=cycle,
+                        label=label,
+                        size=int(nodes.size),
+                        conflicts=int(counts.max() - 1),
+                    )
                 for tag, (node, color) in enumerate(zip(nodes, colors)):
                     self.modules[int(color)].enqueue((next_idx, tag), int(node))
                     enqueue_time[(next_idx, tag)] = cycle
@@ -179,11 +278,28 @@ class ParallelMemorySystem:
                 )
                 pending += nodes.size
                 next_idx += 1
+            if recording:
+                rec.begin_access(-1)  # served requests span accesses
+                for mod in self.modules:
+                    if mod.queue:
+                        rec.event(
+                            "queue_depth",
+                            cycle=cycle,
+                            module=mod.module_id,
+                            depth=len(mod.queue),
+                        )
             issued = 0
             for off in range(self.num_modules):
                 if issued >= limit:
+                    if recording and pending:
+                        rec.event(
+                            "stall",
+                            cycle=cycle,
+                            where="interconnect",
+                            pending=pending,
+                        )
                     break
-                mod = self.modules[(self._rr_start + off) % self.num_modules]
+                mod = self.modules[(start + cycle + off) % self.num_modules]
                 while issued < limit:
                     served = mod.step(cycle)
                     if served is None:
@@ -192,10 +308,18 @@ class ParallelMemorySystem:
                     pending -= 1
                     completion = cycle + mod.latency
                     last_completion = max(last_completion, completion)
+                    if recording:
+                        rec.event(
+                            "complete",
+                            cycle=completion,
+                            module=mod.module_id,
+                            access=served[0][0],
+                            sojourn=completion - enqueue_time[served[0]],
+                        )
                     if latencies is not None:
                         latencies.append(completion - enqueue_time[served[0]])
-            self._rr_start = (self._rr_start + 1) % self.num_modules
             cycle += 1
+        self._rr_start = (start + 1) % self.num_modules
         if latencies is not None:
             self.last_latencies = np.array(latencies, dtype=np.int64)
         stats.total_cycles = last_completion
@@ -219,6 +343,7 @@ class ParallelMemorySystem:
         for mod in self.modules:
             mod.reset_stats()
         self._rr_start = 0
+        self._access_index = -1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

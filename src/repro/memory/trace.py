@@ -57,11 +57,16 @@ class AccessTrace:
     # -- serialization --------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
-        """Write the trace to ``path`` as a compressed ``.npz``."""
+        """Write the trace to ``path`` as a compressed ``.npz``.
+
+        Empty traces round-trip (an app may legitimately record nothing);
+        labels may be any unicode strings.
+        """
         path = Path(path)
-        if not self._accesses:
-            raise ValueError("cannot save an empty trace")
-        flat = np.concatenate([nodes for _, nodes in self._accesses])
+        if self._accesses:
+            flat = np.concatenate([nodes for _, nodes in self._accesses])
+        else:
+            flat = np.zeros(0, dtype=np.int64)
         sizes = np.array([nodes.size for _, nodes in self._accesses], dtype=np.int64)
         labels = json.dumps([label for label, _ in self._accesses])
         np.savez_compressed(

@@ -1,0 +1,45 @@
+"""Observability for the parallel memory simulator.
+
+The paper's cost model is made of per-cycle facts — which module served
+what, where conflicts serialized a round, how deep queues grew — and this
+package records them:
+
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms;
+* :mod:`repro.obs.events` — the cycle-level event tracer, JSON-lines
+  artifacts, Chrome-trace export, and the process-default recorder that
+  :class:`~repro.memory.system.ParallelMemorySystem` picks up;
+* :mod:`repro.obs.report` — derived views (utilization, occupancy,
+  conflict heatmaps, queue-depth percentiles) with ASCII rendering;
+* :mod:`repro.obs.regress` — artifact diffing with growth thresholds.
+
+Instrumentation is opt-in: the default :data:`NULL_RECORDER` makes every
+hook a single attribute check, so an uninstrumented simulation behaves (and
+times) exactly as before.
+"""
+
+from repro.obs.events import (
+    NULL_RECORDER,
+    EventRecorder,
+    NullRecorder,
+    default_recorder,
+    install,
+    load_artifact,
+    to_chrome_trace,
+    uninstall,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "EventRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "default_recorder",
+    "install",
+    "load_artifact",
+    "to_chrome_trace",
+    "uninstall",
+]

@@ -1,0 +1,267 @@
+"""Cycle-level event tracing for the parallel memory simulator.
+
+Two recorder types share one duck-typed interface:
+
+* :class:`NullRecorder` — the default everywhere.  ``enabled`` is ``False``
+  and every instrumentation site guards on it, so the disabled simulator
+  never constructs an event dict; overhead is one attribute check.
+* :class:`EventRecorder` — buffers structured events in memory and updates a
+  :class:`~repro.obs.metrics.MetricsRegistry` as they arrive.
+
+Event kinds emitted by the instrumented simulator (see
+``docs/observability.md`` for the full schema):
+
+``issue``
+    a module accepted a request this cycle (from :meth:`MemoryModule.step`);
+``complete``
+    the request finished ``latency`` cycles later (from the issue loop);
+``conflict``
+    an access mapped >1 request onto one module (per module, per access);
+``stall``
+    a cycle in which work was pending but could not issue — ``where`` is
+    ``"module"`` (ports busy) or ``"interconnect"`` (issue limit hit);
+``queue_depth``
+    per-module backlog sampled each cycle (non-empty queues only);
+``access``
+    one template access completed: label, size, conflicts, cycles.
+
+Artifacts are JSON-lines: a ``meta`` header line, one line per event, and a
+final ``metrics`` line with the registry snapshot.  :func:`to_chrome_trace`
+converts an artifact to the Chrome ``chrome://tracing`` / Perfetto format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NullRecorder",
+    "EventRecorder",
+    "NULL_RECORDER",
+    "install",
+    "uninstall",
+    "default_recorder",
+    "load_artifact",
+    "to_chrome_trace",
+]
+
+SCHEMA_VERSION = 1
+
+
+class NullRecorder:
+    """Does nothing, as fast as possible.  The disabled default."""
+
+    enabled: bool = False
+
+    def event(self, ev: str, **fields) -> None:
+        pass
+
+    def begin_access(self, index: int, label: str = "") -> None:
+        pass
+
+    def end_access(self, cycles: int) -> None:
+        pass
+
+    def set_meta(self, **fields) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic (and keeps
+        return f"{type(self).__name__}()"  # generated docs address-free)
+
+
+#: process-wide shared null recorder; instrumented code holds a reference
+NULL_RECORDER = NullRecorder()
+
+
+class EventRecorder(NullRecorder):
+    """Buffers cycle-level events and aggregates registry metrics.
+
+    The recorder owns a *global clock offset*: in barrier replay each access
+    drains on a fresh cycle counter, so the simulator calls
+    :meth:`end_access` after each drain and the recorder keeps per-event
+    cycles monotone on one shared timeline (``cycle`` in the artifact is
+    always global; ``local_cycle`` is not stored).
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.events: list[dict] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.meta: dict = {"schema": SCHEMA_VERSION}
+        self.clock_offset = 0
+        self.access_index = -1
+        self._access_label = ""
+
+    # -- instrumentation interface (called from the simulator hot path) ------
+
+    def event(self, ev: str, **fields) -> None:
+        cycle = fields.get("cycle")
+        if cycle is not None:
+            fields["cycle"] = cycle + self.clock_offset
+        fields["ev"] = ev
+        if self.access_index >= 0 and "access" not in fields:
+            fields["access"] = self.access_index
+        self.events.append(fields)
+        self.metrics.counter(f"events.{ev}").inc()
+        if ev == "queue_depth":
+            self.metrics.histogram("queue_depth").observe(fields["depth"])
+        elif ev == "conflict":
+            self.metrics.counter("conflicts.total").inc(fields.get("extra", 1))
+
+    def begin_access(self, index: int, label: str = "") -> None:
+        self.access_index = index
+        self._access_label = label
+
+    def end_access(self, cycles: int) -> None:
+        """Advance the global clock past a barrier drain of ``cycles``."""
+        self.clock_offset += cycles
+
+    def set_meta(self, **fields) -> None:
+        self.meta.update(fields)
+
+    # -- export ---------------------------------------------------------------
+
+    @property
+    def span(self) -> int:
+        """Cycles covered by the recording (global timeline)."""
+        last = 0
+        for event in self.events:
+            cycle = event.get("cycle")
+            if cycle is not None:
+                last = max(last, cycle + event.get("latency", 0))
+        return max(last, self.clock_offset)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as JSON lines: meta, events, metrics."""
+        path = Path(path)
+        meta = dict(self.meta)
+        meta["span"] = self.span
+        meta["num_events"] = len(self.events)
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+            for event in self.events:
+                fh.write(json.dumps({"type": "event", **event}) + "\n")
+            fh.write(
+                json.dumps({"type": "metrics", "metrics": self.metrics.snapshot()})
+                + "\n"
+            )
+        return path
+
+
+# -- process-wide default (lets harnesses instrument without plumbing) --------
+
+_default: NullRecorder = NULL_RECORDER
+
+
+def install(recorder: NullRecorder) -> None:
+    """Make ``recorder`` the default for newly constructed simulators."""
+    global _default
+    _default = recorder
+
+
+def uninstall() -> None:
+    global _default
+    _default = NULL_RECORDER
+
+
+def default_recorder() -> NullRecorder:
+    return _default
+
+
+# -- artifact loading ---------------------------------------------------------
+
+
+def load_artifact(path: str | Path) -> tuple[dict, list[dict], dict]:
+    """Read a JSON-lines artifact back as ``(meta, events, metrics)``."""
+    meta: dict = {}
+    events: list[dict] = []
+    metrics: dict = {}
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            kind = record.pop("type", "event")
+            if kind == "meta":
+                meta = record
+            elif kind == "metrics":
+                metrics = record.get("metrics", {})
+            else:
+                events.append(record)
+    if not meta and not events:
+        raise ValueError(f"{path} contains no telemetry records")
+    return meta, events, metrics
+
+
+def to_chrome_trace(path: str | Path, out: str | Path) -> Path:
+    """Convert an artifact to Chrome-trace JSON (chrome://tracing, Perfetto).
+
+    Modules become threads of one process; ``issue`` events become complete
+    (``ph: "X"``) slices of ``latency`` duration, conflicts and stalls
+    become instant events on the owning module's track.  Cycle == 1 µs so
+    the default zoom is readable.
+    """
+    meta, events, _ = load_artifact(path)
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": meta.get("system", "ParallelMemorySystem")},
+        }
+    ]
+    for module in range(int(meta.get("num_modules", 0))):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": module,
+                "args": {"name": f"module {module}"},
+            }
+        )
+    for event in events:
+        ev = event.get("ev")
+        cycle = event.get("cycle", 0)
+        module = event.get("module", 0)
+        if ev == "issue":
+            trace_events.append(
+                {
+                    "name": f"serve a{event.get('access', '?')}",
+                    "cat": "serve",
+                    "ph": "X",
+                    "ts": cycle,
+                    "dur": event.get("latency", 1),
+                    "pid": 0,
+                    "tid": module,
+                    "args": {k: v for k, v in event.items() if k != "ev"},
+                }
+            )
+        elif ev in ("conflict", "stall"):
+            trace_events.append(
+                {
+                    "name": ev,
+                    "cat": ev,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": cycle,
+                    "pid": 0,
+                    "tid": module,
+                    "args": {k: v for k, v in event.items() if k != "ev"},
+                }
+            )
+    out = Path(out)
+    out.write_text(
+        json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"}),
+        encoding="utf-8",
+    )
+    return out

@@ -1,0 +1,132 @@
+"""Regression gate over telemetry artifacts.
+
+Summarizes an artifact to a handful of scalar health metrics and diffs two
+summaries against configurable growth thresholds — the CI building block
+that turns recorded telemetry into a perf gate (record a baseline artifact
+once, fail the build when a candidate's conflicts or queue depths grow past
+the allowance).
+
+Growth is relative: ``(new - base) / base`` (with ``base == 0``, any
+increase counts as infinite growth).  A threshold of ``0`` therefore means
+"no increase allowed", ``0.1`` allows 10%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.report import ObsReport
+
+__all__ = ["RegressionCheck", "RegressionReport", "summarize", "diff_artifacts"]
+
+#: CLI-flag name -> summary metric gated by it
+THRESHOLD_METRICS = {
+    "max-conflict-growth": "total_conflicts",
+    "max-p95-queue-growth": "p95_queue_depth",
+    "max-cycle-growth": "span_cycles",
+    "max-stall-growth": "stall_events",
+}
+
+
+def summarize(path: str | Path) -> dict[str, float]:
+    """Scalar health metrics of one artifact (the diffable surface)."""
+    report = ObsReport.load(path)
+    pct = report.queue_depth_percentiles()
+    stalls = report.stall_summary()
+    util = report.module_utilization()
+    return {
+        "total_conflicts": float(
+            sum(int(e.get("extra", 1)) for e in report.events if e.get("ev") == "conflict")
+        ),
+        "total_accesses": float(
+            sum(1 for e in report.events if e.get("ev") == "access")
+        ),
+        "total_issues": float(
+            sum(1 for e in report.events if e.get("ev") == "issue")
+        ),
+        "span_cycles": float(report.span),
+        "p95_queue_depth": float(pct["p95"]),
+        "max_queue_depth": float(pct["max"]),
+        "stall_events": float(stalls["interconnect"] + stalls["module"]),
+        "mean_utilization": float(util.mean()),
+    }
+
+
+@dataclass(frozen=True)
+class RegressionCheck:
+    """One gated metric: base vs new value against an allowed growth."""
+
+    metric: str
+    base: float
+    new: float
+    limit: float
+
+    @property
+    def growth(self) -> float:
+        if self.base > 0:
+            return (self.new - self.base) / self.base
+        return math.inf if self.new > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.growth <= self.limit
+
+    def __str__(self) -> str:
+        growth = "inf" if math.isinf(self.growth) else f"{self.growth:+.1%}"
+        verdict = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.metric:<18} base={self.base:g} new={self.new:g} "
+            f"growth={growth} (limit {self.limit:+.1%}) {verdict}"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """All checks for one base/candidate artifact pair."""
+
+    base_summary: dict[str, float]
+    new_summary: dict[str, float]
+    checks: list[RegressionCheck]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def __str__(self) -> str:
+        lines = [str(check) for check in self.checks]
+        informational = sorted(
+            set(self.base_summary) - {c.metric for c in self.checks}
+        )
+        for metric in informational:
+            lines.append(
+                f"{metric:<18} base={self.base_summary[metric]:g} "
+                f"new={self.new_summary[metric]:g} (not gated)"
+            )
+        lines.append("regression check: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def diff_artifacts(
+    base_path: str | Path,
+    new_path: str | Path,
+    thresholds: dict[str, float],
+) -> RegressionReport:
+    """Compare two artifacts; ``thresholds`` maps metric names (or the CLI
+    flag spellings in :data:`THRESHOLD_METRICS`) to allowed relative growth.
+    """
+    base = summarize(base_path)
+    new = summarize(new_path)
+    checks = []
+    for key, limit in thresholds.items():
+        metric = THRESHOLD_METRICS.get(key, key)
+        if metric not in base:
+            raise KeyError(
+                f"unknown metric {key!r}; choose from {sorted(base)} "
+                f"or flags {sorted(THRESHOLD_METRICS)}"
+            )
+        checks.append(
+            RegressionCheck(metric=metric, base=base[metric], new=new[metric], limit=limit)
+        )
+    return RegressionReport(base_summary=base, new_summary=new, checks=checks)

@@ -1,0 +1,250 @@
+"""Derived reports over telemetry artifacts.
+
+Turns the raw event stream of :mod:`repro.obs.events` into the quantities
+the paper's cost model talks about — per-module utilization, occupancy over
+time, conflict clustering, queue-depth distributions — and renders them as
+terminal/markdown-friendly text (charts reuse
+:func:`repro.bench.ascii_chart.render_chart`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.events import load_artifact
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ObsReport", "render_report"]
+
+_SHADES = " .:+*#@"  # density ramp for heatmap cells
+
+
+@dataclass
+class ObsReport:
+    """All derived views of one telemetry artifact."""
+
+    meta: dict
+    events: list[dict]
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ObsReport":
+        meta, events, metrics = load_artifact(path)
+        return cls(meta=meta, events=events, metrics=metrics)
+
+    # -- basic shape -----------------------------------------------------------
+
+    @property
+    def num_modules(self) -> int:
+        declared = int(self.meta.get("num_modules", 0))
+        seen = max(
+            (int(e["module"]) + 1 for e in self.events if "module" in e), default=0
+        )
+        return max(declared, seen, 1)
+
+    @property
+    def span(self) -> int:
+        """Cycles covered by the recording."""
+        declared = int(self.meta.get("span", 0))
+        seen = max(
+            (
+                int(e.get("cycle", 0)) + int(e.get("latency", 0))
+                for e in self.events
+                if "cycle" in e
+            ),
+            default=0,
+        )
+        return max(declared, seen, 1)
+
+    def _select(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e.get("ev") == kind]
+
+    # -- derived series --------------------------------------------------------
+
+    def module_utilization(self) -> np.ndarray:
+        """Fraction of the recorded span each module spent serving."""
+        busy = np.zeros(self.num_modules, dtype=np.float64)
+        for e in self._select("issue"):
+            busy[int(e["module"])] += int(e.get("latency", 1))
+        return busy / self.span
+
+    def occupancy_series(self, bins: int = 60) -> tuple[np.ndarray, np.ndarray]:
+        """Mean number of busy modules per cycle, binned over the span."""
+        span = self.span
+        busy = np.zeros(span, dtype=np.float64)
+        for e in self._select("issue"):
+            t0 = int(e["cycle"])
+            busy[t0 : t0 + int(e.get("latency", 1))] += 1.0
+        return _binned(busy, bins)
+
+    def queue_depth_series(self, bins: int = 60) -> tuple[np.ndarray, np.ndarray]:
+        """Total queued requests per cycle (summed over modules), binned."""
+        span = self.span
+        depth = np.zeros(span, dtype=np.float64)
+        for e in self._select("queue_depth"):
+            depth[int(e["cycle"])] += int(e["depth"])
+        return _binned(depth, bins)
+
+    def queue_depth_percentiles(self) -> dict[str, float]:
+        """Exact percentiles of the per-module queue-depth samples."""
+        depths = [int(e["depth"]) for e in self._select("queue_depth")]
+        if not depths:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0, "samples": 0}
+        pct = MetricsRegistry.percentile_of
+        return {
+            "p50": pct(depths, 50),
+            "p95": pct(depths, 95),
+            "p99": pct(depths, 99),
+            "max": float(max(depths)),
+            "samples": len(depths),
+        }
+
+    def conflict_heatmap(self, access_bins: int = 32) -> np.ndarray:
+        """Extra serialized requests over ``(module, access-index bin)``.
+
+        Rows are modules, columns are equal-width bins of the access index;
+        cell values sum the ``extra`` multiplicity of conflict events, so a
+        hot row is an overloaded bank and a hot column is a pathological
+        stretch of the workload.
+        """
+        conflicts = self._select("conflict")
+        last_access = max((int(e.get("access", 0)) for e in conflicts), default=0)
+        n_bins = max(1, min(access_bins, last_access + 1))
+        grid = np.zeros((self.num_modules, n_bins), dtype=np.float64)
+        for e in conflicts:
+            col = int(e.get("access", 0)) * n_bins // (last_access + 1)
+            grid[int(e["module"]), col] += int(e.get("extra", 1))
+        return grid
+
+    def stall_summary(self) -> dict[str, int]:
+        stalls = self._select("stall")
+        return {
+            "interconnect": sum(1 for e in stalls if e.get("where") == "interconnect"),
+            "module": sum(1 for e in stalls if e.get("where") == "module"),
+        }
+
+    def access_summary(self) -> dict[str, dict]:
+        """Per-label access counts / sizes / conflicts from ``access`` events."""
+        out: dict[str, dict] = {}
+        for e in self._select("access"):
+            row = out.setdefault(
+                e.get("label") or "(unlabeled)",
+                {"accesses": 0, "items": 0, "conflicts": 0, "cycles": 0},
+            )
+            row["accesses"] += 1
+            row["items"] += int(e.get("size", 0))
+            row["conflicts"] += int(e.get("conflicts", 0))
+            row["cycles"] += int(e.get("cycles", 0))
+        return out
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, width: int = 60) -> str:
+        # imported here so repro.obs stays import-light (no bench/analysis
+        # dependency unless a report is actually rendered)
+        from repro.bench.ascii_chart import render_chart
+        from repro.bench.sweep import Series
+
+        lines: list[str] = []
+        meta = self.meta
+        lines.append(
+            f"telemetry: {meta.get('mapping', '?')} on M={self.num_modules} "
+            f"({meta.get('interconnect', '?')}), span={self.span} cycles, "
+            f"{len(self.events)} events"
+        )
+
+        util = self.module_utilization()
+        lines.append("")
+        lines.append(f"module utilization (mean {util.mean():.1%}):")
+        for m, u in enumerate(util):
+            bar = "#" * round(float(u) * 40)
+            lines.append(f"  module {m:3d} |{bar:<40}| {u:6.1%}")
+
+        xs, occ = self.occupancy_series(bins=width)
+        if occ.size > 1:
+            lines.append("")
+            lines.append(
+                render_chart(
+                    [Series("busy modules", tuple(xs), tuple(occ))],
+                    width=width,
+                    height=10,
+                    title="occupancy over time",
+                    x_label="cycle",
+                    y_label="busy modules",
+                )
+            )
+        _, depth = self.queue_depth_series(bins=width)
+        if depth.size > 1 and depth.max() > 0:
+            lines.append("")
+            lines.append(
+                render_chart(
+                    [Series("queued requests", tuple(xs[: depth.size]), tuple(depth))],
+                    width=width,
+                    height=10,
+                    title="queue backlog over time",
+                    x_label="cycle",
+                    y_label="queued",
+                )
+            )
+
+        pct = self.queue_depth_percentiles()
+        lines.append("")
+        lines.append(
+            "queue depth: p50={p50:g} p95={p95:g} p99={p99:g} max={max:g} "
+            "({samples} samples)".format(**pct)
+        )
+        stalls = self.stall_summary()
+        lines.append(
+            f"stalls: {stalls['interconnect']} interconnect, {stalls['module']} module"
+        )
+
+        grid = self.conflict_heatmap()
+        if grid.sum() > 0:
+            lines.append("")
+            lines.append("conflict heatmap (module rows x access-index bins):")
+            lines.append(_render_heatmap(grid))
+        else:
+            lines.append("no conflicts recorded")
+
+        per_label = self.access_summary()
+        if per_label:
+            lines.append("")
+            lines.append("accesses by label:")
+            for label, row in sorted(per_label.items()):
+                lines.append(
+                    f"  {label:<16} {row['accesses']:6d} accesses "
+                    f"{row['items']:8d} items {row['conflicts']:6d} conflicts"
+                )
+        return "\n".join(lines)
+
+
+def _binned(series: np.ndarray, bins: int) -> tuple[np.ndarray, np.ndarray]:
+    """Downsample a per-cycle series to ``bins`` means; xs are bin starts."""
+    n = series.size
+    bins = max(1, min(bins, n))
+    edges = np.linspace(0, n, bins + 1).astype(np.int64)
+    xs = edges[:-1].astype(np.float64)
+    ys = np.array(
+        [series[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+    )
+    return xs, ys
+
+
+def _render_heatmap(grid: np.ndarray) -> str:
+    peak = grid.max() or 1.0
+    rows = []
+    for m in range(grid.shape[0]):
+        cells = "".join(
+            _SHADES[min(len(_SHADES) - 1, round(v / peak * (len(_SHADES) - 1)))]
+            for v in grid[m]
+        )
+        rows.append(f"  module {m:3d} |{cells}| {grid[m].sum():g}")
+    return "\n".join(rows)
+
+
+def render_report(path: str | Path, width: int = 60) -> str:
+    """One-call convenience: load an artifact and render the full report."""
+    return ObsReport.load(path).render(width=width)

@@ -88,6 +88,80 @@ class TestTraceAndSimulate:
         assert "conflicts total=0" in capsys.readouterr().out
 
 
+class TestObs:
+    @pytest.fixture
+    def artifact(self, mapping_file, trace_file, tmp_path, capsys):
+        path = tmp_path / "obs.jsonl"
+        assert main(
+            ["obs", "record", str(mapping_file), str(trace_file), "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_simulate_obs_flag_writes_artifact(
+        self, mapping_file, trace_file, tmp_path, capsys
+    ):
+        out = tmp_path / "sim.jsonl"
+        code = main(
+            ["simulate", str(mapping_file), str(trace_file), "--obs", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote telemetry" in capsys.readouterr().out
+
+    def test_simulate_without_obs_output_unchanged(
+        self, mapping_file, trace_file, tmp_path, capsys
+    ):
+        """The --obs flag must not perturb the simulation it observes."""
+        main(["simulate", str(mapping_file), str(trace_file)])
+        plain = capsys.readouterr().out
+        main(["simulate", str(mapping_file), str(trace_file),
+              "--obs", str(tmp_path / "o.jsonl")])
+        observed = capsys.readouterr().out
+        assert observed.startswith(plain)
+
+    def test_record_all_modes(self, mapping_file, trace_file, tmp_path, capsys):
+        for mode in ("barrier", "pipelined", "open-loop"):
+            out = tmp_path / f"{mode}.jsonl"
+            code = main(
+                ["obs", "record", str(mapping_file), str(trace_file),
+                 "--out", str(out), "--mode", mode]
+            )
+            assert code == 0
+            assert out.exists()
+
+    def test_report_renders_sections(self, artifact, capsys):
+        assert main(["obs", "report", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "module utilization" in out
+        assert "queue depth: p50=" in out
+
+    def test_diff_self_passes(self, artifact, capsys):
+        code = main(["obs", "diff", str(artifact), str(artifact),
+                     "--max-conflict-growth", "0"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_diff_flags_injected_regression(
+        self, artifact, trace_file, tmp_path, capsys
+    ):
+        worse = tmp_path / "worse-mapping.npz"
+        main(["build", "--levels", "10", "--modulo", "6", "--out", str(worse)])
+        bad = tmp_path / "bad.jsonl"
+        main(["obs", "record", str(worse), str(trace_file), "--out", str(bad)])
+        capsys.readouterr()
+        code = main(["obs", "diff", str(artifact), str(bad),
+                     "--max-conflict-growth", "0"])
+        assert code == 3
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_export_chrome_trace(self, artifact, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["obs", "export", str(artifact), "--out", str(out)]) == 0
+        assert out.exists()
+        assert "chrome://tracing" in capsys.readouterr().out
+
+
 class TestProfileAndChart:
     def test_profile_prints_level_histogram(self, trace_file, capsys):
         assert main(["profile", str(trace_file)]) == 0

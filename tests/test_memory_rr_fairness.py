@@ -1,0 +1,103 @@
+"""Regression tests for round-robin fairness on issue-limited interconnects.
+
+Before the fix, ``_rr_start`` advanced once per *cycle* inside a drain, so a
+drain whose length was a multiple of ``M`` (e.g. M one-per-module requests
+on a shared bus) wrapped the pointer back to its starting value — module 0
+was served first on every consecutive access and the highest-numbered module
+always waited the longest.  The pointer now advances once per *drain*, so
+the module served first rotates across accesses; the within-drain schedule
+is unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModuloMapping
+from repro.memory import MultiBus, ParallelMemorySystem, SharedBus
+from repro.obs import EventRecorder
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture
+def tree():
+    return CompleteBinaryTree(6)
+
+
+def _issue_schedule(rec: EventRecorder) -> dict[int, list[int]]:
+    """access index -> modules in the order their requests issued."""
+    schedule: dict[int, list[int]] = {}
+    for event in rec.events:
+        if event["ev"] == "issue":
+            schedule.setdefault(event["access"], []).append(event["module"])
+    return schedule
+
+
+class TestSharedBusRotation:
+    def test_start_module_rotates_across_accesses(self, tree):
+        rec = EventRecorder()
+        pms = ParallelMemorySystem(
+            ModuloMapping(tree, 4), interconnect=SharedBus(), recorder=rec
+        )
+        nodes = np.array([0, 1, 2, 3])  # one request per module
+        for _ in range(4):
+            pms.access(nodes)
+        # pinned schedule: each access starts one module later than the last
+        assert _issue_schedule(rec) == {
+            0: [0, 1, 2, 3],
+            1: [1, 2, 3, 0],
+            2: [2, 3, 0, 1],
+            3: [3, 0, 1, 2],
+        }
+
+    def test_no_module_is_permanently_last(self, tree):
+        pms = ParallelMemorySystem(
+            ModuloMapping(tree, 4), interconnect=SharedBus(), record_latencies=True
+        )
+        nodes = np.array([0, 1, 2, 3])
+        worst = set()
+        for _ in range(4):
+            pms.access(nodes)
+            worst.add(int(pms.last_latencies.max()))
+        # every access still takes 4 bus cycles; fairness shows up in *which*
+        # module pays the 4-cycle wait, pinned by the schedule test above
+        assert worst == {4}
+
+    def test_within_drain_schedule_unchanged(self, tree):
+        """First access of a fresh system matches the pre-fix schedule."""
+        rec = EventRecorder()
+        pms = ParallelMemorySystem(
+            ModuloMapping(tree, 4), interconnect=SharedBus(), recorder=rec
+        )
+        pms.access(np.array([0, 1, 2, 3]))
+        assert _issue_schedule(rec)[0] == [0, 1, 2, 3]
+
+
+class TestMultiBusRotation:
+    def test_rotation_on_multibus(self, tree):
+        rec = EventRecorder()
+        pms = ParallelMemorySystem(
+            ModuloMapping(tree, 4), interconnect=MultiBus(2), recorder=rec
+        )
+        nodes = np.array([0, 1, 2, 3])
+        pms.access(nodes)
+        pms.access(nodes)
+        schedule = _issue_schedule(rec)
+        assert schedule[0] == [0, 1, 2, 3]  # cycle 0: mods 0,1; cycle 1: 2,3
+        assert schedule[1] == [1, 2, 3, 0]  # starts one module later
+
+    def test_reset_restores_initial_pointer(self, tree):
+        pms = ParallelMemorySystem(ModuloMapping(tree, 4), interconnect=SharedBus())
+        pms.access(np.array([0, 1, 2, 3]))
+        assert pms._rr_start == 1
+        pms.reset()
+        assert pms._rr_start == 0
+
+
+class TestCrossbarUnaffected:
+    def test_crossbar_results_identical_across_accesses(self, tree):
+        """On a full crossbar the issue limit never binds; rotation is moot."""
+        pms = ParallelMemorySystem(ModuloMapping(tree, 4))
+        nodes = np.arange(12)
+        results = [pms.access(nodes) for _ in range(3)]
+        assert len({r.cycles for r in results}) == 1
+        assert len({r.conflicts for r in results}) == 1

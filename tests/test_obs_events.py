@@ -1,0 +1,119 @@
+"""Unit tests for the event recorder, artifacts, and Chrome-trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import LabelTreeMapping, ModuloMapping
+from repro.memory import ParallelMemorySystem, SharedBus
+from repro.obs import (
+    NULL_RECORDER,
+    EventRecorder,
+    default_recorder,
+    install,
+    load_artifact,
+    to_chrome_trace,
+    uninstall,
+)
+
+
+class TestRecorder:
+    def test_events_accumulate_with_access_context(self):
+        rec = EventRecorder()
+        rec.begin_access(0, "a")
+        rec.event("issue", cycle=0, module=2)
+        rec.begin_access(1, "b")
+        rec.event("conflict", cycle=0, module=2, extra=2)
+        assert [e["access"] for e in rec.events] == [0, 1]
+        assert rec.metrics.counter("events.issue").value == 1
+        assert rec.metrics.counter("conflicts.total").value == 2
+
+    def test_barrier_clock_offsets_are_global(self):
+        rec = EventRecorder()
+        rec.event("issue", cycle=1, module=0)
+        rec.end_access(3)
+        rec.event("issue", cycle=1, module=0)
+        assert [e["cycle"] for e in rec.events] == [1, 4]
+        assert rec.span >= 4
+
+    def test_queue_depth_feeds_histogram(self):
+        rec = EventRecorder()
+        rec.event("queue_depth", cycle=0, module=0, depth=7)
+        assert rec.metrics.histogram("queue_depth").total == 1
+
+
+class TestDefaultRecorder:
+    def test_null_by_default(self):
+        assert default_recorder() is NULL_RECORDER
+
+    def test_install_uninstall(self, tree8):
+        rec = EventRecorder()
+        install(rec)
+        try:
+            pms = ParallelMemorySystem(ModuloMapping(tree8, 5))
+            assert pms.recorder is rec
+            pms.access(np.arange(5))
+            assert rec.events
+        finally:
+            uninstall()
+        assert default_recorder() is NULL_RECORDER
+
+    def test_explicit_recorder_wins_over_default(self, tree8):
+        pms = ParallelMemorySystem(ModuloMapping(tree8, 5), recorder=NULL_RECORDER)
+        assert pms.recorder is NULL_RECORDER
+
+
+class TestArtifact:
+    def _record(self, tree8):
+        rec = EventRecorder()
+        pms = ParallelMemorySystem(ModuloMapping(tree8, 5), recorder=rec)
+        pms.access(np.arange(10), label="warm")
+        pms.access(np.arange(7), label="tail")
+        return rec
+
+    def test_round_trip(self, tmp_path, tree8):
+        rec = self._record(tree8)
+        path = rec.save(tmp_path / "a.jsonl")
+        meta, events, metrics = load_artifact(path)
+        assert meta["num_modules"] == 5
+        assert meta["mapping"] == "ModuloMapping"
+        assert meta["num_events"] == len(rec.events) == len(events)
+        assert metrics["events.issue"]["value"] == 17
+        kinds = {e["ev"] for e in events}
+        assert {"issue", "complete", "queue_depth", "access", "conflict"} <= kinds
+
+    def test_artifact_is_json_lines(self, tmp_path, tree8):
+        path = self._record(tree8).save(tmp_path / "a.jsonl")
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert json.loads(lines[-1])["type"] == "metrics"
+        assert all(json.loads(line) for line in lines)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_artifact(bad)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_artifact(empty)
+
+    def test_chrome_trace_export(self, tmp_path, tree8):
+        rec = EventRecorder()
+        pms = ParallelMemorySystem(
+            LabelTreeMapping(tree8, 7), interconnect=SharedBus(), recorder=rec
+        )
+        pms.access(np.arange(12), label="bus")
+        artifact = rec.save(tmp_path / "a.jsonl")
+        out = to_chrome_trace(artifact, tmp_path / "chrome.json")
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        slices = [e for e in events if e.get("ph") == "X"]
+        assert len(slices) == 12
+        assert all(e["dur"] >= 1 for e in slices)
+        names = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+        assert "module 0" in names
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert instants  # conflicts/stalls from the shared bus

@@ -1,0 +1,94 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("hits")
+        c.inc(2)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1)
+        g.inc(10)
+        assert g.value == 11
+        assert g.min_seen == 1
+        assert g.max_seen == 11
+
+    def test_untouched_snapshot_has_no_extremes(self):
+        snap = Gauge("depth").snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestHistogram:
+    def test_bucket_counts(self):
+        h = Histogram("lat", buckets=[1, 2, 4])
+        for v in [1, 1, 2, 3, 9]:
+            h.observe(v)
+        assert h.counts == [2, 1, 1, 1]  # <=1, <=2, <=4, overflow
+        assert h.total == 5
+        assert h.mean == pytest.approx(3.2)
+
+    def test_percentiles_on_boundaries(self):
+        h = Histogram("q", buckets=[1, 2, 4, 8])
+        h.observe_many([1] * 90 + [4] * 9 + [8])
+        assert h.percentile(50) == 1
+        assert h.percentile(95) == 4
+        assert h.percentile(100) == 8
+
+    def test_overflow_percentile_reports_max(self):
+        h = Histogram("q", buckets=[1])
+        h.observe(50)
+        assert h.percentile(99) == 50.0
+
+    def test_empty_and_validation(self):
+        h = Histogram("q", buckets=[1, 2])
+        assert h.percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            Histogram("q", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 2
+        assert len(reg) == 1
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_covers_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2)
+        snap = reg.snapshot()
+        assert set(snap) == {"c", "g", "h"}
+        assert snap["c"]["value"] == 3
+        assert snap["h"]["total"] == 1
+
+    def test_percentile_of_exact(self):
+        assert MetricsRegistry.percentile_of([1, 2, 3, 4], 50) == pytest.approx(2.5)
+        assert MetricsRegistry.percentile_of([], 95) == 0.0

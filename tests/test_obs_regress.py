@@ -1,0 +1,76 @@
+"""Unit tests for the telemetry regression gate."""
+
+import pytest
+
+from repro.bench.workloads import heap_workload
+from repro.core import ColorMapping, ModuloMapping
+from repro.memory import ParallelMemorySystem
+from repro.obs import EventRecorder
+from repro.obs.regress import RegressionCheck, diff_artifacts, summarize
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """(good, bad) artifacts over the same workload: CF mapping vs modulo."""
+    tree = CompleteBinaryTree(10)
+    trace = heap_workload(tree, ops=40)
+    out = tmp_path_factory.mktemp("regress")
+    paths = {}
+    for name, mapping in [
+        ("good", ColorMapping.max_parallelism(tree, 4)),
+        ("bad", ModuloMapping(tree, 9)),
+    ]:
+        rec = EventRecorder()
+        ParallelMemorySystem(mapping, recorder=rec).run_trace(trace)
+        paths[name] = rec.save(out / f"{name}.jsonl")
+    return paths
+
+
+class TestSummarize:
+    def test_summary_metrics(self, artifacts):
+        good = summarize(artifacts["good"])
+        bad = summarize(artifacts["bad"])
+        assert good["total_conflicts"] == 0
+        assert bad["total_conflicts"] > 0
+        assert good["total_accesses"] == bad["total_accesses"] == 40
+        assert bad["span_cycles"] > good["span_cycles"]
+
+
+class TestCheck:
+    def test_growth_math(self):
+        assert RegressionCheck("m", base=10, new=11, limit=0.2).growth == pytest.approx(0.1)
+        assert RegressionCheck("m", base=0, new=0, limit=0.0).ok
+        assert not RegressionCheck("m", base=0, new=1, limit=1000.0).ok  # inf growth
+
+    def test_zero_threshold_blocks_any_increase(self):
+        assert not RegressionCheck("m", base=5, new=6, limit=0.0).ok
+        assert RegressionCheck("m", base=5, new=5, limit=0.0).ok
+
+
+class TestDiff:
+    def test_injected_regression_fails(self, artifacts):
+        report = diff_artifacts(
+            artifacts["good"], artifacts["bad"], {"max-conflict-growth": 0.0}
+        )
+        assert not report.ok
+        assert "FAIL" in str(report)
+
+    def test_identical_artifacts_pass(self, artifacts):
+        report = diff_artifacts(
+            artifacts["bad"],
+            artifacts["bad"],
+            {"max-conflict-growth": 0.0, "max-p95-queue-growth": 0.0},
+        )
+        assert report.ok
+        assert "PASS" in str(report)
+
+    def test_metric_names_accepted_directly(self, artifacts):
+        report = diff_artifacts(
+            artifacts["bad"], artifacts["good"], {"span_cycles": 0.0}
+        )
+        assert report.ok  # good is strictly faster
+
+    def test_unknown_metric_rejected(self, artifacts):
+        with pytest.raises(KeyError):
+            diff_artifacts(artifacts["good"], artifacts["bad"], {"bogus": 0.0})

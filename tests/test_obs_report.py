@@ -1,0 +1,76 @@
+"""Unit tests for derived telemetry reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import heap_workload
+from repro.core import ColorMapping, ModuloMapping
+from repro.memory import ParallelMemorySystem
+from repro.obs import EventRecorder
+from repro.obs.report import ObsReport, render_report
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    tree = CompleteBinaryTree(10)
+    rec = EventRecorder()
+    pms = ParallelMemorySystem(ModuloMapping(tree, 9), recorder=rec)
+    pms.run_trace(heap_workload(tree, ops=40))
+    return rec.save(tmp_path_factory.mktemp("obs") / "heap.jsonl")
+
+
+class TestDerivations:
+    def test_utilization_bounded_and_positive(self, artifact):
+        report = ObsReport.load(artifact)
+        util = report.module_utilization()
+        assert util.shape == (9,)
+        assert np.all(util >= 0) and np.all(util <= 1)
+        assert util.sum() > 0
+
+    def test_occupancy_never_exceeds_module_count(self, artifact):
+        report = ObsReport.load(artifact)
+        xs, occ = report.occupancy_series(bins=16)
+        assert xs.size == occ.size <= 16
+        assert occ.max() <= report.num_modules
+
+    def test_queue_percentiles_ordered(self, artifact):
+        pct = ObsReport.load(artifact).queue_depth_percentiles()
+        assert pct["samples"] > 0
+        assert pct["p50"] <= pct["p95"] <= pct["p99"] <= pct["max"]
+
+    def test_conflict_heatmap_totals_match_events(self, artifact):
+        report = ObsReport.load(artifact)
+        grid = report.conflict_heatmap(access_bins=8)
+        assert grid.shape[0] == report.num_modules
+        total = sum(
+            e.get("extra", 1) for e in report.events if e.get("ev") == "conflict"
+        )
+        assert grid.sum() == total
+
+    def test_access_summary_by_label(self, artifact):
+        summary = ObsReport.load(artifact).access_summary()
+        assert "heap-insert" in summary
+        assert summary["heap-insert"]["accesses"] > 0
+
+    def test_conflict_free_mapping_records_no_conflicts(self, tmp_path, tree8):
+        rec = EventRecorder()
+        mapping = ColorMapping.max_parallelism(tree8, 3)
+        pms = ParallelMemorySystem(mapping, recorder=rec)
+        pms.run_trace(heap_workload(tree8, ops=25))
+        report = ObsReport.load(rec.save(tmp_path / "cf.jsonl"))
+        assert report.conflict_heatmap().sum() == 0
+
+
+class TestRendering:
+    def test_render_contains_every_section(self, artifact):
+        text = render_report(artifact, width=50)
+        assert "module utilization" in text
+        assert "occupancy over time" in text
+        assert "queue depth: p50=" in text
+        assert "conflict heatmap" in text
+        assert "accesses by label" in text
+
+    def test_render_width_respected(self, artifact):
+        narrow = render_report(artifact, width=30)
+        assert "occupancy over time" in narrow
