@@ -3,7 +3,7 @@
 Times the exact chromatic-number computation on the conflict graph.
 """
 
-from repro.analysis import cf_modules_required, chromatic_number, conflict_graph
+from repro.analysis import cf_modules_required, conflict_graph
 from repro.bench.experiments import e02_lower_bound
 from repro.templates import PTemplate, STemplate
 from repro.trees import CompleteBinaryTree

@@ -17,7 +17,8 @@ Subpackages: :mod:`repro.trees` (tree substrate), :mod:`repro.templates`
 :mod:`repro.memory` (memory-system simulator), :mod:`repro.analysis`
 (conflict analysis and bounds), :mod:`repro.apps` (motivating applications),
 :mod:`repro.bench` (experiment harness E1..E13), :mod:`repro.obs`
-(cycle-level telemetry, reports, regression gating).
+(cycle-level telemetry, reports, regression gating), :mod:`repro.serve`
+(online request serving with conflict-aware composite batching).
 """
 
 from repro.analysis import family_cost, instance_conflicts, load_report, mapping_cost
@@ -29,6 +30,7 @@ from repro.core import (
 )
 from repro.memory import AccessTrace, ParallelMemorySystem
 from repro.obs import EventRecorder
+from repro.serve import ServeEngine
 from repro.templates import (
     CompositeSampler,
     LTemplate,
@@ -53,6 +55,7 @@ __all__ = [
     "PTemplate",
     "ParallelMemorySystem",
     "STemplate",
+    "ServeEngine",
     "TemplateInstance",
     "TreeMapping",
     "__version__",

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Iterable
 
 import networkx as nx
-import numpy as np
 
 from repro.analysis.optimal import conflict_graph
 from repro.templates.base import TemplateFamily, TemplateInstance

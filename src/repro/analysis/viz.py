@@ -7,7 +7,6 @@ top ``k`` levels, or where Gamma colors first appear).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.mapping import TreeMapping
 

@@ -15,7 +15,6 @@ from typing import Callable, Sequence
 from repro.analysis import family_cost
 from repro.core.mapping import TreeMapping
 from repro.templates import LTemplate, PTemplate, STemplate, TemplateFamily
-from repro.trees import CompleteBinaryTree
 
 __all__ = ["Series", "conflict_series", "elementary_family_for_size"]
 

@@ -9,6 +9,8 @@ CLI under ``python -m repro.bench``):
 * ``pmtree trace``    — generate a workload trace file;
 * ``pmtree simulate`` — replay a trace file against a mapping file
   (``--obs out.jsonl`` records cycle-level telemetry);
+* ``pmtree serve``    — serve an online request stream with conflict-aware
+  composite batching (see :mod:`repro.serve`);
 * ``pmtree obs``      — telemetry tooling: ``record`` / ``report`` /
   ``diff`` (regression gate) / ``export`` (Chrome trace).
 """
@@ -18,7 +20,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
 
 from repro.analysis import family_cost, load_report, render_coloring
 from repro.core import ColorMapping, LabelTreeMapping, ModuloMapping, RandomMapping
@@ -172,6 +173,58 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.obs import EventRecorder
+    from repro.serve import (
+        BurstyClient,
+        ClosedLoopClient,
+        PoissonClient,
+        ServeEngine,
+        TemplateMix,
+    )
+
+    if args.mapping:
+        mapping = load_mapping(args.mapping)
+        tree = mapping.tree
+    else:
+        tree = CompleteBinaryTree(args.levels)
+        mapping = ColorMapping.for_modules(tree, args.modules)
+    mix = TemplateMix.parse(tree, args.workload)
+    recorder = EventRecorder() if args.obs else None
+    pms = ParallelMemorySystem(mapping, recorder=recorder)
+    engine = ServeEngine(
+        pms,
+        policy=args.policy,
+        queue_capacity=args.queue_capacity,
+        admission=args.admission,
+        max_batch_components=args.batch_components,
+        deadline=args.deadline,
+    )
+    per_client = args.arrival_rate / args.clients
+    clients = []
+    for i in range(args.clients):
+        if args.traffic == "poisson":
+            clients.append(PoissonClient(i, mix, per_client, seed=args.seed + i))
+        elif args.traffic == "bursty":
+            clients.append(BurstyClient(i, mix, per_client, seed=args.seed + i))
+        else:
+            clients.append(
+                ClosedLoopClient(
+                    i,
+                    mix,
+                    think_time=args.think_time,
+                    seed=args.seed + i,
+                )
+            )
+    report = engine.run(clients, max_cycles=args.cycles)
+    print(report)
+    if recorder is not None:
+        recorder.set_meta(mode="serve")
+        path = recorder.save(args.obs)
+        print(f"wrote telemetry ({len(recorder.events)} events) to {path}")
+    return 0
+
+
 def cmd_obs_record(args) -> int:
     args.obs = args.out
     return cmd_simulate(args)
@@ -263,6 +316,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
     )
     sim.set_defaults(fn=cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve", help="serve an online request stream with composite batching"
+    )
+    serve.add_argument("--levels", type=int, default=11, help="tree levels H")
+    serve.add_argument(
+        "--modules", type=int, default=15, help="memory modules M (COLOR mapping)"
+    )
+    serve.add_argument(
+        "--mapping", help="mapping .npz (overrides --levels/--modules)"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["fifo", "greedy-pack", "load-aware"],
+        default="greedy-pack",
+    )
+    serve.add_argument(
+        "--traffic",
+        choices=["poisson", "bursty", "closed-loop"],
+        default="poisson",
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.2,
+        help="total open-loop arrivals per cycle across all clients",
+    )
+    serve.add_argument("--clients", type=int, default=4)
+    serve.add_argument("--cycles", type=int, default=2000, help="arrival window")
+    serve.add_argument(
+        "--workload",
+        default="subtree:15=1,path:11=1,level:7=1",
+        help="template mix, kind:size=weight terms (composite:SIZExC=weight)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=256, help="admission bound in items"
+    )
+    serve.add_argument(
+        "--admission", choices=["block", "shed", "degrade"], default="block"
+    )
+    serve.add_argument(
+        "--batch-components", type=int, default=4, help="the paper's c"
+    )
+    serve.add_argument(
+        "--deadline", type=int, default=None, help="per-request deadline in cycles"
+    )
+    serve.add_argument(
+        "--think-time", type=int, default=0, help="closed-loop think time"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     obs = sub.add_parser("obs", help="telemetry: record / report / diff / export")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -87,10 +87,19 @@ class MemoryModule:
     def idle(self) -> bool:
         return not self.queue
 
+    def reset_clock(self) -> None:
+        """Forget port timestamps so a new drain can start at cycle 0.
+
+        Drains keep their own cycle counters, so a run that begins counting
+        from 0 must clear the ``free_at`` marks left by the previous drain
+        or its ports appear busy far into the future.
+        """
+        self._port_free = [0] * self.ports
+
     def reset_queue(self) -> None:
         """Drop pending requests (used between independent accesses)."""
         self.queue.clear()
-        self._port_free = [0] * self.ports
+        self.reset_clock()
 
     def reset_stats(self) -> None:
         self.served = 0

@@ -194,7 +194,10 @@ class ParallelMemorySystem:
             for label, nodes in trace:
                 stats.record(self.access(nodes, label=label))
             return stats
-        # pipelined: enqueue everything, then drain once
+        # pipelined: enqueue everything, then drain once.  The drain counts
+        # cycles from 0, so clear port clocks left over from a previous run.
+        for mod in self.modules:
+            mod.reset_clock()
         rec = self.recorder
         total_counts = np.zeros(self.num_modules, dtype=np.int64)
         for label, nodes in trace:
@@ -234,6 +237,8 @@ class ParallelMemorySystem:
         """
         if arrival_interval < 1:
             raise ValueError(f"arrival_interval must be >= 1, got {arrival_interval}")
+        for mod in self.modules:
+            mod.reset_clock()  # this loop's clock starts at 0
         stats = TraceStats()
         accesses = list(trace)
         limit = self.interconnect.issue_limit(self.num_modules)
@@ -342,6 +347,7 @@ class ParallelMemorySystem:
     def reset(self) -> None:
         for mod in self.modules:
             mod.reset_stats()
+        self.last_latencies = None
         self._rr_start = 0
         self._access_index = -1
 

@@ -1,0 +1,68 @@
+"""Online request serving over the parallel memory system.
+
+Where :mod:`repro.memory` *replays* pre-built traces, this package *serves*
+a live stream of template requests from simulated clients — the paper's
+composite-template theorem (`C(D, c)` accessed with at most ``c - 1 + k``
+conflicts under COLOR) turned into an online batching engine:
+
+* :mod:`repro.serve.request` — typed requests, bounded admission queue with
+  block / shed / degrade backpressure;
+* :mod:`repro.serve.batching` — batch-formation policies (``fifo``,
+  ``greedy-pack``, ``load-aware``) that pack disjoint pending requests into
+  certified composite instances within the ``c - 1 + k`` conflict budget;
+* :mod:`repro.serve.clients` — Poisson, bursty on/off, closed-loop and
+  trace-replay traffic generators over a configurable template mix;
+* :mod:`repro.serve.engine` — the cycle-driven main loop (admit, batch,
+  dispatch, retire) wired into :mod:`repro.obs` telemetry;
+* :mod:`repro.serve.slo` — sojourn percentiles, goodput, shed and
+  deadline-miss accounting.
+
+CLI: ``pmtree serve --levels 11 --modules 15 --policy greedy-pack ...``.
+"""
+
+from repro.serve.batching import (
+    POLICIES,
+    Batch,
+    BatchPolicy,
+    FifoPolicy,
+    GreedyPackPolicy,
+    LoadAwarePolicy,
+    batch_conflict_bound,
+    make_policy,
+)
+from repro.serve.clients import (
+    BurstyClient,
+    Client,
+    ClosedLoopClient,
+    MixEntry,
+    PoissonClient,
+    TemplateMix,
+    TraceClient,
+)
+from repro.serve.engine import ServeEngine
+from repro.serve.request import AdmissionQueue, Request, degrade_instance
+from repro.serve.slo import ServeReport, SLOTracker
+
+__all__ = [
+    "POLICIES",
+    "AdmissionQueue",
+    "Batch",
+    "BatchPolicy",
+    "BurstyClient",
+    "Client",
+    "ClosedLoopClient",
+    "FifoPolicy",
+    "GreedyPackPolicy",
+    "LoadAwarePolicy",
+    "MixEntry",
+    "PoissonClient",
+    "Request",
+    "SLOTracker",
+    "ServeEngine",
+    "ServeReport",
+    "TemplateMix",
+    "TraceClient",
+    "batch_conflict_bound",
+    "degrade_instance",
+    "make_policy",
+]

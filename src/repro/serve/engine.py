@@ -1,0 +1,327 @@
+"""The cycle-driven serving engine.
+
+:class:`ServeEngine` wraps a :class:`~repro.memory.system.ParallelMemorySystem`
+and serves an *online* stream of template requests instead of replaying a
+pre-built trace.  Each cycle it:
+
+1. retires completions (notifying closed-loop clients),
+2. collects arrivals from every client and runs admission control,
+3. when the array is idle, forms the next batch with the configured
+   :class:`~repro.serve.batching.BatchPolicy` and dispatches it — all
+   requests of a batch are enqueued together, exactly the paper's composite
+   access — and
+4. steps the memory modules under the interconnect's issue limit.
+
+A batch occupies the array until every one of its requests has completed
+(the paper's serialized round-group: on a unit-latency crossbar a batch
+with ``f`` conflicts takes ``f + 1`` rounds), so per-batch rounds divided
+by requests served is directly comparable across policies.
+
+Telemetry rides the system's :mod:`repro.obs` recorder: module-level
+``issue``/``complete``/``queue_depth`` events are emitted by the shared
+machinery, and the engine adds ``serve_arrival`` / ``serve_shed`` /
+``access`` (one per batch) / ``batch_retire`` / ``serve_complete`` events,
+so ``pmtree obs report`` works on serving artifacts unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from repro.memory.system import ParallelMemorySystem
+from repro.serve.batching import Batch, BatchPolicy, make_policy
+from repro.serve.clients import Client
+from repro.serve.request import AdmissionQueue, Request
+from repro.serve.slo import ServeReport, SLOTracker
+
+__all__ = ["ServeEngine"]
+
+
+class ServeEngine:
+    """Online request-serving loop over a parallel memory system.
+
+    Parameters
+    ----------
+    system:
+        The (mapping-bound) memory array to serve against.  Its recorder, if
+        enabled, receives serving telemetry.
+    policy:
+        A :class:`BatchPolicy` instance or a registry name
+        (``"fifo"``, ``"greedy-pack"``, ``"load-aware"``).
+    queue_capacity:
+        Admission-queue bound, in items (tree nodes).
+    admission:
+        Backpressure policy: ``"block"``, ``"shed"`` or ``"degrade"``.
+    max_batch_components:
+        The paper's ``c`` — elementary components packed per batch.
+    bound_k:
+        Conflict budget parameter for conflict-aware packing; ``"auto"``
+        reads the mapping's COLOR parameter ``k`` when present, ``None``
+        disables the budget.
+    deadline:
+        When set, every request's deadline is ``arrival + deadline`` cycles.
+    """
+
+    def __init__(
+        self,
+        system: ParallelMemorySystem,
+        policy: BatchPolicy | str = "greedy-pack",
+        *,
+        queue_capacity: int = 256,
+        admission: str = "block",
+        max_batch_components: int = 4,
+        bound_k: int | str | None = "auto",
+        deadline: int | None = None,
+    ):
+        self.system = system
+        if bound_k == "auto":
+            bound_k = getattr(system.mapping, "k", None)
+        if isinstance(policy, str):
+            policy = make_policy(
+                policy, max_components=max_batch_components, bound_k=bound_k
+            )
+        self.policy = policy
+        self.queue = AdmissionQueue(queue_capacity, policy=admission)
+        self.deadline = deadline
+        self.tracker = SLOTracker()
+        self._ids = count()
+        self._requests: dict[int, Request] = {}  # in flight, by id
+
+    # -- dispatch / service internals -----------------------------------------
+
+    def _dispatch(self, batch: Batch, cycle: int, access_index: int) -> dict[int, int]:
+        """Enqueue a batch's nodes onto the modules; returns remaining-item
+        counts keyed by request id."""
+        system = self.system
+        rec = system.recorder
+        if rec.enabled:
+            rec.begin_access(access_index, self.policy.name)
+            system._emit_conflicts(batch.module_counts, cycle=cycle)
+            rec.event(
+                "access",
+                cycle=cycle,
+                label=f"batch:{self.policy.name}",
+                size=batch.size,
+                conflicts=batch.conflicts,
+                requests=len(batch),
+                components=batch.num_components,
+            )
+        remaining: dict[int, int] = {}
+        for req in batch.requests:
+            req.dispatch_cycle = cycle
+            remaining[req.request_id] = req.size
+            colors = system.mapping.colors_of(req.nodes)
+            for offset, (node, color) in enumerate(zip(req.nodes, colors)):
+                system.modules[int(color)].enqueue(
+                    (req.request_id, offset), int(node)
+                )
+        self.tracker.on_dispatch(batch, cycle)
+        return remaining
+
+    def _step_modules(self, cycle: int, remaining: dict[int, int], completions) -> None:
+        """One service cycle: round-robin issue under the interconnect limit;
+        requests whose last item issues complete ``latency`` cycles later."""
+        system = self.system
+        rec = system.recorder
+        recording = rec.enabled
+        limit = system.interconnect.issue_limit(system.num_modules)
+        if recording:
+            for mod in system.modules:
+                if mod.queue:
+                    rec.event(
+                        "queue_depth",
+                        cycle=cycle,
+                        module=mod.module_id,
+                        depth=len(mod.queue),
+                    )
+        issued = 0
+        pending = sum(len(mod.queue) for mod in system.modules)
+        for off in range(system.num_modules):
+            if issued >= limit:
+                if recording and pending:
+                    rec.event(
+                        "stall", cycle=cycle, where="interconnect", pending=pending
+                    )
+                break
+            mod = system.modules[(cycle + off) % system.num_modules]
+            while issued < limit:
+                served = mod.step(cycle)
+                if served is None:
+                    break
+                issued += 1
+                pending -= 1
+                request_id = served[0][0]
+                completion = cycle + mod.latency
+                if recording:
+                    rec.event(
+                        "complete",
+                        cycle=completion,
+                        module=mod.module_id,
+                        request=request_id,
+                    )
+                remaining[request_id] -= 1
+                if remaining[request_id] == 0:
+                    del remaining[request_id]
+                    heapq.heappush(completions, (completion, request_id))
+
+    def _retire(self, cycle: int, completions, clients_by_id) -> int:
+        """Complete requests whose last item finished by ``cycle``; returns
+        the latest completion cycle retired (or -1)."""
+        rec = self.system.recorder
+        last = -1
+        while completions and completions[0][0] <= cycle:
+            done_cycle, request_id = heapq.heappop(completions)
+            request = self._requests.pop(request_id)
+            request.complete_cycle = done_cycle
+            last = max(last, done_cycle)
+            self.tracker.on_complete(request)
+            if rec.enabled:
+                rec.event(
+                    "serve_complete",
+                    cycle=done_cycle,
+                    request=request_id,
+                    client=request.client_id,
+                    sojourn=request.sojourn,
+                    missed=request.missed_deadline,
+                )
+            client = clients_by_id.get(request.client_id)
+            if client is not None:
+                client.notify(request, done_cycle)
+        return last
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(
+        self,
+        clients: list[Client],
+        max_cycles: int,
+        drain: bool = True,
+        drain_limit: int = 1_000_000,
+    ) -> ServeReport:
+        """Serve ``clients`` for ``max_cycles`` cycles of arrivals.
+
+        With ``drain`` (default) the loop keeps cycling after arrivals stop
+        until every admitted request has completed, so the report covers the
+        full offered load; ``drain_limit`` bounds the post-arrival cycles as
+        a runaway guard.
+        """
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        system = self.system
+        system.reset()
+        for mod in system.modules:
+            mod.reset_queue()
+        rec = system.recorder
+        if rec.enabled:
+            rec.set_meta(
+                serve_policy=self.policy.name,
+                admission=self.queue.policy,
+                queue_capacity=self.queue.capacity,
+                max_batch_components=self.policy.max_components,
+                num_clients=len(clients),
+            )
+        clients_by_id = {client.client_id: client for client in clients}
+        if len(clients_by_id) != len(clients):
+            raise ValueError("client ids must be unique")
+        # each run reports itself (requests still queued from a previous
+        # non-drained run are served, but counted there)
+        self.tracker = tracker = SLOTracker()
+        completions: list[tuple[int, int]] = []
+        remaining: dict[int, int] = {}
+        current_batch: Batch | None = None
+        batch_dispatched_at = 0
+        access_index = -1
+        cycle = 0
+        while True:
+            arriving = cycle < max_cycles
+            if not arriving and not drain:
+                break
+            if not arriving and (
+                current_batch is None
+                and self.queue.drained
+                and not completions
+                and not remaining
+            ):
+                break
+            if cycle > max_cycles + drain_limit:
+                raise RuntimeError(
+                    f"serving did not drain within {drain_limit} cycles after "
+                    f"arrivals stopped (queue={self.queue!r})"
+                )
+            # 1. retire completions due now; free the array when its batch ends
+            last_done = self._retire(cycle, completions, clients_by_id)
+            if current_batch is not None and not any(
+                not req.completed for req in current_batch.requests
+            ):
+                rounds = max(last_done, batch_dispatched_at) - batch_dispatched_at
+                tracker.on_batch_retired(current_batch, rounds)
+                if rec.enabled:
+                    rec.event(
+                        "batch_retire",
+                        cycle=cycle,
+                        rounds=rounds,
+                        requests=len(current_batch),
+                        components=current_batch.num_components,
+                        conflicts=current_batch.conflicts,
+                    )
+                current_batch = None
+            # 2. arrivals + admission
+            if arriving:
+                for client in clients:
+                    for instance in client.poll(cycle):
+                        request = Request(
+                            request_id=next(self._ids),
+                            client_id=client.client_id,
+                            instance=instance,
+                            arrival_cycle=cycle,
+                            deadline=(
+                                cycle + self.deadline
+                                if self.deadline is not None
+                                else None
+                            ),
+                        )
+                        tracker.on_arrival(request)
+                        if rec.enabled:
+                            rec.event(
+                                "serve_arrival",
+                                cycle=cycle,
+                                request=request.request_id,
+                                client=client.client_id,
+                                size=request.size,
+                                kind=instance.kind,
+                            )
+                        outcome = self.queue.offer(request, cycle)
+                        if outcome == "admitted":
+                            tracker.on_admit(request)
+                        elif outcome == "shed":
+                            tracker.on_shed(request)
+                            if rec.enabled:
+                                rec.event(
+                                    "serve_shed",
+                                    cycle=cycle,
+                                    request=request.request_id,
+                                    client=client.client_id,
+                                    size=request.size,
+                                )
+                            client.notify_shed(request, cycle)
+            for request in self.queue.admit_waiting(cycle):
+                tracker.on_admit(request)
+            # 3. dispatch the next batch once the array is idle
+            if current_batch is None and self.queue.pending:
+                batch = self.policy.form(self.queue.pending, system.mapping)
+                self.queue.remove(batch.requests)
+                access_index += 1
+                for req in batch.requests:
+                    self._requests[req.request_id] = req
+                remaining.update(self._dispatch(batch, cycle, access_index))
+                current_batch = batch
+                batch_dispatched_at = cycle
+            # 4. service
+            if remaining or any(mod.queue for mod in system.modules):
+                self._step_modules(cycle, remaining, completions)
+            cycle += 1
+        report = tracker.report(self.policy.name, cycles=cycle)
+        if rec.enabled:
+            rec.set_meta(serve_cycles=cycle, serve_arrivals=tracker.arrivals)
+        return report

@@ -1,0 +1,157 @@
+"""Service-level tracking for serving runs.
+
+The :class:`SLOTracker` accumulates the per-request lifecycle the engine
+reports — arrivals, admissions, sheds, dispatches, completions — and the
+per-batch packing outcomes, then folds them into a :class:`ServeReport`:
+sojourn percentiles (p50/p95/p99 via
+:func:`~repro.memory.stats.latency_summary`), goodput, shed and
+deadline-miss rates, and the batching figures the paper's composite bound
+speaks to (components per batch, conflicts per batch, rounds per request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.stats import latency_summary
+from repro.serve.batching import Batch
+from repro.serve.request import Request
+
+__all__ = ["SLOTracker", "ServeReport"]
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one serving run."""
+
+    policy: str
+    cycles: int
+    arrivals: int
+    admitted: int
+    completed: int
+    completed_items: int
+    shed: int
+    degraded: int
+    deadline_misses: int
+    num_batches: int
+    #: sojourn (arrival -> completion) percentiles, ``None`` if nothing completed
+    latency: dict[str, float] | None
+    #: queueing wait (arrival -> dispatch) percentiles
+    wait: dict[str, float] | None
+    mean_batch_size: float
+    mean_batch_components: float
+    mean_batch_conflicts: float
+    max_batch_conflicts: int
+    #: total round-group cycles divided by completed requests — the
+    #: batching headline (lower = more requests amortized per round)
+    mean_rounds_per_request: float
+    goodput: float  # completed items per cycle
+    shed_rate: float
+    deadline_miss_rate: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lat = self.latency or {}
+        lines = [
+            f"serve[{self.policy}]: {self.completed}/{self.arrivals} requests "
+            f"completed in {self.cycles} cycles "
+            f"({self.shed} shed, {self.degraded} degraded, "
+            f"{self.deadline_misses} deadline misses)",
+            f"  goodput {self.goodput:.3f} items/cycle, "
+            f"rounds/request {self.mean_rounds_per_request:.3f}",
+            f"  batches: {self.num_batches}, mean size {self.mean_batch_size:.2f} "
+            f"requests / {self.mean_batch_components:.2f} components, "
+            f"conflicts mean {self.mean_batch_conflicts:.2f} "
+            f"max {self.max_batch_conflicts}",
+        ]
+        if lat:
+            lines.append(
+                "  sojourn cycles: p50={p50:g} p95={p95:g} p99={p99:g} "
+                "max={max:g}".format(**lat)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class SLOTracker:
+    """Counts and distributions accumulated while the engine runs."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    completed: int = 0
+    completed_items: int = 0
+    shed: int = 0
+    degraded: int = 0
+    deadline_misses: int = 0
+    sojourns: list = field(default_factory=list)
+    waits: list = field(default_factory=list)
+    batch_sizes: list = field(default_factory=list)
+    batch_components: list = field(default_factory=list)
+    batch_conflicts: list = field(default_factory=list)
+    batch_rounds: list = field(default_factory=list)
+
+    # -- engine callbacks ------------------------------------------------------
+
+    def on_arrival(self, request: Request) -> None:
+        self.arrivals += 1
+
+    def on_admit(self, request: Request) -> None:
+        self.admitted += 1
+        if request.degraded:
+            self.degraded += 1
+
+    def on_shed(self, request: Request) -> None:
+        self.shed += 1
+
+    def on_dispatch(self, batch: Batch, cycle: int) -> None:
+        self.batch_sizes.append(len(batch))
+        self.batch_components.append(batch.num_components)
+        self.batch_conflicts.append(batch.conflicts)
+        for req in batch.requests:
+            self.waits.append(cycle - req.arrival_cycle)
+
+    def on_batch_retired(self, batch: Batch, rounds: int) -> None:
+        self.batch_rounds.append(rounds)
+
+    def on_complete(self, request: Request) -> None:
+        self.completed += 1
+        self.completed_items += request.size
+        self.sojourns.append(request.sojourn)
+        if request.missed_deadline:
+            self.deadline_misses += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def max_batch_conflicts(self) -> int:
+        return max(self.batch_conflicts, default=0)
+
+    def report(self, policy: str, cycles: int) -> ServeReport:
+        def mean(xs):
+            return sum(xs) / len(xs) if xs else 0.0
+
+        return ServeReport(
+            policy=policy,
+            cycles=cycles,
+            arrivals=self.arrivals,
+            admitted=self.admitted,
+            completed=self.completed,
+            completed_items=self.completed_items,
+            shed=self.shed,
+            degraded=self.degraded,
+            deadline_misses=self.deadline_misses,
+            num_batches=len(self.batch_sizes),
+            latency=latency_summary(self.sojourns) if self.sojourns else None,
+            wait=latency_summary(self.waits) if self.waits else None,
+            mean_batch_size=mean(self.batch_sizes),
+            mean_batch_components=mean(self.batch_components),
+            mean_batch_conflicts=mean(self.batch_conflicts),
+            max_batch_conflicts=self.max_batch_conflicts,
+            mean_rounds_per_request=(
+                sum(self.batch_rounds) / self.completed if self.completed else 0.0
+            ),
+            goodput=self.completed_items / cycles if cycles else 0.0,
+            shed_rate=self.shed / self.arrivals if self.arrivals else 0.0,
+            deadline_miss_rate=(
+                self.deadline_misses / self.completed if self.completed else 0.0
+            ),
+        )

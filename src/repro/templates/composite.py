@@ -88,9 +88,18 @@ class CompositeSampler:
         self.max_tries = max_tries
 
     def sample(
-        self, c: int, target_size: int, rng: np.random.Generator
+        self,
+        c: int,
+        target_size: int,
+        rng: np.random.Generator,
+        max_tries: int | None = None,
     ) -> CompositeInstance:
-        """Draw a composite with exactly ``c`` components, ~``target_size`` nodes."""
+        """Draw a composite with exactly ``c`` components, ~``target_size`` nodes.
+
+        ``max_tries`` overrides the sampler-wide rejection budget for this
+        call only (useful when one densely packed draw needs more attempts
+        than the default).
+        """
         if c < 1:
             raise ValueError(f"component count must be >= 1, got {c}")
         if target_size < c:
@@ -104,7 +113,7 @@ class CompositeSampler:
         components: list[TemplateInstance] = []
         for t in range(c):
             budget = max(1, (target_size - len(used)) // (c - t))
-            comp = self._draw_component(budget, used, rng)
+            comp = self._draw_component(budget, used, rng, max_tries=max_tries)
             components.append(comp)
             used |= comp.node_set()
         return make_composite(components)
@@ -120,22 +129,35 @@ class CompositeSampler:
         return max(1, min(budget, self.tree.num_leaves))
 
     def _draw_component(
-        self, budget: int, used: set[int], rng: np.random.Generator
+        self,
+        budget: int,
+        used: set[int],
+        rng: np.random.Generator,
+        max_tries: int | None = None,
     ) -> TemplateInstance:
+        tries = self.max_tries if max_tries is None else max_tries
         kinds = list(self.kinds)
         rng.shuffle(kinds)
+        attempted: list[str] = []  # "kind(size)" per family tried, in order
+        skipped: list[str] = []
         for kind in kinds:
             size = self._component_size(kind, budget)
             family = _family(kind, size)
             if not family.admits(self.tree):
+                skipped.append(f"{kind}({size}): no instances in tree")
                 continue
-            for _ in range(self.max_tries):
+            attempted.append(f"{kind}({size})")
+            for _ in range(tries):
                 inst = family.sample(self.tree, rng)
                 if used.isdisjoint(inst.node_set()):
                     return inst
+        detail = ", ".join(attempted) if attempted else "none admissible"
+        if skipped:
+            detail += "; skipped " + ", ".join(skipped)
         raise RuntimeError(
-            f"could not place a disjoint component (budget={budget}, "
-            f"used={len(used)} nodes of {self.tree.num_nodes})"
+            f"could not place a disjoint component after {tries} tries per kind "
+            f"(budget={budget}, used={len(used)} of {self.tree.num_nodes} nodes; "
+            f"attempted {detail})"
         )
 
 

@@ -1,7 +1,6 @@
 """Unit tests for the networkx conflict-graph utilities."""
 
 import networkx as nx
-import pytest
 
 from repro.analysis import (
     chromatic_number,

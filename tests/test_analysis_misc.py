@@ -2,11 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
-    BoundCheck,
     check_conflict_free,
     check_family_bound,
     conflict_histogram,
@@ -16,7 +14,6 @@ from repro.analysis import (
 from repro.analysis import bounds
 from repro.core import ColorMapping, ModuloMapping
 from repro.templates import LTemplate, PTemplate, STemplate
-from repro.trees import CompleteBinaryTree
 
 
 class TestBounds:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import StaticDictionary
-from repro.trees import CompleteBinaryTree, coords
+from repro.trees import coords
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the parallel-access min-heap."""
 
-import numpy as np
 import pytest
 
 from repro.apps import ParallelMinHeap

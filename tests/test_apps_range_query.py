@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import RangeQueryTree
-from repro.trees import CompleteBinaryTree, coords, subtree_nodes
+from repro.trees import coords, subtree_nodes
 
 
 @pytest.fixture

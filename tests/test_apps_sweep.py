@@ -6,7 +6,7 @@ import pytest
 from repro.apps import level_sweep_trace, reduction_trace
 from repro.core import ModuloMapping
 from repro.memory import ParallelMemorySystem
-from repro.trees import CompleteBinaryTree, coords
+from repro.trees import coords
 
 
 class TestLevelSweep:

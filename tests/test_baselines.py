@@ -11,7 +11,7 @@ from repro.core import (
     RandomMapping,
 )
 from repro.templates import LTemplate, PTemplate
-from repro.trees import CompleteBinaryTree, coords
+from repro.trees import coords
 
 
 class TestModulo:

@@ -11,7 +11,7 @@ from repro.core import (
     max_parallelism_params,
     num_colors,
 )
-from repro.templates import LTemplate, PTemplate, STemplate
+from repro.templates import PTemplate, STemplate
 from repro.trees import CompleteBinaryTree
 
 

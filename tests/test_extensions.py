@@ -1,6 +1,5 @@
 """Tests for the extension features: facade, general M, policies, viz, CLI."""
 
-import numpy as np
 import pytest
 
 import repro
@@ -8,7 +7,7 @@ from repro.analysis import family_cost, load_report, render_coloring, render_mod
 from repro.bench.ablations import ABLATIONS
 from repro.bench.experiments import run_experiment
 from repro.core import ColorMapping, LabelTreeMapping
-from repro.templates import LTemplate, PTemplate, STemplate
+from repro.templates import LTemplate, PTemplate
 from repro.trees import CompleteBinaryTree
 
 

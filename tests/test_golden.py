@@ -7,7 +7,6 @@ change to the construction — even one that preserves conflict-freeness —
 will trip these tests, so accidental drift is caught immediately.
 """
 
-import numpy as np
 
 from repro.core import (
     LabelTreeMapping,

@@ -5,12 +5,11 @@ One test (class) per theorem/lemma of Sections 3-6; the benches in
 EXPERIMENTS.md — here we pin the claims at CI-friendly sizes.
 """
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.analysis import bounds, family_cost, sampled_family_cost
+from repro.analysis import bounds, family_cost
 from repro.analysis.conflicts import instance_conflicts
 from repro.core import ColorMapping, LabelTreeMapping, max_parallelism_params
 from repro.templates import (

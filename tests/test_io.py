@@ -7,7 +7,6 @@ from repro.analysis import family_cost
 from repro.core import ColorMapping, LabelTreeMapping
 from repro.io import FrozenMapping, load_mapping, save_mapping
 from repro.templates import PTemplate, STemplate
-from repro.trees import CompleteBinaryTree
 
 
 class TestRoundTrip:

@@ -5,7 +5,6 @@ These runs guard the vectorized code paths against size-dependent bugs
 cannot expose.  Kept to a few seconds total.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import family_cost, load_report

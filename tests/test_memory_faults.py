@@ -12,7 +12,6 @@ from repro.memory import (
     apply_faults,
 )
 from repro.templates import PTemplate, STemplate
-from repro.trees import CompleteBinaryTree
 
 
 class TestFaultModel:

@@ -6,7 +6,6 @@ import pytest
 from repro.core import ColorMapping, ModuloMapping, LabelTreeMapping
 from repro.memory import ParallelMemorySystem, latency_summary
 from repro.templates import PTemplate
-from repro.trees import CompleteBinaryTree
 from repro.apps import level_sweep_trace
 
 

@@ -1,12 +1,10 @@
 """Unit tests for multi-ported memory modules."""
 
-import numpy as np
 import pytest
 
 from repro.core import ColorMapping, ModuloMapping
 from repro.memory import MemoryModule, ParallelMemorySystem
 from repro.templates import PTemplate
-from repro.trees import CompleteBinaryTree
 
 
 class TestModulePorts:

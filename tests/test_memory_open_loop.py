@@ -6,7 +6,8 @@ import pytest
 from repro.apps import level_sweep_trace
 from repro.bench.workloads import heap_workload
 from repro.core import ColorMapping, LabelTreeMapping
-from repro.memory import AccessTrace, ParallelMemorySystem, latency_summary
+from repro.memory import ParallelMemorySystem, latency_summary
+from repro.obs import EventRecorder
 from repro.trees import CompleteBinaryTree
 
 
@@ -81,3 +82,32 @@ class TestOpenLoop:
         assert latency_summary(lt.last_latencies)["p95"] < latency_summary(
             cm.last_latencies
         )["p95"]
+
+
+class TestRecorderSojourns:
+    def test_complete_events_match_last_latencies(self, setup):
+        """The sojourn stamped on each ``complete`` event is exactly the value
+        collected into ``last_latencies`` for that served item."""
+        tree, trace = setup
+        mapping = LabelTreeMapping(tree, 15)
+        recorder = EventRecorder()
+        pms = ParallelMemorySystem(
+            mapping, record_latencies=True, recorder=recorder
+        )
+        pms.run_open_loop(trace, arrival_interval=2)
+        sojourns = [
+            e["sojourn"] for e in recorder.events if e["ev"] == "complete"
+        ]
+        assert len(sojourns) == trace.total_items
+        np.testing.assert_array_equal(
+            np.array(sojourns, dtype=np.int64), pms.last_latencies
+        )
+
+    def test_reset_clears_last_latencies(self, setup):
+        tree, trace = setup
+        mapping = ColorMapping.max_parallelism(tree, 4)
+        pms = ParallelMemorySystem(mapping, record_latencies=True)
+        pms.run_open_loop(trace, arrival_interval=3)
+        assert pms.last_latencies is not None
+        pms.reset()
+        assert pms.last_latencies is None

@@ -13,7 +13,6 @@ from repro.memory import (
     SharedBus,
 )
 from repro.templates import PTemplate
-from repro.trees import CompleteBinaryTree
 
 
 class TestMemoryModule:
@@ -184,3 +183,46 @@ class TestAccessTrace:
             trace.add(np.empty(0, dtype=np.int64))
         with pytest.raises(ValueError):
             trace.add(np.zeros((2, 2)))
+
+
+class TestRepeatedRuns:
+    """Regression: drains that count cycles from 0 must not inherit port
+    clocks from a previous run on the same system."""
+
+    def _trace(self, tree):
+        trace = AccessTrace()
+        fam = PTemplate(8)
+        for idx in range(0, fam.count(tree), 50):
+            trace.add_instance(fam.instance_at(tree, idx))
+        return trace
+
+    def test_pipelined_cycles_stable_across_runs(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        trace = self._trace(tree12)
+        pms = ParallelMemorySystem(mapping)
+        first = pms.run_trace(trace, pipelined=True)
+        second = pms.run_trace(trace, pipelined=True)
+        assert second.total_cycles == first.total_cycles
+        fresh = ParallelMemorySystem(mapping).run_trace(trace, pipelined=True)
+        assert first.total_cycles == fresh.total_cycles
+
+    def test_open_loop_after_pipelined_run(self, tree12):
+        mapping = ModuloMapping(tree12, 9)
+        trace = self._trace(tree12)
+        pms = ParallelMemorySystem(mapping)
+        pms.run_trace(trace, pipelined=True)
+        reused = pms.run_open_loop(trace, arrival_interval=2)
+        fresh = ParallelMemorySystem(mapping).run_open_loop(
+            trace, arrival_interval=2
+        )
+        assert reused.total_cycles == fresh.total_cycles
+
+    def test_multiport_pipelined_rerun(self, tree12):
+        """Multi-port modules keep per-port clocks; the stale-clock reset
+        must cover every port, not just the first."""
+        mapping = ModuloMapping(tree12, 9)
+        trace = self._trace(tree12)
+        pms = ParallelMemorySystem(mapping, module_ports=2, module_latency=3)
+        first = pms.run_trace(trace, pipelined=True)
+        second = pms.run_trace(trace, pipelined=True)
+        assert second.total_cycles == first.total_cycles

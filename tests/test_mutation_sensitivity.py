@@ -13,7 +13,6 @@ from repro.analysis import family_cost, instance_conflicts, matrix_conflicts
 from repro.core import ColorMapping
 from repro.io import FrozenMapping
 from repro.templates import LTemplate, PTemplate, STemplate
-from repro.trees import CompleteBinaryTree
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import re
 from pathlib import Path
 
-import pytest
 
 from repro.bench.ablations import ABLATIONS
 from repro.bench.experiments import EXPERIMENTS

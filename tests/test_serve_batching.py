@@ -1,0 +1,192 @@
+"""Unit tests for batch-formation policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColorMapping, ModuloMapping
+from repro.serve import (
+    POLICIES,
+    FifoPolicy,
+    GreedyPackPolicy,
+    LoadAwarePolicy,
+    Request,
+    batch_conflict_bound,
+    make_policy,
+)
+from repro.serve.batching import build_batch
+from repro.templates import CompositeSampler, LTemplate, PTemplate, STemplate
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return CompleteBinaryTree(11)
+
+
+@pytest.fixture(scope="module")
+def mapping(tree):
+    return ColorMapping.max_parallelism(tree, 4)  # M=15, N=11, k=3
+
+
+def _requests(instances):
+    return [
+        Request(request_id=i, client_id=0, instance=inst, arrival_cycle=0)
+        for i, inst in enumerate(instances)
+    ]
+
+
+def _disjoint_subtrees(tree, family, n):
+    """First ``n`` pairwise-disjoint instances of ``family``."""
+    out, used = [], set()
+    for inst in family.instances(tree):
+        if used.isdisjoint(inst.node_set()):
+            out.append(inst)
+            used |= inst.node_set()
+            if len(out) == n:
+                return out
+    raise AssertionError("not enough disjoint instances")
+
+
+class TestRegistry:
+    def test_make_policy_names(self):
+        for name, cls in POLICIES.items():
+            assert isinstance(make_policy(name), cls)
+            assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("lifo")
+
+    def test_bound_formula(self):
+        assert batch_conflict_bound(1, 3) == 3
+        assert batch_conflict_bound(4, 3) == 6
+
+
+class TestFifo:
+    def test_one_request_per_batch(self, tree, mapping):
+        reqs = _requests(_disjoint_subtrees(tree, STemplate(7), 3))
+        batch = FifoPolicy().form(reqs, mapping)
+        assert len(batch) == 1
+        assert batch.requests[0] is reqs[0]
+        assert batch.composite is None
+
+
+class TestGreedyPack:
+    def test_packs_disjoint_up_to_cap(self, tree, mapping):
+        reqs = _requests(_disjoint_subtrees(tree, STemplate(7), 6))
+        batch = GreedyPackPolicy(max_components=4).form(reqs, mapping)
+        assert len(batch) == 4
+        assert batch.num_components == 4
+        # the packed batch is a certified composite instance
+        assert batch.composite is not None
+        assert batch.composite.num_components == 4
+        assert batch.size == 28
+
+    def test_skips_overlapping_requests(self, tree, mapping):
+        a = STemplate(7).instance_at(tree, 0)
+        overlap = STemplate(7).instance_at(tree, 1)  # child subtree overlaps a
+        assert not a.disjoint_from(overlap)
+        b = STemplate(7).instance_at(tree, 200)
+        reqs = _requests([a, overlap, b])
+        batch = GreedyPackPolicy(max_components=4).form(reqs, mapping)
+        assert [r.instance for r in batch.requests] == [a, b]
+
+    def test_head_always_served(self, tree, mapping):
+        reqs = _requests([STemplate(7).instance_at(tree, 0)])
+        batch = GreedyPackPolicy(max_components=4).form(reqs, mapping)
+        assert len(batch) == 1
+
+    def test_composite_requests_count_their_components(self, tree, mapping):
+        rng = np.random.default_rng(7)
+        sampler = CompositeSampler(tree)
+        comp = sampler.sample(3, 20, rng)
+        single = next(
+            inst
+            for inst in STemplate(7).instances(tree)
+            if comp.disjoint_from(inst)
+        )
+        reqs = _requests([comp, single, single])
+        batch = GreedyPackPolicy(max_components=4).form(reqs, mapping)
+        # 3 components from the composite + 1 elementary = cap; no room for more
+        assert batch.num_components == 4
+        assert len(batch) == 2
+
+    def test_respects_conflict_budget(self, tree):
+        # modulo-3 mapping: a level run of 9 loads each of 3 modules by 3
+        mapping = ModuloMapping(tree, 3)
+        runs = [LTemplate(9).instance_at(tree, i) for i in (600, 620, 640, 660)]
+        reqs = _requests(runs)
+        unbounded = GreedyPackPolicy(max_components=4, bound_k=None).form(
+            reqs, mapping
+        )
+        assert unbounded.conflicts > batch_conflict_bound(2, 1)
+        # the head rides alone: every addition would blow the c-1+k budget
+        # (the head itself is served regardless of its own conflicts)
+        bounded = GreedyPackPolicy(max_components=4, bound_k=1).form(reqs, mapping)
+        assert len(bounded) == 1
+        assert len(bounded) < len(unbounded)
+
+    def test_batches_under_color_stay_within_paper_bound(self, tree, mapping):
+        """Random CF-family requests packed with bound_k=k never exceed c-1+k."""
+        rng = np.random.default_rng(3)
+        policy = GreedyPackPolicy(max_components=4, bound_k=mapping.k)
+        families = [STemplate(15), PTemplate(11), LTemplate(7)]
+        for _ in range(50):
+            insts = [
+                families[int(rng.integers(len(families)))].sample(tree, rng)
+                for _ in range(8)
+            ]
+            batch = policy.form(_requests(insts), mapping)
+            assert batch.conflicts <= batch_conflict_bound(
+                batch.num_components, mapping.k
+            )
+
+
+class TestLoadAware:
+    def test_prefers_low_load_candidate(self, tree):
+        mapping = ModuloMapping(tree, 3)
+        head = LTemplate(3).instance_at(tree, 600)  # one request per module
+        heavy = LTemplate(9).instance_at(tree, 620)  # 3 per module
+        light = LTemplate(3).instance_at(tree, 660)
+        reqs = _requests([head, heavy, light])
+        batch = LoadAwarePolicy(max_components=2, bound_k=None).form(reqs, mapping)
+        assert [r.instance for r in batch.requests] == [head, light]
+
+    def test_window_bounds_lookahead(self, tree, mapping):
+        reqs = _requests(_disjoint_subtrees(tree, STemplate(7), 6))
+        policy = LoadAwarePolicy(max_components=4, bound_k=None, window=1)
+        batch = policy.form(reqs, mapping)
+        assert len(batch) == 2  # head + the single candidate in the window
+
+    def test_matches_greedy_feasibility(self, tree, mapping):
+        """Load-aware packs at least as many components as fifo, never more
+        than the cap, and stays disjoint."""
+        rng = np.random.default_rng(11)
+        insts = [STemplate(7).sample(tree, rng) for _ in range(10)]
+        batch = LoadAwarePolicy(max_components=4).form(_requests(insts), mapping)
+        assert 1 <= batch.num_components <= 4
+        seen = set()
+        for req in batch.requests:
+            assert seen.isdisjoint(req.instance.node_set())
+            seen |= req.instance.node_set()
+
+
+class TestBuildBatch:
+    def test_empty_batch_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            build_batch([], mapping)
+
+    def test_counts_and_conflicts(self, tree, mapping):
+        reqs = _requests([PTemplate(11).instance_at(tree, 0)])
+        batch = build_batch(reqs, mapping)
+        assert batch.module_counts.sum() == 11
+        assert batch.conflicts == int(batch.module_counts.max()) - 1
+
+    def test_non_elementary_kind_skips_composite(self, tree, mapping):
+        from repro.templates import TemplateInstance
+
+        trace_inst = TemplateInstance(kind="trace", nodes=np.array([3, 4, 5]))
+        sub = STemplate(7).instance_at(tree, 100)
+        batch = build_batch(_requests([trace_inst, sub]), mapping)
+        assert batch.composite is None
+        assert batch.size == 10

@@ -1,0 +1,156 @@
+"""Unit tests for the traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import heap_workload
+from repro.serve import (
+    BurstyClient,
+    ClosedLoopClient,
+    MixEntry,
+    PoissonClient,
+    Request,
+    TemplateMix,
+    TraceClient,
+)
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return CompleteBinaryTree(11)
+
+
+@pytest.fixture(scope="module")
+def mix(tree):
+    return TemplateMix(
+        tree, [MixEntry("subtree", 7), MixEntry("path", 8), MixEntry("level", 7)]
+    )
+
+
+class TestTemplateMix:
+    def test_sample_matches_entries(self, tree, mix):
+        rng = np.random.default_rng(0)
+        kinds = {mix.sample(rng).kind for _ in range(60)}
+        assert kinds == {"subtree", "path", "level"}
+
+    def test_weights_bias_sampling(self, tree):
+        mix = TemplateMix(
+            tree, [MixEntry("path", 4, weight=9.0), MixEntry("level", 4, weight=1.0)]
+        )
+        rng = np.random.default_rng(1)
+        kinds = [mix.sample(rng).kind for _ in range(300)]
+        assert kinds.count("path") > 200
+
+    def test_composite_entries(self, tree):
+        mix = TemplateMix(tree, [MixEntry("composite", 20, components=3)])
+        inst = mix.sample(np.random.default_rng(2))
+        assert inst.kind == "composite"
+        assert inst.num_components == 3
+
+    def test_rejects_inadmissible_size(self):
+        small = CompleteBinaryTree(4)
+        with pytest.raises(ValueError):
+            TemplateMix(small, [MixEntry("path", 10)])
+
+    def test_rejects_empty(self, tree):
+        with pytest.raises(ValueError):
+            TemplateMix(tree, [])
+
+    def test_parse_spec(self, tree):
+        mix = TemplateMix.parse(tree, "subtree:7=2, path:8, composite:20x3=0.5")
+        assert [e.kind for e in mix.entries] == ["subtree", "path", "composite"]
+        assert mix.entries[0].weight == 2.0
+        assert mix.entries[1].weight == 1.0
+        assert mix.entries[2].components == 3
+
+    def test_parse_rejects_garbage(self, tree):
+        with pytest.raises(ValueError):
+            TemplateMix.parse(tree, "subtree:banana")
+
+
+class TestPoisson:
+    def test_rate_is_respected(self, mix):
+        client = PoissonClient(0, mix, rate=0.5, seed=0)
+        total = sum(len(client.poll(c)) for c in range(4000))
+        assert total == client.generated
+        assert 0.4 < total / 4000 < 0.6
+
+    def test_rate_validation(self, mix):
+        with pytest.raises(ValueError):
+            PoissonClient(0, mix, rate=0.0)
+
+
+class TestBursty:
+    def test_alternates_on_off(self, mix):
+        client = BurstyClient(0, mix, rate=1.0, mean_on=10, mean_off=10, seed=3)
+        active = [len(client.poll(c)) > 0 for c in range(2000)]
+        # must see both silent stretches and bursts
+        assert any(active) and not all(active)
+        # long-run duty cycle ~50%; arrivals well below the always-on rate
+        assert 0.2 < client.generated / 2000 < 0.8
+
+    def test_parameter_validation(self, mix):
+        with pytest.raises(ValueError):
+            BurstyClient(0, mix, rate=1.0, mean_on=0.5)
+
+
+class TestClosedLoop:
+    def _complete(self, client, instance, cycle):
+        req = Request(
+            request_id=0, client_id=client.client_id, instance=instance,
+            arrival_cycle=cycle,
+        )
+        client.notify(req, cycle)
+
+    def test_concurrency_is_capped(self, mix):
+        client = ClosedLoopClient(0, mix, concurrency=2, think_time=0, seed=0)
+        first = client.poll(0)
+        assert len(first) == 2
+        # nothing completes -> nothing new is issued
+        assert client.poll(1) == []
+        self._complete(client, first[0], cycle=5)
+        assert len(client.poll(5)) == 1
+
+    def test_think_time_delays_reissue(self, mix):
+        client = ClosedLoopClient(0, mix, concurrency=1, think_time=3, seed=0)
+        [inst] = client.poll(0)
+        self._complete(client, inst, cycle=4)
+        assert client.poll(5) == []
+        assert client.poll(6) == []
+        assert len(client.poll(7)) == 1
+
+    def test_shed_releases_slot(self, mix):
+        client = ClosedLoopClient(0, mix, concurrency=1, think_time=0, seed=0)
+        [inst] = client.poll(0)
+        req = Request(request_id=0, client_id=0, instance=inst, arrival_cycle=0)
+        client.notify_shed(req, 2)
+        assert len(client.poll(2)) == 1
+
+
+class TestTraceClient:
+    def test_replays_all_accesses(self, tree):
+        trace = heap_workload(tree, ops=40)
+        client = TraceClient(0, trace, interval=2)
+        total = 0
+        cycle = 0
+        while not client.exhausted:
+            total += len(client.poll(cycle))
+            cycle += 1
+        assert total == len(trace)
+        assert client.generated == len(trace)
+
+    def test_arrival_spacing(self, tree):
+        trace = heap_workload(tree, ops=20)
+        client = TraceClient(0, trace, interval=3)
+        assert len(client.poll(0)) == 1
+        assert client.poll(1) == []
+        assert client.poll(2) == []
+        assert len(client.poll(3)) == 1
+
+    def test_instances_are_node_sets(self, tree):
+        trace = heap_workload(tree, ops=40)
+        client = TraceClient(0, trace)
+        while not client.exhausted:
+            for inst in client.poll(10**9):
+                assert len(set(inst.nodes.tolist())) == inst.size

@@ -1,0 +1,162 @@
+"""Unit tests for serve requests, degradation, and admission control."""
+
+import numpy as np
+import pytest
+
+from repro.serve import AdmissionQueue, Request, degrade_instance
+from repro.templates import (
+    CompositeSampler,
+    LTemplate,
+    PTemplate,
+    STemplate,
+    TemplateInstance,
+    make_composite,
+)
+from repro.trees import CompleteBinaryTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return CompleteBinaryTree(10)
+
+
+def _request(instance, request_id=0, client_id=0, arrival=0, deadline=None):
+    return Request(
+        request_id=request_id,
+        client_id=client_id,
+        instance=instance,
+        arrival_cycle=arrival,
+        deadline=deadline,
+    )
+
+
+class TestRequest:
+    def test_lifecycle_and_sojourn(self, tree):
+        req = _request(STemplate(7).instance_at(tree, 0), arrival=5)
+        assert not req.completed
+        with pytest.raises(ValueError):
+            _ = req.sojourn
+        req.complete_cycle = 12
+        assert req.sojourn == 7
+
+    def test_deadline_miss(self, tree):
+        req = _request(PTemplate(4).instance_at(tree, 0), arrival=0, deadline=3)
+        req.complete_cycle = 4
+        assert req.missed_deadline
+        req.complete_cycle = 3
+        assert not req.missed_deadline
+
+    def test_component_count(self, tree):
+        elem = _request(STemplate(7).instance_at(tree, 0))
+        assert elem.num_components == 1
+        comp = CompositeSampler(tree).sample(3, 20, np.random.default_rng(0))
+        assert _request(comp).num_components == 3
+
+
+class TestDegrade:
+    def test_path_keeps_bottom_half(self, tree):
+        inst = PTemplate(8).instance_at(tree, 0)
+        smaller = degrade_instance(inst)
+        assert smaller.kind == "path"
+        assert smaller.size == 4
+        # bottom-up storage: the prefix is the lower end of the path
+        np.testing.assert_array_equal(smaller.nodes, inst.nodes[:4])
+
+    def test_level_keeps_left_half(self, tree):
+        inst = LTemplate(9).instance_at(tree, 0)
+        smaller = degrade_instance(inst)
+        assert smaller.kind == "level"
+        assert smaller.size == 5
+        np.testing.assert_array_equal(smaller.nodes, inst.nodes[:5])
+
+    def test_subtree_drops_last_level(self, tree):
+        inst = STemplate(15).instance_at(tree, 0)
+        smaller = degrade_instance(inst)
+        assert smaller.kind == "subtree"
+        assert smaller.size == 7  # 2**4 - 1  ->  2**3 - 1
+        # BFS prefix of a complete subtree is the top subtree
+        np.testing.assert_array_equal(smaller.nodes, inst.nodes[:7])
+
+    def test_degraded_subtree_is_valid_instance(self, tree):
+        inst = STemplate(15).instance_at(tree, 3)
+        smaller = degrade_instance(inst)
+        family = STemplate(7)
+        valid = {i.node_set() for i in family.instances(tree)}
+        assert smaller.node_set() in valid
+
+    def test_composite_halves_components(self, tree):
+        comp = make_composite(
+            [STemplate(3).instance_at(tree, 0), LTemplate(4).instance_at(tree, 40)]
+        )
+        smaller = degrade_instance(comp)
+        assert smaller.num_components == 1
+        assert smaller.components[0].kind == "subtree"
+
+    def test_single_component_composite_degrades_inner(self, tree):
+        comp = make_composite([LTemplate(8).instance_at(tree, 40)])
+        smaller = degrade_instance(comp)
+        assert smaller.num_components == 1
+        assert smaller.components[0].size == 4
+
+    def test_single_node_cannot_degrade(self, tree):
+        assert degrade_instance(PTemplate(1).instance_at(tree, 0)) is None
+
+    def test_unknown_kind_cannot_degrade(self):
+        inst = TemplateInstance(kind="trace", nodes=np.array([1, 2, 3]))
+        assert degrade_instance(inst) is None
+
+
+class TestAdmissionQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(10, policy="nope")
+
+    def test_admit_within_capacity(self, tree):
+        q = AdmissionQueue(20, policy="block")
+        req = _request(STemplate(7).instance_at(tree, 0))
+        assert q.offer(req, cycle=3) == "admitted"
+        assert req.admit_cycle == 3
+        assert q.pending_items == 7
+
+    def test_block_parks_then_admits(self, tree):
+        q = AdmissionQueue(10, policy="block")
+        first = _request(STemplate(7).instance_at(tree, 0), request_id=0)
+        second = _request(STemplate(7).instance_at(tree, 1), request_id=1)
+        assert q.offer(first, 0) == "admitted"
+        assert q.offer(second, 0) == "blocked"
+        assert len(q.waiting) == 1
+        q.remove([first])
+        admitted = q.admit_waiting(cycle=9)
+        assert admitted == [second]
+        assert second.admit_cycle == 9
+        assert q.drained is False
+
+    def test_shed_rejects_when_full(self, tree):
+        q = AdmissionQueue(10, policy="shed")
+        assert q.offer(_request(STemplate(7).instance_at(tree, 0)), 0) == "admitted"
+        assert q.offer(_request(STemplate(7).instance_at(tree, 1)), 0) == "shed"
+        assert len(q) == 1
+
+    def test_oversized_request_is_shed_not_blocked(self, tree):
+        q = AdmissionQueue(5, policy="block")
+        assert q.offer(_request(STemplate(7).instance_at(tree, 0)), 0) == "shed"
+        assert not q.waiting
+
+    def test_degrade_shrinks_to_fit(self, tree):
+        q = AdmissionQueue(10, policy="degrade")
+        big = _request(STemplate(15).instance_at(tree, 0))
+        assert q.offer(big, 0) == "admitted"
+        assert big.instance.size == 7
+        assert big.degraded == 1
+
+    def test_degrade_sheds_when_nothing_fits(self, tree):
+        q = AdmissionQueue(8, policy="degrade")
+        assert q.offer(_request(STemplate(7).instance_at(tree, 0)), 0) == "admitted"
+        # queue now holds 7 of 8 items; even one node fits, path of 1 admits
+        tiny = _request(PTemplate(2).instance_at(tree, 0), request_id=1)
+        assert q.offer(tiny, 0) == "admitted"
+        assert tiny.instance.size == 1
+        full = _request(PTemplate(2).instance_at(tree, 5), request_id=2)
+        assert q.offer(full, 0) == "shed"

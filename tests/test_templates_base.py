@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.templates import LTemplate, PTemplate, STemplate, TemplateInstance
-from repro.trees import CompleteBinaryTree
 
 
 class TestTemplateInstance:

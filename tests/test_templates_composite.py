@@ -5,9 +5,6 @@ import pytest
 
 from repro.templates import (
     CompositeSampler,
-    LTemplate,
-    PTemplate,
-    STemplate,
     TemplateInstance,
     make_composite,
 )
@@ -89,3 +86,49 @@ class TestCompositeSampler:
         a = sampler.sample(4, 100, np.random.default_rng(7))
         b = sampler.sample(4, 100, np.random.default_rng(7))
         assert a.node_set() == b.node_set()
+
+
+class TestSamplerDiagnostics:
+    """The rejection-sampling failure path must say what it tried."""
+
+    def _impossible(self, **kw):
+        # every path(5) in a 5-level tree contains the root, so a second
+        # disjoint path component can never be placed
+        tree = CompleteBinaryTree(5)
+        return CompositeSampler(tree, kinds=("path",), **kw)
+
+    def test_error_reports_kinds_and_sizes(self, rng):
+        sampler = self._impossible(max_tries=4)
+        with pytest.raises(RuntimeError) as err:
+            sampler.sample(2, target_size=10, rng=rng)
+        message = str(err.value)
+        assert "4 tries per kind" in message
+        assert "path(5)" in message
+        assert "budget=5" in message
+        assert "used=5 of 31 nodes" in message
+
+    def test_per_call_max_tries_overrides_default(self, rng):
+        sampler = self._impossible(max_tries=2000)
+        with pytest.raises(RuntimeError, match="1 tries per kind"):
+            sampler.sample(2, target_size=10, rng=rng, max_tries=1)
+        # the sampler-wide default is untouched
+        assert sampler.max_tries == 2000
+
+    def test_per_call_max_tries_can_rescue_dense_draws(self, tree12):
+        """A tight per-call budget fails where a larger one succeeds."""
+        tree = CompleteBinaryTree(6)
+        sampler = CompositeSampler(tree, kinds=("subtree",))
+        rescued = 0
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            try:
+                sampler.sample(6, target_size=30, rng=rng, max_tries=1)
+            except RuntimeError:
+                rng = np.random.default_rng(seed)
+                try:
+                    comp = sampler.sample(6, target_size=30, rng=rng)
+                except RuntimeError:
+                    continue  # genuinely too dense for this seed
+                assert comp.num_components == 6
+                rescued += 1
+        assert rescued > 0

@@ -1,6 +1,5 @@
 """Unit tests for the P-template."""
 
-import numpy as np
 import pytest
 
 from repro.templates import PTemplate

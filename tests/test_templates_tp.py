@@ -1,6 +1,5 @@
 """Unit tests for the TP proof-machinery template."""
 
-import numpy as np
 import pytest
 
 from repro.templates import TPTemplate
