@@ -1,0 +1,98 @@
+"""E19 — resilience: conflict-aware repair + retry beats oblivious remap.
+
+Two claims under fault injection.  First, when modules die, recoloring
+their nodes greedily against the COLOR structure (``ColorRepairMapping``)
+costs strictly fewer worst-case S(K)+P(N) conflicts than round-robin
+redistribution (``RemappedMapping``).  Second, serving through a timed
+:class:`FaultSchedule` with the repair mapping and the retry ladder
+(timeout -> retry -> degrade -> shed) achieves strictly higher goodput
+than oblivious-remap serving without retries on the same seeded arrivals.
+This file pins both halves and times the fault-injected serving loop.
+"""
+
+import pytest
+
+from repro.core import ColorMapping
+from repro.memory import (
+    FaultSchedule,
+    ParallelMemorySystem,
+    repair_comparison,
+)
+from repro.serve import PoissonClient, ServeEngine, TemplateMix
+from repro.trees import CompleteBinaryTree
+
+CYCLES = 800
+FAULT_SPEC = (
+    "fail=3@40:240,fail=9@120:320,fail=5@300:500,fail=12@420:620,"
+    f"drop=0.05@0:{CYCLES},seed=7"
+)
+
+
+def test_e19_claim_holds():
+    from repro.bench.experiments import e19_resilience
+
+    result = e19_resilience("quick")
+    assert result.holds, str(result)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = CompleteBinaryTree(12)
+    mapping = ColorMapping.max_parallelism(tree, 4)  # M=15, N=11, k=3
+    mix = TemplateMix.parse(tree, "composite:21x3=2,subtree:15=1,path:11=1")
+    return mapping, mix
+
+
+def _serve(mapping, mix, repair, retry, cycles=CYCLES):
+    system = ParallelMemorySystem(mapping)
+    system.attach_faults(FaultSchedule.parse(FAULT_SPEC))
+    engine = ServeEngine(
+        system,
+        policy="greedy-pack",
+        retry_timeout=16 if retry else None,
+        max_retries=2,
+        repair=repair,
+    )
+    clients = [PoissonClient(0, mix, rate=0.35, seed=11)]
+    return engine.run(clients, max_cycles=cycles, drain_limit=50_000)
+
+
+def test_e19_repair_strictly_beats_oblivious_remap(setup):
+    """For growing failure sets, conflict-aware recoloring always costs
+    fewer worst-case S(K)+P(N) conflicts than the round-robin remap."""
+    mapping, _ = setup
+    for failed in ({2}, {0, 7}, {5, 9, 13}):
+        comp = repair_comparison(mapping, failed)
+        assert comp["repair"]["total"] < comp["oblivious"]["total"], comp
+        # the intact mapping is conflict-free, so repair is near-optimal
+        assert comp["intact"]["total"] == 0
+
+
+def test_e19_retry_plus_repair_beats_no_retry_goodput(setup):
+    """Same schedule, same seeded arrivals: the resilient configuration
+    completes the offered load at strictly higher goodput."""
+    mapping, mix = setup
+    resilient = _serve(mapping, mix, repair="color", retry=True)
+    oblivious = _serve(mapping, mix, repair="oblivious", retry=False)
+    assert resilient.arrivals == oblivious.arrivals, "arrival streams diverged"
+    assert resilient.goodput > oblivious.goodput
+    assert resilient.retries > 0, "no failure ever landed mid-batch"
+    assert resilient.completed == resilient.admitted, "requests were lost"
+
+
+def test_e19_availability_reflects_schedule(setup):
+    """The report's availability matches the schedule's failed-module-cycles
+    over the arrival window (drain cycles shift it only slightly)."""
+    mapping, mix = setup
+    report = _serve(mapping, mix, repair="color", retry=True)
+    assert 0.90 < report.availability < 1.0
+    # 4 windows x 200 cycles on 15 modules over >= 800 cycles: <= ~6.7% down
+    assert report.availability >= 1.0 - (4 * 200) / (15 * CYCLES)
+
+
+@pytest.mark.parametrize("repair", ["none", "oblivious", "color"])
+def test_bench_fault_injected_serving(benchmark, setup, repair):
+    mapping, mix = setup
+    benchmark(
+        lambda: _serve(mapping, mix, repair=repair, retry=True, cycles=400)
+    )

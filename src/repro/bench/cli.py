@@ -27,7 +27,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiment registry")
     run = sub.add_parser("run", help="run one experiment or 'all'")
-    run.add_argument("experiment", help="experiment id (E1..E18) or 'all'")
+    run.add_argument("experiment", help="experiment id (E1..E19) or 'all'")
     run.add_argument(
         "--quick", action="store_true", help="reduced sweeps (CI-sized)"
     )

@@ -8,9 +8,11 @@ CLI under ``python -m repro.bench``):
 * ``pmtree verify``   — exhaustively check a mapping against template families;
 * ``pmtree trace``    — generate a workload trace file;
 * ``pmtree simulate`` — replay a trace file against a mapping file
-  (``--obs out.jsonl`` records cycle-level telemetry);
+  (``--obs out.jsonl`` records cycle-level telemetry, ``--faults`` injects
+  static or timed module faults);
 * ``pmtree serve``    — serve an online request stream with conflict-aware
-  composite batching (see :mod:`repro.serve`);
+  composite batching (see :mod:`repro.serve`); ``--faults`` plus
+  ``--repair``/``--retry-timeout`` exercise the resilience ladder;
 * ``pmtree obs``      — telemetry tooling: ``record`` / ``report`` /
   ``diff`` (regression gate) / ``export`` (Chrome trace).
 """
@@ -151,13 +153,40 @@ def cmd_chart(args) -> int:
     return 0
 
 
+def _resolve_faults(spec: str):
+    """Turn a ``--faults`` value into a FaultModel or FaultSchedule.
+
+    ``@path.json`` loads a spec saved by :func:`repro.io.save_faults`;
+    anything else goes through :func:`repro.memory.faults.parse_faults`
+    (static terms like ``slow=3:2,failed=5`` give a FaultModel, timed terms
+    like ``fail=3@50:400`` give a FaultSchedule).
+    """
+    from repro.io import load_faults
+    from repro.memory import parse_faults
+
+    if spec.startswith("@"):
+        return load_faults(spec[1:])
+    return parse_faults(spec)
+
+
 def cmd_simulate(args) -> int:
+    from repro.memory import FaultSchedule, apply_faults
     from repro.obs import EventRecorder
 
     mapping = load_mapping(args.mapping)
     trace = AccessTrace.load(args.trace)
     recorder = EventRecorder() if getattr(args, "obs", None) else None
-    pms = ParallelMemorySystem(mapping, recorder=recorder)
+    faults = _resolve_faults(args.faults) if getattr(args, "faults", None) else None
+    if isinstance(faults, FaultSchedule):
+        pms = ParallelMemorySystem(mapping, recorder=recorder)
+        pms.attach_faults(faults)
+    elif faults is not None:
+        pms = apply_faults(
+            mapping, faults, repair=getattr(args, "repair", "oblivious"),
+            recorder=recorder,
+        )
+    else:
+        pms = ParallelMemorySystem(mapping, recorder=recorder)
     if args.mode == "pipelined":
         stats = pms.run_trace(trace, pipelined=True)
     elif args.mode == "open-loop":
@@ -166,6 +195,8 @@ def cmd_simulate(args) -> int:
         stats = pms.run_trace(trace)
     print(stats)
     print(f"items/cycle: {stats.mean_parallelism:.2f}")
+    if pms.dropped:
+        print(f"dropped (and re-served) requests: {pms.dropped}")
     if recorder is not None:
         recorder.set_meta(mode=args.mode, trace=str(args.trace))
         path = recorder.save(args.obs)
@@ -174,6 +205,7 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.memory import FaultSchedule
     from repro.obs import EventRecorder
     from repro.serve import (
         BurstyClient,
@@ -192,6 +224,12 @@ def cmd_serve(args) -> int:
     mix = TemplateMix.parse(tree, args.workload)
     recorder = EventRecorder() if args.obs else None
     pms = ParallelMemorySystem(mapping, recorder=recorder)
+    if args.faults:
+        faults = _resolve_faults(args.faults)
+        if not isinstance(faults, FaultSchedule):
+            # serving is cycle-driven: lift a static model to open windows
+            faults = FaultSchedule.from_model(faults)
+        pms.attach_faults(faults)
     engine = ServeEngine(
         pms,
         policy=args.policy,
@@ -199,6 +237,11 @@ def cmd_serve(args) -> int:
         admission=args.admission,
         max_batch_components=args.batch_components,
         deadline=args.deadline,
+        retry_timeout=args.retry_timeout,
+        max_retries=args.max_retries,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        repair=args.repair,
     )
     per_client = args.arrival_rate / args.clients
     clients = []
@@ -315,6 +358,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
     )
+    sim.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault spec: static 'slow=3:2,failed=5', timed "
+        "'fail=3@50:400,drop=0.02@0:600,seed=7', or '@faults.json'",
+    )
+    sim.add_argument(
+        "--repair",
+        choices=["oblivious", "color"],
+        default="oblivious",
+        help="repair mapping for statically failed modules",
+    )
     sim.set_defaults(fn=cmd_simulate)
 
     serve = sub.add_parser(
@@ -368,6 +423,33 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
+    )
+    serve.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault schedule: 'fail=3@50:400,slow=7:4@100:300,drop=0.02@0:600,"
+        "seed=7' or '@faults.json' (static specs become open-ended windows)",
+    )
+    serve.add_argument(
+        "--repair",
+        choices=["none", "oblivious", "color"],
+        default="none",
+        help="remap dead modules' nodes while they are down",
+    )
+    serve.add_argument(
+        "--retry-timeout",
+        type=int,
+        default=None,
+        help="cycles before an in-flight batch is aborted and retried",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=3, help="retries before degrading"
+    )
+    serve.add_argument(
+        "--backoff-base", type=int, default=8, help="initial retry backoff (cycles)"
+    )
+    serve.add_argument(
+        "--backoff-cap", type=int, default=128, help="max retry backoff (cycles)"
     )
     serve.set_defaults(fn=cmd_serve)
 

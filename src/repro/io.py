@@ -1,10 +1,16 @@
-"""Persistence: save and load computed mappings.
+"""Persistence: save and load computed mappings and fault specs.
 
 Computing a coloring for a large tree costs real time (and for COLOR, the
 chase tables too); a deployment computes them once and ships the tables.
 :func:`save_mapping` writes a self-describing ``.npz`` with the color array
 plus enough metadata to validate on load; :func:`load_mapping` returns a
 :class:`FrozenMapping` that behaves like the original mapping object.
+
+Fault specs — both static :class:`~repro.memory.faults.FaultModel`
+snapshots and timed :class:`~repro.memory.faults.FaultSchedule` scripts —
+round-trip through JSON via :func:`save_faults` / :func:`load_faults`, so a
+chaos scenario exercised locally can be replayed byte-identically in CI or
+on another machine.
 """
 
 from __future__ import annotations
@@ -15,9 +21,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.mapping import TreeMapping
+from repro.memory.faults import FaultModel, FaultSchedule
 from repro.trees import CompleteBinaryTree
 
-__all__ = ["save_mapping", "load_mapping", "FrozenMapping"]
+__all__ = [
+    "FrozenMapping",
+    "load_faults",
+    "load_mapping",
+    "save_faults",
+    "save_mapping",
+]
 
 _FORMAT_VERSION = 1
 
@@ -100,3 +113,34 @@ def load_mapping(path: str | Path) -> FrozenMapping:
         source=meta.get("source", ""),
         params=meta.get("params", {}),
     )
+
+
+def save_faults(faults: FaultModel | FaultSchedule, path: str | Path) -> Path:
+    """Write a fault spec to ``path`` as self-describing JSON."""
+    path = Path(path)
+    payload = faults.to_json()
+    payload["format_version"] = _FORMAT_VERSION
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_faults(path: str | Path) -> FaultModel | FaultSchedule:
+    """Restore a fault spec saved by :func:`save_faults`.
+
+    Dispatches on the payload's ``type`` field: ``"fault_model"`` restores a
+    static :class:`FaultModel`, ``"fault_schedule"`` a timed
+    :class:`FaultSchedule` (including its drop-lottery seed).
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not a saved fault spec: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not a saved fault spec: not an object")
+    kind = payload.get("type")
+    if kind == "fault_model":
+        return FaultModel.from_json(payload)
+    if kind == "fault_schedule":
+        return FaultSchedule.from_json(payload)
+    raise ValueError(f"{path} is not a saved fault spec: type={kind!r}")

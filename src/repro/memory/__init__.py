@@ -3,9 +3,20 @@
 The paper's machine model made executable: ``M`` queued memory modules behind
 a crossbar (or narrower interconnect), bound to a tree mapping.  Template
 accesses become module request batches; conflicts become extra cycles.
+Faults — static (:class:`FaultModel`), timed (:class:`FaultSchedule`) and
+their repair mappings — live in :mod:`repro.memory.faults`.
 """
 
-from repro.memory.faults import FaultModel, RemappedMapping, apply_faults
+from repro.memory.faults import (
+    ColorRepairMapping,
+    FaultModel,
+    FaultSchedule,
+    FaultWindow,
+    RemappedMapping,
+    apply_faults,
+    parse_faults,
+    repair_comparison,
+)
 from repro.memory.interconnect import Crossbar, Interconnect, MultiBus, SharedBus
 from repro.memory.layout import MemoryLayout
 from repro.memory.module import MemoryModule
@@ -17,8 +28,11 @@ from repro.memory.trace_analysis import TraceProfile, profile_trace
 __all__ = [
     "AccessResult",
     "AccessTrace",
+    "ColorRepairMapping",
     "Crossbar",
     "FaultModel",
+    "FaultSchedule",
+    "FaultWindow",
     "Interconnect",
     "MemoryLayout",
     "MemoryModule",
@@ -30,5 +44,7 @@ __all__ = [
     "TraceStats",
     "apply_faults",
     "latency_summary",
+    "parse_faults",
     "profile_trace",
+    "repair_comparison",
 ]

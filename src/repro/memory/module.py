@@ -19,6 +19,13 @@ class MemoryModule:
     one server for ``latency`` cycles.  A dual-ported bank (``ports=2``)
     halves serialized rounds, which is the hardware-side alternative to a
     better mapping that the multiport tests quantify.
+
+    Fault state: ``failed`` makes :meth:`step` refuse all service (queued
+    requests wait for recovery or an upstream retry), and ``base_latency``
+    remembers the module's *steady-state* service latency so transient
+    slowdown windows — and :meth:`~ParallelMemorySystem.reset` — can restore
+    it.  Static overrides installed by :func:`~repro.memory.faults.apply_faults`
+    go through :meth:`set_base_latency` and therefore survive resets.
     """
 
     module_id: int
@@ -28,7 +35,9 @@ class MemoryModule:
     served: int = 0
     busy_cycles: int = 0
     max_queue_depth: int = 0
+    failed: bool = False
     recorder: NullRecorder = field(default=NULL_RECORDER, repr=False)
+    base_latency: int = field(default=0, repr=False)  # 0 -> copy from latency
     _port_free: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -36,6 +45,8 @@ class MemoryModule:
             raise ValueError(f"latency must be >= 1, got {self.latency}")
         if self.ports < 1:
             raise ValueError(f"ports must be >= 1, got {self.ports}")
+        if self.base_latency == 0:
+            self.base_latency = self.latency
         self._port_free = [0] * self.ports
 
     # compatibility shim: single-port code paths read/write busy_until
@@ -47,14 +58,31 @@ class MemoryModule:
     def busy_until(self, value: int) -> None:
         self._port_free = [value] * self.ports
 
+    def set_base_latency(self, latency: int) -> None:
+        """Install a *permanent* per-service latency (fault override).
+
+        Unlike assigning ``latency`` directly, the override also becomes the
+        module's steady-state latency, so slowdown-window recovery and
+        system resets restore to it instead of the construction default.
+        """
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1, got {latency}")
+        self.latency = latency
+        self.base_latency = latency
+
+    def restore_latency(self) -> None:
+        """End a transient slowdown: return to the steady-state latency."""
+        self.latency = self.base_latency
+
     def enqueue(self, tag: int, address: int) -> None:
         self.queue.append((tag, address))
         self.max_queue_depth = max(self.max_queue_depth, len(self.queue))
 
     def step(self, now: int) -> tuple[int, int] | None:
         """Serve one request this cycle if a port is free; may be called up
-        to ``ports`` times per cycle by the scheduler."""
-        if not self.queue:
+        to ``ports`` times per cycle by the scheduler.  A failed module
+        serves nothing until it recovers."""
+        if self.failed or not self.queue:
             return None
         for p, free_at in enumerate(self._port_free):
             if now >= free_at:

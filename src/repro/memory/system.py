@@ -67,6 +67,14 @@ class ParallelMemorySystem:
         self.last_latencies: np.ndarray | None = None
         self._rr_start = 0  # round-robin pointer for issue-limited interconnects
         self._access_index = -1  # running access number for telemetry
+        #: lifetime cycle counter (drives an attached fault schedule)
+        self.clock = 0
+        self._fault_schedule = None
+        self._fault_transitions: list = []
+        self._fault_idx = 0
+        self._drop_prob = 0.0
+        self._drop_rng: np.random.Generator | None = None
+        self.dropped = 0  # requests lost to transient drop windows
         if self.recorder.enabled:
             self.recorder.set_meta(
                 num_modules=self.num_modules,
@@ -74,6 +82,122 @@ class ParallelMemorySystem:
                 module_latency=module_latency,
                 module_ports=module_ports,
                 mapping=type(mapping).__name__,
+            )
+
+    # -- dynamic faults --------------------------------------------------------
+
+    def attach_faults(self, schedule) -> None:
+        """Attach a :class:`~repro.memory.faults.FaultSchedule`.
+
+        Windows are applied as the system's lifetime ``clock`` (barrier
+        replay) or the run's own cycle counter (pipelined / open-loop /
+        serving) passes their edges; :meth:`reset` re-arms the schedule
+        from cycle 0.  Each applied edge emits a ``fault_inject`` /
+        ``fault_recover`` event when a recorder is enabled.
+        """
+        schedule.validate_against(self.num_modules)
+        self._fault_schedule = schedule
+        self._fault_transitions = schedule.transitions()
+        self._fault_idx = 0
+        self._drop_prob = 0.0
+        self._drop_rng = np.random.default_rng(schedule.seed)
+        if self.recorder.enabled:
+            self.recorder.set_meta(
+                fault_windows=len(schedule.windows), fault_seed=schedule.seed
+            )
+
+    @property
+    def fault_schedule(self):
+        return self._fault_schedule
+
+    def failed_modules(self) -> frozenset[int]:
+        """Modules currently failed (empty when no faults are active)."""
+        return frozenset(
+            mod.module_id for mod in self.modules if mod.failed
+        )
+
+    def advance_faults(self, now: int, emit_cycle: int | None = None) -> None:
+        """Apply every scheduled fault edge with ``cycle <= now``.
+
+        ``emit_cycle`` overrides the cycle stamped on telemetry events (the
+        barrier drain counts locally while the schedule runs on the
+        lifetime clock; everywhere else the two coincide).
+        """
+        if self._fault_schedule is None:
+            return
+        transitions = self._fault_transitions
+        rec = self.recorder
+        stamp = now if emit_cycle is None else emit_cycle
+        while self._fault_idx < len(transitions):
+            cycle, edge, window = transitions[self._fault_idx]
+            if cycle > now:
+                break
+            self._fault_idx += 1
+            starting = edge == "start"
+            if window.kind == "fail":
+                self.modules[window.module].failed = starting
+            elif window.kind == "slow":
+                mod = self.modules[window.module]
+                if starting:
+                    mod.latency = window.latency
+                else:
+                    mod.restore_latency()
+            else:  # drop
+                self._drop_prob = window.drop_prob if starting else 0.0
+            if rec.enabled:
+                fields = {"cycle": stamp, "kind": window.kind}
+                if window.kind == "drop":
+                    fields["drop_prob"] = window.drop_prob
+                else:
+                    fields["module"] = window.module
+                if window.kind == "slow":
+                    fields["latency"] = window.latency
+                rec.event("fault_inject" if starting else "fault_recover", **fields)
+
+    def _faults_pending_after(self, now: int) -> bool:
+        """Whether the schedule still holds edges strictly after ``now``."""
+        transitions = self._fault_transitions
+        return self._fault_idx < len(transitions) and any(
+            cycle > now for cycle, _, _ in transitions[self._fault_idx :]
+        )
+
+    def maybe_drop(self, mod, served, cycle: int) -> bool:
+        """Transient-drop lottery for a just-served request.
+
+        Inside a ``drop`` window each service loses its result with the
+        window's probability: the request re-queues at the tail of the same
+        module (the port time it consumed is genuinely wasted) and a
+        ``fault_drop`` event is emitted.  Returns ``True`` when dropped.
+        """
+        if self._drop_prob <= 0.0 or self._drop_rng is None:
+            return False
+        if self._drop_rng.random() >= self._drop_prob:
+            return False
+        mod.queue.append(served)
+        self.dropped += 1
+        if self.recorder.enabled:
+            self.recorder.event(
+                "fault_drop", cycle=cycle, module=mod.module_id, tag=served[0]
+            )
+        return True
+
+    def _check_fault_deadlock(self, now: int) -> None:
+        """Raise when pending work can never be served.
+
+        All queue-holding modules are failed and the schedule has no future
+        edges, so no recovery (and no upstream retry — this is the raw
+        replay path) can ever drain the queues.
+        """
+        blocked = [mod for mod in self.modules if mod.queue]
+        if (
+            blocked
+            and all(mod.failed for mod in blocked)
+            and not self._faults_pending_after(now)
+        ):
+            dead = sorted(mod.module_id for mod in blocked)
+            raise RuntimeError(
+                f"drain stuck at cycle {now}: modules {dead} hold pending "
+                f"requests but are failed with no scheduled recovery"
             )
 
     # -- core cycle loop -----------------------------------------------------
@@ -100,6 +224,7 @@ class ParallelMemorySystem:
         rec = self.recorder
         recording = rec.enabled
         while pending:
+            self.advance_faults(self.clock, emit_cycle=cycles)
             if recording:
                 for mod in self.modules:
                     if mod.queue:
@@ -123,8 +248,13 @@ class ParallelMemorySystem:
                         )
                     break
                 mod = self.modules[(start + cycles + off) % self.num_modules]
-                while issued < limit and mod.step(cycles) is not None:
+                while issued < limit:
+                    served = mod.step(cycles)
+                    if served is None:
+                        break
                     issued += 1
+                    if self.maybe_drop(mod, served, cycles):
+                        continue  # lost in flight; re-queued for another go
                     pending -= 1
                     completion = cycles + mod.latency
                     last_completion = max(last_completion, completion)
@@ -134,7 +264,10 @@ class ParallelMemorySystem:
                         )
                     if latencies is not None:
                         latencies.append(completion)
+            if issued == 0 and pending:
+                self._check_fault_deadlock(self.clock)
             cycles += 1
+            self.clock += 1
         self._rr_start = (start + 1) % self.num_modules
         if latencies is not None:
             self.last_latencies = np.array(latencies, dtype=np.int64)
@@ -252,6 +385,7 @@ class ParallelMemorySystem:
         rec = self.recorder
         recording = rec.enabled
         while next_idx < len(accesses) or pending:
+            self.advance_faults(cycle)
             # arrivals scheduled for this cycle
             while next_idx < len(accesses) and cycle >= next_idx * arrival_interval:
                 label, nodes = accesses[next_idx]
@@ -310,6 +444,8 @@ class ParallelMemorySystem:
                     if served is None:
                         break
                     issued += 1
+                    if self.maybe_drop(mod, served, cycle):
+                        continue  # lost in flight; re-queued for another go
                     pending -= 1
                     completion = cycle + mod.latency
                     last_completion = max(last_completion, completion)
@@ -323,6 +459,8 @@ class ParallelMemorySystem:
                         )
                     if latencies is not None:
                         latencies.append(completion - enqueue_time[served[0]])
+            if issued == 0 and pending and next_idx >= len(accesses):
+                self._check_fault_deadlock(cycle)
             cycle += 1
         self._rr_start = (start + 1) % self.num_modules
         if latencies is not None:
@@ -345,11 +483,28 @@ class ParallelMemorySystem:
         ]
 
     def reset(self) -> None:
+        """Return to a fresh pre-run state.
+
+        Clears module stats and queues, re-arms any attached fault schedule
+        from cycle 0, and restores each module's *base* latency — so static
+        overrides installed via
+        :meth:`~repro.memory.module.MemoryModule.set_base_latency` (e.g. by
+        :func:`~repro.memory.faults.apply_faults`) survive reuse of the
+        same system.
+        """
         for mod in self.modules:
             mod.reset_stats()
+            mod.failed = False
+            mod.restore_latency()
         self.last_latencies = None
         self._rr_start = 0
         self._access_index = -1
+        self.clock = 0
+        self._fault_idx = 0
+        self._drop_prob = 0.0
+        self.dropped = 0
+        if self._fault_schedule is not None:
+            self._drop_rng = np.random.default_rng(self._fault_schedule.seed)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -25,6 +25,23 @@ Event kinds emitted by the instrumented simulator (see
 ``access``
     one template access completed: label, size, conflicts, cycles.
 
+Fault injection (an attached
+:class:`~repro.memory.faults.FaultSchedule`) and the serving engine's
+resilience ladder add:
+
+``fault_inject`` / ``fault_recover``
+    a fault window opened / closed — ``kind`` is ``fail``, ``slow`` or
+    ``drop`` (``module`` is ``-1`` for array-wide drop windows);
+``fault_drop``
+    the drop lottery lost a served request in flight (it re-queues);
+``repair``
+    the dispatch mapping was swapped for the current failed-module set —
+    ``mode`` (``oblivious``/``color``) and ``moved`` (recolored nodes);
+``request_timeout`` / ``request_retry``
+    a serving request's batch hit the retry timeout, and (if the ladder
+    allows) its re-dispatch was scheduled for cycle ``retry_at``
+    (``degraded=True`` when the template was shrunk first).
+
 Artifacts are JSON-lines: a ``meta`` header line, one line per event, and a
 final ``metrics`` line with the registry snapshot.  :func:`to_chrome_trace`
 converts an artifact to the Chrome ``chrome://tracing`` / Perfetto format.

@@ -13,7 +13,10 @@ conflicts under COLOR) turned into an online batching engine:
 * :mod:`repro.serve.clients` — Poisson, bursty on/off, closed-loop and
   trace-replay traffic generators over a configurable template mix;
 * :mod:`repro.serve.engine` — the cycle-driven main loop (admit, batch,
-  dispatch, retire) wired into :mod:`repro.obs` telemetry;
+  dispatch, retire) wired into :mod:`repro.obs` telemetry, with a
+  retry -> degrade -> shed timeout ladder and fault-aware repair
+  remapping (``repair="oblivious" | "color"``) for runs under a
+  :class:`~repro.memory.faults.FaultSchedule`;
 * :mod:`repro.serve.slo` — sojourn percentiles, goodput, shed and
   deadline-miss accounting.
 
@@ -39,7 +42,7 @@ from repro.serve.clients import (
     TemplateMix,
     TraceClient,
 )
-from repro.serve.engine import ServeEngine
+from repro.serve.engine import REPAIR_MODES, ServeEngine
 from repro.serve.request import AdmissionQueue, Request, degrade_instance
 from repro.serve.slo import ServeReport, SLOTracker
 
@@ -56,6 +59,7 @@ __all__ = [
     "LoadAwarePolicy",
     "MixEntry",
     "PoissonClient",
+    "REPAIR_MODES",
     "Request",
     "SLOTracker",
     "ServeEngine",

@@ -133,11 +133,22 @@ class BatchPolicy(abc.ABC):
         self.bound_k = bound_k
 
     @abc.abstractmethod
-    def select(self, pending, mapping: TreeMapping) -> list[Request]:
-        """Pick a non-empty subset of ``pending`` (which is non-empty)."""
+    def select(
+        self, pending, mapping: TreeMapping, avoid: frozenset = frozenset()
+    ) -> list[Request]:
+        """Pick a non-empty subset of ``pending`` (which is non-empty).
 
-    def form(self, pending, mapping: TreeMapping) -> Batch:
-        chosen = self.select(pending, mapping)
+        ``avoid`` lists currently-failed modules: requests whose nodes map
+        onto them are deferred when any alternative exists (packing onto a
+        dead bank just buys a timeout), but when *every* pending request
+        touches a failed module the head dispatches anyway so the retry
+        ladder — not the policy — decides its fate.
+        """
+
+    def form(
+        self, pending, mapping: TreeMapping, avoid: frozenset = frozenset()
+    ) -> Batch:
+        chosen = self.select(pending, mapping, avoid=avoid)
         if not chosen:
             raise AssertionError(f"{self.name} selected an empty batch")
         return build_batch(chosen, mapping)
@@ -156,6 +167,26 @@ class BatchPolicy(abc.ABC):
             mapping.colors_of(request.nodes), minlength=mapping.num_modules
         )
 
+    def _fault_order(self, pending, mapping: TreeMapping, avoid: frozenset):
+        """Restrict ``pending`` to fault-clean requests when any exist.
+
+        With an empty ``avoid`` this is the identity.  Otherwise requests
+        that touch a failed module are dropped from the candidate list —
+        one dead-bank item stalls the whole round-group until it times out,
+        so packing it alongside clean work only spreads the damage.  When
+        *nothing* is clean the original order stands (the head dispatches
+        and the retry ladder decides its fate).
+        """
+        if not avoid:
+            return list(pending)
+        avoid_list = list(avoid)
+        clean = [
+            req
+            for req in pending
+            if not np.isin(mapping.colors_of(req.nodes), avoid_list).any()
+        ]
+        return clean if clean else list(pending)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(max_components={self.max_components}, "
@@ -168,8 +199,10 @@ class FifoPolicy(BatchPolicy):
 
     name = "fifo"
 
-    def select(self, pending, mapping: TreeMapping) -> list[Request]:
-        return [pending[0]]
+    def select(
+        self, pending, mapping: TreeMapping, avoid: frozenset = frozenset()
+    ) -> list[Request]:
+        return [self._fault_order(pending, mapping, avoid)[0]]
 
 
 class GreedyPackPolicy(BatchPolicy):
@@ -177,7 +210,10 @@ class GreedyPackPolicy(BatchPolicy):
 
     name = "greedy-pack"
 
-    def select(self, pending, mapping: TreeMapping) -> list[Request]:
+    def select(
+        self, pending, mapping: TreeMapping, avoid: frozenset = frozenset()
+    ) -> list[Request]:
+        pending = self._fault_order(pending, mapping, avoid)
         head = pending[0]
         chosen = [head]
         used = set(head.instance.node_set())
@@ -222,7 +258,10 @@ class LoadAwarePolicy(BatchPolicy):
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
 
-    def select(self, pending, mapping: TreeMapping) -> list[Request]:
+    def select(
+        self, pending, mapping: TreeMapping, avoid: frozenset = frozenset()
+    ) -> list[Request]:
+        pending = self._fault_order(pending, mapping, avoid)
         head = pending[0]
         chosen = [head]
         used = set(head.instance.node_set())

@@ -4,38 +4,58 @@
 and serves an *online* stream of template requests instead of replaying a
 pre-built trace.  Each cycle it:
 
-1. retires completions (notifying closed-loop clients),
-2. collects arrivals from every client and runs admission control,
-3. when the array is idle, forms the next batch with the configured
+1. applies due fault-schedule edges and, when the failed-module set changed,
+   swaps in a repair mapping (``repair="color"`` for the conflict-aware
+   :class:`~repro.memory.faults.ColorRepairMapping`, ``"oblivious"`` for the
+   round-robin :class:`~repro.memory.faults.RemappedMapping`),
+2. retires completions (notifying closed-loop clients) and aborts the
+   in-flight batch if it exceeded the retry timeout,
+3. collects arrivals from every client and runs admission control,
+4. when the array is idle, forms the next batch with the configured
    :class:`~repro.serve.batching.BatchPolicy` and dispatches it — all
    requests of a batch are enqueued together, exactly the paper's composite
    access — and
-4. steps the memory modules under the interconnect's issue limit.
+5. steps the memory modules under the interconnect's issue limit.
 
 A batch occupies the array until every one of its requests has completed
 (the paper's serialized round-group: on a unit-latency crossbar a batch
 with ``f`` conflicts takes ``f + 1`` rounds), so per-batch rounds divided
 by requests served is directly comparable across policies.
 
+**Retry ladder.**  With ``retry_timeout`` set, a batch still holding
+unserved items after that many cycles is aborted: its unserved items are
+pulled off the module queues and each affected request escalates through
+*retry* (requeued head-of-line with capped exponential backoff, up to
+``max_retries`` attempts), then *degrade* (the template shrinks in-family
+via :func:`~repro.serve.request.degrade_instance` and the retry budget
+resets), then *shed*.  The ladder guarantees the engine drains even when a
+module never recovers.
+
 Telemetry rides the system's :mod:`repro.obs` recorder: module-level
 ``issue``/``complete``/``queue_depth`` events are emitted by the shared
-machinery, and the engine adds ``serve_arrival`` / ``serve_shed`` /
-``access`` (one per batch) / ``batch_retire`` / ``serve_complete`` events,
-so ``pmtree obs report`` works on serving artifacts unchanged.
+machinery, the system emits ``fault_inject``/``fault_recover``/``fault_drop``
+as schedule edges apply, and the engine adds ``serve_arrival`` /
+``serve_shed`` / ``access`` (one per batch) / ``batch_retire`` /
+``serve_complete`` / ``request_timeout`` / ``request_retry`` / ``repair``
+events, so ``pmtree obs report`` works on serving artifacts unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 
+from repro.core.mapping import TreeMapping
 from repro.memory.system import ParallelMemorySystem
 from repro.serve.batching import Batch, BatchPolicy, make_policy
 from repro.serve.clients import Client
-from repro.serve.request import AdmissionQueue, Request
+from repro.serve.request import AdmissionQueue, Request, degrade_instance
 from repro.serve.slo import ServeReport, SLOTracker
 
-__all__ = ["ServeEngine"]
+__all__ = ["REPAIR_MODES", "ServeEngine"]
+
+REPAIR_MODES = ("none", "oblivious", "color")
 
 
 class ServeEngine:
@@ -45,7 +65,9 @@ class ServeEngine:
     ----------
     system:
         The (mapping-bound) memory array to serve against.  Its recorder, if
-        enabled, receives serving telemetry.
+        enabled, receives serving telemetry; its attached
+        :class:`~repro.memory.faults.FaultSchedule`, if any, is applied as
+        the serve clock advances.
     policy:
         A :class:`BatchPolicy` instance or a registry name
         (``"fifo"``, ``"greedy-pack"``, ``"load-aware"``).
@@ -61,6 +83,22 @@ class ServeEngine:
         disables the budget.
     deadline:
         When set, every request's deadline is ``arrival + deadline`` cycles.
+    retry_timeout:
+        Cycles an in-flight batch may hold the array before it is aborted
+        and its unfinished requests climb the retry ladder; ``None``
+        (default) disables timeouts entirely.
+    max_retries:
+        Plain retries per request before the ladder escalates to degrading
+        the template (and, when it cannot shrink further, shedding).
+    backoff_base / backoff_cap:
+        Exponential backoff for retries: attempt ``n`` redispatches no
+        earlier than ``min(backoff_base * 2**(n-1), backoff_cap)`` cycles
+        after its timeout.
+    repair:
+        What to do with a dead module's nodes while it is down: ``"none"``
+        (requests wait or time out), ``"oblivious"`` (round-robin remap) or
+        ``"color"`` (conflict-aware recoloring).  Repair mappings are built
+        lazily per failed-module set and dropped when the set recovers.
     """
 
     def __init__(
@@ -73,6 +111,11 @@ class ServeEngine:
         max_batch_components: int = 4,
         bound_k: int | str | None = "auto",
         deadline: int | None = None,
+        retry_timeout: int | None = None,
+        max_retries: int = 3,
+        backoff_base: int = 8,
+        backoff_cap: int = 128,
+        repair: str = "none",
     ):
         self.system = system
         if bound_k == "auto":
@@ -84,9 +127,65 @@ class ServeEngine:
         self.policy = policy
         self.queue = AdmissionQueue(queue_capacity, policy=admission)
         self.deadline = deadline
+        if retry_timeout is not None and retry_timeout < 1:
+            raise ValueError(f"retry_timeout must be >= 1, got {retry_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base < 1 or backoff_cap < backoff_base:
+            raise ValueError(
+                f"need 1 <= backoff_base <= backoff_cap, got "
+                f"{backoff_base}/{backoff_cap}"
+            )
+        if repair not in REPAIR_MODES:
+            raise ValueError(f"unknown repair mode {repair!r}; pick from {REPAIR_MODES}")
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.repair = repair
         self.tracker = SLOTracker()
         self._ids = count()
         self._requests: dict[int, Request] = {}  # in flight, by id
+        self._mapping: TreeMapping = system.mapping  # effective (repair) mapping
+        self._failed_now: frozenset[int] = frozenset()
+        self._repair_cache: dict[frozenset[int], TreeMapping] = {}
+
+    # -- fault / repair internals ----------------------------------------------
+
+    def _repair_mapping(self, failed: frozenset[int]) -> TreeMapping:
+        """Effective mapping for the current failed set (cached per set)."""
+        if not failed or self.repair == "none":
+            return self.system.mapping
+        if failed not in self._repair_cache:
+            from repro.memory.faults import ColorRepairMapping, RemappedMapping
+
+            cls = ColorRepairMapping if self.repair == "color" else RemappedMapping
+            self._repair_cache[failed] = cls(self.system.mapping, failed)
+        return self._repair_cache[failed]
+
+    def _advance_faults(self, cycle: int) -> None:
+        """Apply schedule edges; swap the dispatch mapping on membership change."""
+        system = self.system
+        system.advance_faults(cycle)
+        failed = system.failed_modules()
+        if failed == self._failed_now:
+            return
+        self._failed_now = failed
+        self._mapping = self._repair_mapping(failed)
+        rec = system.recorder
+        if rec.enabled and self.repair != "none":
+            moved = 0
+            if self._mapping is not system.mapping:
+                moved = int(
+                    (self._mapping.color_array() != system.mapping.color_array()).sum()
+                )
+            rec.event(
+                "repair",
+                cycle=cycle,
+                mode=self.repair,
+                modules=sorted(failed),
+                moved=moved,
+            )
 
     # -- dispatch / service internals -----------------------------------------
 
@@ -108,10 +207,12 @@ class ServeEngine:
                 components=batch.num_components,
             )
         remaining: dict[int, int] = {}
+        mapping = self._mapping
         for req in batch.requests:
             req.dispatch_cycle = cycle
+            req.attempts += 1
             remaining[req.request_id] = req.size
-            colors = system.mapping.colors_of(req.nodes)
+            colors = mapping.colors_of(req.nodes)
             for offset, (node, color) in enumerate(zip(req.nodes, colors)):
                 system.modules[int(color)].enqueue(
                     (req.request_id, offset), int(node)
@@ -150,6 +251,8 @@ class ServeEngine:
                 if served is None:
                     break
                 issued += 1
+                if system.maybe_drop(mod, served, cycle):
+                    continue  # lost in flight; re-queued for another go
                 pending -= 1
                 request_id = served[0][0]
                 completion = cycle + mod.latency
@@ -190,6 +293,86 @@ class ServeEngine:
                 client.notify(request, done_cycle)
         return last
 
+    # -- retry ladder ----------------------------------------------------------
+
+    def _escalate(self, request: Request, cycle: int, clients_by_id) -> None:
+        """One rung up the ladder for a timed-out request:
+        retry -> degrade -> shed."""
+        tracker = self.tracker
+        rec = self.system.recorder
+        request.timeouts += 1
+        tracker.on_timeout(request)
+        if rec.enabled:
+            rec.event(
+                "request_timeout",
+                cycle=cycle,
+                request=request.request_id,
+                client=request.client_id,
+                attempt=request.attempts,
+            )
+        degraded_now = False
+        if request.attempts > self.max_retries:
+            smaller = degrade_instance(request.instance)
+            if smaller is None:
+                # ladder exhausted: shed
+                self._requests.pop(request.request_id, None)
+                tracker.on_timeout_shed(request)
+                if rec.enabled:
+                    rec.event(
+                        "serve_shed",
+                        cycle=cycle,
+                        request=request.request_id,
+                        client=request.client_id,
+                        size=request.size,
+                        reason="timeout",
+                    )
+                client = clients_by_id.get(request.client_id)
+                if client is not None:
+                    client.notify_shed(request, cycle)
+                return
+            if request.degraded == 0:
+                tracker.degraded += 1
+            request.instance = smaller
+            request.degraded += 1
+            request.attempts = 0  # a smaller template earns a fresh budget
+            degraded_now = True
+        backoff = min(
+            self.backoff_base * (1 << max(request.attempts - 1, 0)),
+            self.backoff_cap,
+        )
+        request.retry_at = cycle + backoff
+        tracker.on_retry(request)
+        if rec.enabled:
+            rec.event(
+                "request_retry",
+                cycle=cycle,
+                request=request.request_id,
+                client=request.client_id,
+                retry_at=request.retry_at,
+                attempt=request.attempts,
+                degraded=degraded_now,
+            )
+        self.queue.requeue(request)
+
+    def _abort_batch(
+        self, batch: Batch, cycle: int, remaining: dict[int, int], clients_by_id
+    ) -> None:
+        """Pull a timed-out batch's unserved items off the array and send
+        every still-incomplete request up the retry ladder.  Requests whose
+        items all issued already retire normally through the completions
+        heap — aborting them would discard finished work."""
+        live = [req for req in batch.requests if req.request_id in remaining]
+        ids = {req.request_id for req in live}
+        for mod in self.system.modules:
+            if mod.queue:
+                mod.queue = deque(
+                    entry for entry in mod.queue if entry[0][0] not in ids
+                )
+        for req in live:
+            del remaining[req.request_id]
+            self._requests.pop(req.request_id, None)
+            self._escalate(req, cycle, clients_by_id)
+
     # -- main loop -------------------------------------------------------------
 
     def run(
@@ -212,6 +395,8 @@ class ServeEngine:
         system.reset()
         for mod in system.modules:
             mod.reset_queue()
+        self._mapping = system.mapping
+        self._failed_now = frozenset()
         rec = system.recorder
         if rec.enabled:
             rec.set_meta(
@@ -220,6 +405,8 @@ class ServeEngine:
                 queue_capacity=self.queue.capacity,
                 max_batch_components=self.policy.max_components,
                 num_clients=len(clients),
+                retry_timeout=self.retry_timeout,
+                repair=self.repair,
             )
         clients_by_id = {client.client_id: client for client in clients}
         if len(clients_by_id) != len(clients):
@@ -249,6 +436,9 @@ class ServeEngine:
                     f"serving did not drain within {drain_limit} cycles after "
                     f"arrivals stopped (queue={self.queue!r})"
                 )
+            # 0. fault-schedule edges + repair remapping + availability sample
+            self._advance_faults(cycle)
+            tracker.on_cycle(len(self._failed_now), system.num_modules)
             # 1. retire completions due now; free the array when its batch ends
             last_done = self._retire(cycle, completions, clients_by_id)
             if current_batch is not None and not any(
@@ -265,6 +455,27 @@ class ServeEngine:
                         components=current_batch.num_components,
                         conflicts=current_batch.conflicts,
                     )
+                current_batch = None
+            # 1b. retry-timeout abort: the batch has held the array too long
+            if (
+                current_batch is not None
+                and self.retry_timeout is not None
+                and cycle - batch_dispatched_at >= self.retry_timeout
+                and any(req.request_id in remaining for req in current_batch.requests)
+            ):
+                rounds = cycle - batch_dispatched_at
+                tracker.on_batch_aborted(current_batch, rounds)
+                if rec.enabled:
+                    rec.event(
+                        "batch_retire",
+                        cycle=cycle,
+                        rounds=rounds,
+                        requests=len(current_batch),
+                        components=current_batch.num_components,
+                        conflicts=current_batch.conflicts,
+                        aborted=True,
+                    )
+                self._abort_batch(current_batch, cycle, remaining, clients_by_id)
                 current_batch = None
             # 2. arrivals + admission
             if arriving:
@@ -307,16 +518,24 @@ class ServeEngine:
                             client.notify_shed(request, cycle)
             for request in self.queue.admit_waiting(cycle):
                 tracker.on_admit(request)
-            # 3. dispatch the next batch once the array is idle
+            # 3. dispatch the next batch once the array is idle; requests in
+            # a backoff window are not yet eligible
             if current_batch is None and self.queue.pending:
-                batch = self.policy.form(self.queue.pending, system.mapping)
-                self.queue.remove(batch.requests)
-                access_index += 1
-                for req in batch.requests:
-                    self._requests[req.request_id] = req
-                remaining.update(self._dispatch(batch, cycle, access_index))
-                current_batch = batch
-                batch_dispatched_at = cycle
+                eligible = [
+                    req for req in self.queue.pending if req.retry_at <= cycle
+                ]
+                if eligible:
+                    avoid = (
+                        self._failed_now if self.repair == "none" else frozenset()
+                    )
+                    batch = self.policy.form(eligible, self._mapping, avoid=avoid)
+                    self.queue.remove(batch.requests)
+                    access_index += 1
+                    for req in batch.requests:
+                        self._requests[req.request_id] = req
+                    remaining.update(self._dispatch(batch, cycle, access_index))
+                    current_batch = batch
+                    batch_dispatched_at = cycle
             # 4. service
             if remaining or any(mod.queue for mod in system.modules):
                 self._step_modules(cycle, remaining, completions)

@@ -58,6 +58,11 @@ class Request:
     complete_cycle: int = field(default=-1, compare=False)
     #: how many times admission degraded the template to fit the queue
     degraded: int = field(default=0, compare=False)
+    # retry ladder state (see ServeEngine): dispatch attempts so far, how
+    # many of them timed out, and the earliest cycle a retry may dispatch
+    attempts: int = field(default=0, compare=False)
+    timeouts: int = field(default=0, compare=False)
+    retry_at: int = field(default=-1, compare=False)
 
     @property
     def nodes(self) -> np.ndarray:
@@ -184,6 +189,17 @@ class AdmissionQueue:
         request.instance = instance
         self._admit(request, cycle)
         return "admitted"
+
+    def requeue(self, request: Request) -> None:
+        """Put a timed-out request back at the head of the queue.
+
+        Retried requests are the oldest work the engine holds, so they keep
+        head-of-line priority (their backoff window, not queue position,
+        delays the redispatch).  The request was admitted once already:
+        requeueing deliberately bypasses the capacity check so a retry can
+        never be shed by arrival pressure.
+        """
+        self.pending.insert(0, request)
 
     def admit_waiting(self, cycle: int) -> list[Request]:
         """Move blocked arrivals into the queue as capacity frees (FIFO)."""

@@ -48,6 +48,21 @@ class ServeReport:
     goodput: float  # completed items per cycle
     shed_rate: float
     deadline_miss_rate: float
+    # -- resilience figures (all zero / idle on a fault-free run) -------------
+    #: retry dispatches after a timeout
+    retries: int = 0
+    #: per-request timeout escalations (a request may time out repeatedly)
+    timeouts: int = 0
+    #: requests shed at the top of the retry ladder (retries + degradation
+    #: exhausted), a subset of ``shed``
+    timeout_shed: int = 0
+    #: batches aborted by the timeout ladder before retiring
+    aborted_batches: int = 0
+    #: mean fraction of modules serviceable over the run (1.0 = no faults)
+    availability: float = 1.0
+    #: sojourn percentiles of requests that needed >= 1 retry (recovery
+    #: latency), ``None`` when nothing retried
+    recovery: dict[str, float] | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         lat = self.latency or {}
@@ -62,11 +77,19 @@ class ServeReport:
             f"requests / {self.mean_batch_components:.2f} components, "
             f"conflicts mean {self.mean_batch_conflicts:.2f} "
             f"max {self.max_batch_conflicts}",
+            f"  resilience: retries {self.retries}, timeouts {self.timeouts}, "
+            f"timeout-shed {self.timeout_shed}, aborted batches "
+            f"{self.aborted_batches}, availability {self.availability:.4f}",
         ]
         if lat:
             lines.append(
                 "  sojourn cycles: p50={p50:g} p95={p95:g} p99={p99:g} "
                 "max={max:g}".format(**lat)
+            )
+        if self.recovery:
+            lines.append(
+                "  recovery cycles: p50={p50:g} p95={p95:g} p99={p99:g} "
+                "max={max:g}".format(**self.recovery)
             )
         return "\n".join(lines)
 
@@ -82,8 +105,15 @@ class SLOTracker:
     shed: int = 0
     degraded: int = 0
     deadline_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    timeout_shed: int = 0
+    aborted_batches: int = 0
+    failed_module_cycles: int = 0
+    observed_module_cycles: int = 0
     sojourns: list = field(default_factory=list)
     waits: list = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
     batch_sizes: list = field(default_factory=list)
     batch_components: list = field(default_factory=list)
     batch_conflicts: list = field(default_factory=list)
@@ -112,10 +142,33 @@ class SLOTracker:
     def on_batch_retired(self, batch: Batch, rounds: int) -> None:
         self.batch_rounds.append(rounds)
 
+    def on_batch_aborted(self, batch: Batch, rounds: int) -> None:
+        """A batch hit the retry timeout: its rounds were spent anyway."""
+        self.aborted_batches += 1
+        self.batch_rounds.append(rounds)
+
+    def on_timeout(self, request: Request) -> None:
+        self.timeouts += 1
+
+    def on_retry(self, request: Request) -> None:
+        self.retries += 1
+
+    def on_timeout_shed(self, request: Request) -> None:
+        """Ladder exhausted: retries and degradation both failed."""
+        self.timeout_shed += 1
+        self.shed += 1
+
+    def on_cycle(self, failed_modules: int, num_modules: int) -> None:
+        """Per-cycle module availability sample from the engine loop."""
+        self.failed_module_cycles += failed_modules
+        self.observed_module_cycles += num_modules
+
     def on_complete(self, request: Request) -> None:
         self.completed += 1
         self.completed_items += request.size
         self.sojourns.append(request.sojourn)
+        if request.timeouts:
+            self.recoveries.append(request.sojourn)
         if request.missed_deadline:
             self.deadline_misses += 1
 
@@ -154,4 +207,14 @@ class SLOTracker:
             deadline_miss_rate=(
                 self.deadline_misses / self.completed if self.completed else 0.0
             ),
+            retries=self.retries,
+            timeouts=self.timeouts,
+            timeout_shed=self.timeout_shed,
+            aborted_batches=self.aborted_batches,
+            availability=(
+                1.0 - self.failed_module_cycles / self.observed_module_cycles
+                if self.observed_module_cycles
+                else 1.0
+            ),
+            recovery=latency_summary(self.recoveries) if self.recoveries else None,
         )

@@ -184,3 +184,67 @@ class TestProfileAndChart:
         assert main(["chart", str(mapping_file), "--versus", str(other)]) == 0
         out = capsys.readouterr().out
         assert "o =" in out and "x =" in out
+
+
+class TestFaultInjection:
+    def test_simulate_static_faults(self, mapping_file, trace_file, capsys):
+        code = main(
+            ["simulate", str(mapping_file), str(trace_file),
+             "--faults", "slow=1:3,failed=2", "--repair", "color"]
+        )
+        assert code == 0
+        assert "TraceStats" in capsys.readouterr().out
+
+    def test_simulate_timed_schedule_reports_drops(
+        self, mapping_file, trace_file, capsys
+    ):
+        code = main(
+            ["simulate", str(mapping_file), str(trace_file), "--mode", "pipelined",
+             "--faults", "drop=0.2@0:500,seed=3"]
+        )
+        assert code == 0
+        assert "dropped (and re-served)" in capsys.readouterr().out
+
+    def test_simulate_faults_from_file(
+        self, mapping_file, trace_file, tmp_path, capsys
+    ):
+        from repro.io import save_faults
+        from repro.memory import FaultModel
+
+        spec = tmp_path / "faults.json"
+        save_faults(FaultModel(failed={2}), spec)
+        code = main(
+            ["simulate", str(mapping_file), str(trace_file),
+             "--faults", f"@{spec}"]
+        )
+        assert code == 0
+        assert "TraceStats" in capsys.readouterr().out
+
+    def test_serve_with_fault_schedule(self, tmp_path, capsys):
+        artifact = tmp_path / "serve.jsonl"
+        code = main(
+            ["serve", "--levels", "11", "--modules", "15", "--cycles", "400",
+             "--arrival-rate", "0.3", "--clients", "1",
+             "--workload", "composite:21x3=2,subtree:15=1",
+             "--faults", "fail=3@40:240,drop=0.05@0:400,seed=7",
+             "--repair", "color", "--retry-timeout", "16",
+             "--obs", str(artifact)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out and "availability" in out
+        assert artifact.exists()
+        import json
+
+        events = [json.loads(line) for line in artifact.read_text().splitlines()]
+        kinds = {e.get("ev") for e in events}
+        assert "fault_inject" in kinds
+
+    def test_serve_lifts_static_faults(self, capsys):
+        code = main(
+            ["serve", "--levels", "11", "--modules", "15", "--cycles", "200",
+             "--arrival-rate", "0.2", "--clients", "1",
+             "--faults", "failed=2", "--repair", "oblivious"]
+        )
+        assert code == 0
+        assert "availability 0." in capsys.readouterr().out

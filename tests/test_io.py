@@ -73,3 +73,45 @@ class TestValidation:
         )
         with pytest.raises(ValueError):
             load_mapping(path)
+
+
+class TestFaultSpecs:
+    def test_fault_model_round_trips(self, tmp_path):
+        from repro.io import load_faults, save_faults
+        from repro.memory import FaultModel
+
+        model = FaultModel(slow={3: 2}, failed={5})
+        path = save_faults(model, tmp_path / "faults.json")
+        restored = load_faults(path)
+        assert isinstance(restored, FaultModel)
+        assert restored.slow == model.slow
+        assert restored.failed == model.failed
+
+    def test_fault_schedule_round_trips(self, tmp_path):
+        from repro.io import load_faults, save_faults
+        from repro.memory import FaultSchedule
+
+        sched = FaultSchedule.parse(
+            "fail=3@50:400,slow=7:4@100:300,drop=0.02@0:600,seed=9"
+        )
+        path = save_faults(sched, tmp_path / "sched.json")
+        restored = load_faults(path)
+        assert isinstance(restored, FaultSchedule)
+        assert restored.seed == 9
+        assert restored.to_json() == sched.to_json()
+
+    def test_rejects_non_fault_files(self, tmp_path):
+        from repro.io import load_faults
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not json at all {")
+        with pytest.raises(ValueError):
+            load_faults(bogus)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"type": "mapping"}')
+        with pytest.raises(ValueError):
+            load_faults(wrong)
+        alist = tmp_path / "list.json"
+        alist.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_faults(alist)

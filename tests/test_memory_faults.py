@@ -6,10 +6,15 @@ import pytest
 from repro.analysis import family_cost
 from repro.core import ColorMapping, ModuloMapping
 from repro.memory import (
+    ColorRepairMapping,
     FaultModel,
+    FaultSchedule,
+    FaultWindow,
     ParallelMemorySystem,
     RemappedMapping,
     apply_faults,
+    parse_faults,
+    repair_comparison,
 )
 from repro.templates import PTemplate, STemplate
 
@@ -64,6 +69,129 @@ class TestRemappedMapping:
         ) + 3
 
 
+class TestFaultParsing:
+    def test_static_spec_gives_model(self):
+        faults = parse_faults("slow=3:2,failed=5")
+        assert isinstance(faults, FaultModel)
+        assert faults.slow == {3: 2} and faults.failed == frozenset({5})
+
+    def test_timed_spec_gives_schedule(self):
+        faults = parse_faults("fail=3@50:400,slow=7:4@100:300,drop=0.02@0:600,seed=9")
+        assert isinstance(faults, FaultSchedule)
+        assert faults.seed == 9
+        assert faults.ever_failed == frozenset({3})
+        kinds = sorted(w.kind for w in faults.windows)
+        assert kinds == ["drop", "fail", "slow"]
+
+    def test_schedule_rejects_overlapping_windows(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultSchedule(
+                [
+                    FaultWindow("fail", 3, 10, 50),
+                    FaultWindow("fail", 3, 40, 90),
+                ]
+            )
+        # same span on *different* modules is fine
+        FaultSchedule(
+            [FaultWindow("fail", 3, 10, 50), FaultWindow("fail", 4, 10, 50)]
+        )
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow("explode", 0, 0)
+        with pytest.raises(ValueError):
+            FaultWindow("fail", 0, 10, 10)  # empty window
+        with pytest.raises(ValueError):
+            FaultWindow("slow", 0, 0, latency=1)  # not a slowdown
+        with pytest.raises(ValueError):
+            FaultWindow("drop", 0, 0, drop_prob=0.0)
+        assert FaultWindow("drop", 7, 0, drop_prob=0.5).module == -1
+
+    def test_transitions_sorted(self):
+        sched = FaultSchedule.parse("fail=3@50:400,slow=7:4@100:300")
+        edges = [(c, e) for c, e, _ in sched.transitions()]
+        assert edges == [(50, "start"), (100, "start"), (300, "end"), (400, "end")]
+        assert sched.failed_at(60) == frozenset({3})
+        assert sched.failed_at(400) == frozenset()
+
+    def test_model_and_schedule_json_round_trip(self):
+        model = FaultModel(slow={3: 2}, failed={5})
+        assert FaultModel.from_json(model.to_json()).to_json() == model.to_json()
+        sched = FaultSchedule.parse("fail=3@50:400,drop=0.02@0:600,seed=9")
+        again = FaultSchedule.from_json(sched.to_json())
+        assert again.to_json() == sched.to_json()
+        assert again.seed == 9
+
+    def test_from_model_lifts_to_open_windows(self):
+        sched = FaultSchedule.from_model(FaultModel(slow={3: 2}, failed={5}))
+        assert sched.ever_failed == frozenset({5})
+        assert all(w.start == 0 and w.end is None for w in sched.windows)
+
+
+class TestColorRepairMapping:
+    def test_no_nodes_left_on_dead_modules(self, tree12):
+        base = ColorMapping.max_parallelism(tree12, 4)
+        repaired = ColorRepairMapping(base, frozenset({0, 3}))
+        colors = repaired.color_array()
+        assert 0 not in colors and 3 not in colors
+        repaired.validate()
+
+    def test_survivor_nodes_untouched(self, tree12):
+        base = ColorMapping.max_parallelism(tree12, 4)
+        repaired = ColorRepairMapping(base, frozenset({2}))
+        base_colors = base.color_array()
+        keep = base_colors != 2
+        assert np.array_equal(repaired.color_array()[keep], base_colors[keep])
+
+    def test_strictly_beats_oblivious_remap(self, tree12):
+        base = ColorMapping.max_parallelism(tree12, 4)
+        for failed in ({2}, {0, 7}, {5, 9, 13}):
+            comp = repair_comparison(base, failed)
+            assert comp["repair"]["total"] < comp["oblivious"]["total"], comp
+            assert comp["intact"]["total"] == 0
+
+
+class TestFaultSchedule:
+    def test_pipelined_run_applies_and_replays_windows(self, tree12):
+        from repro.bench.workloads import heap_workload
+        from repro.obs import EventRecorder
+
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        trace = heap_workload(tree12, ops=120)
+        rec = EventRecorder()
+        pms = ParallelMemorySystem(mapping, recorder=rec)
+        pms.attach_faults(
+            FaultSchedule.parse("fail=3@20:200,drop=0.05@0:300,seed=5")
+        )
+        first = pms.run_trace(trace, pipelined=True)
+        dropped_first = pms.dropped
+        assert dropped_first > 0
+        kinds = [e["ev"] for e in rec.events]
+        assert kinds.count("fault_inject") == 2
+        assert kinds.count("fault_recover") >= 1
+        # reset re-arms the schedule and re-seeds the drop lottery
+        pms.reset()
+        assert pms.dropped == 0
+        assert not pms.modules[3].failed
+        second = pms.run_trace(trace, pipelined=True)
+        assert second.total_cycles == first.total_cycles
+        assert pms.dropped == dropped_first
+
+    def test_forever_dead_module_raises_instead_of_spinning(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        pms = ParallelMemorySystem(mapping)
+        pms.attach_faults(FaultSchedule.parse("fail=3@0"))
+        nodes = np.flatnonzero(mapping.color_array() == 3)[:4]
+        with pytest.raises(RuntimeError, match="fail"):
+            pms.access(nodes)
+
+    def test_schedule_validated_on_attach(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        pms = ParallelMemorySystem(mapping)
+        with pytest.raises(ValueError):
+            pms.attach_faults(FaultSchedule.parse("fail=99@0:10"))
+
+
 class TestApplyFaults:
     def test_slow_module_stretches_cycles(self, tree12):
         mapping = ColorMapping.max_parallelism(tree12, 4)
@@ -87,6 +215,30 @@ class TestApplyFaults:
         mapping = ModuloMapping(tree12, 9)
         with pytest.raises(ValueError):
             apply_faults(mapping, FaultModel(failed={20}))
+
+    def test_slow_override_survives_reset(self, tree12):
+        """Regression: reset() restores per-module latency to its *base*
+        value, so a static slow fault must install its override as the base
+        latency or a reused system silently heals between runs."""
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        nodes = PTemplate(11).instance_at(tree12, 40).nodes
+        slow_module = int(mapping.colors_of(nodes)[0])
+        pms = apply_faults(mapping, FaultModel(slow={slow_module: 6}))
+        first = pms.access(nodes).cycles
+        pms.reset()
+        assert pms.modules[slow_module].latency == 6
+        assert pms.access(nodes).cycles == first
+
+    def test_color_repair_mode(self, tree12):
+        mapping = ColorMapping.max_parallelism(tree12, 4)
+        pms = apply_faults(mapping, FaultModel(failed={0}), repair="color")
+        assert isinstance(pms.mapping, ColorRepairMapping)
+        nodes = STemplate(15).instance_at(tree12, 7).nodes
+        result = pms.access(nodes)
+        assert result.module_counts.sum() == nodes.size
+        assert result.module_counts[0] == 0
+        with pytest.raises(ValueError):
+            apply_faults(mapping, FaultModel(failed={0}), repair="hope")
 
     def test_quantified_degradation_under_faults(self, tree12):
         """Heap workload: one dead module costs extra cycles but not collapse."""

@@ -105,6 +105,23 @@ class TestDegrade:
         inst = TemplateInstance(kind="trace", nodes=np.array([1, 2, 3]))
         assert degrade_instance(inst) is None
 
+    def test_composite_with_one_nondegradable_component_gives_none(self, tree):
+        """A composite whose only remaining component is a single node has
+        nowhere left to shrink; the ladder must see None, not a crash."""
+        comp = make_composite([PTemplate(1).instance_at(tree, 0)])
+        assert degrade_instance(comp) is None
+
+    def test_subtree_chain_preserves_complete_sizes(self, tree):
+        """Every degradation step keeps the subtree complete: sizes walk
+        down the 2**x - 1 ladder until a single node, then None."""
+        inst = STemplate(15).instance_at(tree, 0)
+        sizes = []
+        while inst is not None:
+            sizes.append(inst.size)
+            assert (inst.size + 1) & inst.size == 0  # size is 2**x - 1
+            inst = degrade_instance(inst)
+        assert sizes == [15, 7, 3, 1]
+
 
 class TestAdmissionQueue:
     def test_validation(self):
