@@ -899,6 +899,131 @@ def e19_resilience(scale: str = "full") -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E20 — durability: crash recovery is deterministic and exactly-once
+# ---------------------------------------------------------------------------
+
+
+def e20_durability(scale: str = "full") -> ExperimentResult:
+    """Crash/recovery sweep: recovered runs equal uninterrupted ones."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.memory import FaultSchedule
+    from repro.obs import EventRecorder
+    from repro.serve import (
+        CrashPlan,
+        PoissonClient,
+        ServeEngine,
+        ServeJournal,
+        TemplateMix,
+        assert_equivalent,
+        journal_accounting,
+        run_with_recovery,
+    )
+
+    result = ExperimentResult(
+        exp_id="E20",
+        title="Crash-consistent serving: checkpoint/restore + journal replay",
+        claim="for every crash cycle in the sweep — including mid-batch, "
+        "mid-checkpoint (torn snapshot) and torn-journal crashes — restarting "
+        "from the latest valid snapshot and replaying the write-ahead journal "
+        "reproduces the uninterrupted seeded run's report and telemetry "
+        "stream exactly, with zero lost and zero double-retired requests, "
+        "and checkpointing every 100 cycles costs under 35% of serving wall "
+        "time in the production (telemetry-off) configuration",
+        columns=["mode", "crash@", "replayed", "snapshots", "equal",
+                 "lost", "dup-retired"],
+        notes="10-level tree, COLOR (M=7), fail/slow/drop schedule active "
+        "across the crash points, repair=color with the retry ladder on; "
+        "checkpoints every 100 cycles, journal verified during replay",
+    )
+    tree = CompleteBinaryTree(10)
+    mapping = ColorMapping.for_modules(tree, 7)
+    cycles = 600
+    spec = (
+        "fail=2@100:260,slow=4:3@150:450,"
+        + ("fail=5@350:520," if _full(scale) else "")
+        + f"drop=0.05@50:{cycles},seed=5"
+    )
+    mix_spec = "subtree:7=2,path:6=1,level:4=1"
+
+    def factory(recorded: bool = True):
+        recorder = EventRecorder() if recorded else None
+        system = ParallelMemorySystem(mapping, recorder=recorder)
+        system.attach_faults(FaultSchedule.parse(spec))
+        engine = ServeEngine(
+            system,
+            policy="greedy-pack",
+            retry_timeout=40,
+            repair="color",
+            queue_capacity=128,
+        )
+        clients = [
+            PoissonClient(i, mix, 0.06, seed=100 + i) for i in range(3)
+        ]
+        return engine, clients
+
+    mix = TemplateMix.parse(tree, mix_spec)
+    engine, clients = factory()
+    baseline = engine.run(clients, max_cycles=cycles, drain_limit=50_000)
+    base_events = list(engine.system.recorder.events)
+
+    crash_cycles = (1, 137, 300, 455, 599) if _full(scale) else (137, 300)
+    modes = (
+        ("instant", "mid_checkpoint", "torn_journal")
+        if _full(scale)
+        else ("instant", "torn_journal")
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in modes:
+            for at in crash_cycles:
+                state_dir = Path(tmp) / f"{mode}-{at}"
+                outcome = run_with_recovery(
+                    factory,
+                    state_dir,
+                    cycles,
+                    drain_limit=50_000,
+                    checkpoint_every=100,
+                    crash_plan=CrashPlan(at_cycle=at, mode=mode),
+                )
+                result.require(outcome.crashed)
+                assert_equivalent(
+                    (baseline, base_events),
+                    (
+                        outcome.report,
+                        list(outcome.server.engine.system.recorder.events),
+                    ),
+                )
+                journal = ServeJournal.recover(state_dir / "journal.jsonl")
+                acct = journal_accounting(journal.records)
+                journal.close()
+                result.require(not acct["lost"])
+                result.require(not acct["double_retired"])
+                result.add_row(
+                    mode, at, outcome.server.replayed_records,
+                    outcome.server.checkpoints_written, "yes",
+                    len(acct["lost"]), len(acct["double_retired"]),
+                )
+        # checkpoint overhead in the production configuration: without the
+        # obs recorder a snapshot is small serving state, not a telemetry
+        # buffer, so this is the number a deployment would see
+        from repro.serve import DurableServer
+
+        engine, clients = factory(recorded=False)
+        server = DurableServer(
+            engine, clients, Path(tmp) / "overhead", checkpoint_every=100
+        )
+        server.serve(cycles, drain_limit=50_000)
+        overhead = server.checkpoint_overhead
+    result.add_row(
+        "checkpoint overhead", "-", "-", server.checkpoints_written,
+        f"{overhead:.1%} of wall", "-", "-",
+    )
+    result.require(0.0 < overhead < 0.35)
+    return result
+
+
 EXPERIMENTS = {
     "E1": e01_cf_elementary,
     "E2": e02_lower_bound,
@@ -919,6 +1044,7 @@ EXPERIMENTS = {
     "E17": e17_criteria_matrix,
     "E18": e18_online_serving,
     "E19": e19_resilience,
+    "E20": e20_durability,
 }
 
 

@@ -12,7 +12,11 @@ CLI under ``python -m repro.bench``):
   static or timed module faults);
 * ``pmtree serve``    — serve an online request stream with conflict-aware
   composite batching (see :mod:`repro.serve`); ``--faults`` plus
-  ``--repair``/``--retry-timeout`` exercise the resilience ladder;
+  ``--repair``/``--retry-timeout`` exercise the resilience ladder, and
+  ``--state-dir``/``--checkpoint-every`` make the run durable (checkpoints
+  plus a write-ahead journal; ``--crash-at`` simulates a kill, exit 9);
+* ``pmtree recover``  — resume a crashed durable serve run from its latest
+  valid snapshot, replaying and verifying the journal;
 * ``pmtree obs``      — telemetry tooling: ``record`` / ``report`` /
   ``diff`` (regression gate) / ``export`` (Chrome trace).
 """
@@ -204,7 +208,45 @@ def cmd_simulate(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+#: args that fully determine a serving setup; persisted to the state dir's
+#: config.json so ``pmtree recover`` can rebuild the exact engine + clients
+_SERVE_CONFIG_KEYS = (
+    "levels",
+    "modules",
+    "mapping",
+    "policy",
+    "traffic",
+    "arrival_rate",
+    "clients",
+    "cycles",
+    "workload",
+    "queue_capacity",
+    "admission",
+    "batch_components",
+    "deadline",
+    "think_time",
+    "seed",
+    "obs",
+    "faults",
+    "repair",
+    "retry_timeout",
+    "max_retries",
+    "backoff_base",
+    "backoff_cap",
+    "checkpoint_every",
+)
+
+
+def _serve_config(args) -> dict:
+    return {key: getattr(args, key, None) for key in _SERVE_CONFIG_KEYS}
+
+
+def _build_serve(config: dict):
+    """Build ``(engine, clients, recorder)`` from a serve config dict.
+
+    Deliberately a pure function of the config: calling it twice yields two
+    identically configured setups, which is exactly what crash recovery
+    needs to restart "the process"."""
     from repro.memory import FaultSchedule
     from repro.obs import EventRecorder
     from repro.serve import (
@@ -215,57 +257,135 @@ def cmd_serve(args) -> int:
         TemplateMix,
     )
 
-    if args.mapping:
-        mapping = load_mapping(args.mapping)
+    if config["mapping"]:
+        mapping = load_mapping(config["mapping"])
         tree = mapping.tree
     else:
-        tree = CompleteBinaryTree(args.levels)
-        mapping = ColorMapping.for_modules(tree, args.modules)
-    mix = TemplateMix.parse(tree, args.workload)
-    recorder = EventRecorder() if args.obs else None
+        tree = CompleteBinaryTree(config["levels"])
+        mapping = ColorMapping.for_modules(tree, config["modules"])
+    mix = TemplateMix.parse(tree, config["workload"])
+    recorder = EventRecorder() if config["obs"] else None
     pms = ParallelMemorySystem(mapping, recorder=recorder)
-    if args.faults:
-        faults = _resolve_faults(args.faults)
+    if config["faults"]:
+        faults = _resolve_faults(config["faults"])
         if not isinstance(faults, FaultSchedule):
             # serving is cycle-driven: lift a static model to open windows
             faults = FaultSchedule.from_model(faults)
         pms.attach_faults(faults)
     engine = ServeEngine(
         pms,
-        policy=args.policy,
-        queue_capacity=args.queue_capacity,
-        admission=args.admission,
-        max_batch_components=args.batch_components,
-        deadline=args.deadline,
-        retry_timeout=args.retry_timeout,
-        max_retries=args.max_retries,
-        backoff_base=args.backoff_base,
-        backoff_cap=args.backoff_cap,
-        repair=args.repair,
+        policy=config["policy"],
+        queue_capacity=config["queue_capacity"],
+        admission=config["admission"],
+        max_batch_components=config["batch_components"],
+        deadline=config["deadline"],
+        retry_timeout=config["retry_timeout"],
+        max_retries=config["max_retries"],
+        backoff_base=config["backoff_base"],
+        backoff_cap=config["backoff_cap"],
+        repair=config["repair"],
     )
-    per_client = args.arrival_rate / args.clients
+    per_client = config["arrival_rate"] / config["clients"]
+    seed = config["seed"]
     clients = []
-    for i in range(args.clients):
-        if args.traffic == "poisson":
-            clients.append(PoissonClient(i, mix, per_client, seed=args.seed + i))
-        elif args.traffic == "bursty":
-            clients.append(BurstyClient(i, mix, per_client, seed=args.seed + i))
+    for i in range(config["clients"]):
+        if config["traffic"] == "poisson":
+            clients.append(PoissonClient(i, mix, per_client, seed=seed + i))
+        elif config["traffic"] == "bursty":
+            clients.append(BurstyClient(i, mix, per_client, seed=seed + i))
         else:
             clients.append(
                 ClosedLoopClient(
                     i,
                     mix,
-                    think_time=args.think_time,
-                    seed=args.seed + i,
+                    think_time=config["think_time"],
+                    seed=seed + i,
                 )
             )
-    report = engine.run(clients, max_cycles=args.cycles)
+    return engine, clients, recorder
+
+
+def _finish_serve(report, recorder, obs_path) -> int:
     print(report)
     if recorder is not None:
         recorder.set_meta(mode="serve")
-        path = recorder.save(args.obs)
+        path = recorder.save(obs_path)
         print(f"wrote telemetry ({len(recorder.events)} events) to {path}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    import json as _json
+
+    config = _serve_config(args)
+    engine, clients, recorder = _build_serve(config)
+    if not args.state_dir:
+        if args.crash_at is not None:
+            raise SystemExit("--crash-at requires --state-dir")
+        report = engine.run(clients, max_cycles=args.cycles)
+        return _finish_serve(report, recorder, args.obs)
+
+    from pathlib import Path
+
+    from repro.serve import CrashPlan, DurableServer, SimulatedCrash
+
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    (state_dir / "config.json").write_text(_json.dumps(config, indent=2) + "\n")
+    crash_plan = (
+        CrashPlan(at_cycle=args.crash_at, mode=args.crash_mode)
+        if args.crash_at is not None
+        else None
+    )
+    server = DurableServer(
+        engine,
+        clients,
+        state_dir,
+        checkpoint_every=args.checkpoint_every,
+        crash_plan=crash_plan,
+    )
+    try:
+        report = server.serve(args.cycles)
+    except SimulatedCrash as crash:
+        print(f"crashed: {crash}")
+        print(f"state dir {state_dir} holds the journal and snapshots;")
+        print(f"resume with: pmtree recover --state-dir {state_dir}")
+        return 9
+    print(
+        f"durable run: {server.checkpoints_written} checkpoints, "
+        f"overhead {server.checkpoint_overhead:.1%} of wall time"
+    )
+    return _finish_serve(report, recorder, args.obs)
+
+
+def cmd_recover(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.serve import DurableServer
+
+    state_dir = Path(args.state_dir)
+    config_path = state_dir / "config.json"
+    if not config_path.exists():
+        raise SystemExit(
+            f"{state_dir} has no config.json — was this run started with "
+            f"'pmtree serve --state-dir'?"
+        )
+    config = _json.loads(config_path.read_text())
+    engine, clients, recorder = _build_serve(config)
+    server = DurableServer(
+        engine,
+        clients,
+        state_dir,
+        checkpoint_every=config.get("checkpoint_every") or 100,
+    )
+    report = server.recover()
+    print(
+        f"recovered: replayed {server.replayed_records} journal records, "
+        f"{server.checkpoints_written} new checkpoints"
+    )
+    obs_path = args.obs or config.get("obs")
+    return _finish_serve(report, recorder, obs_path)
 
 
 def cmd_obs_record(args) -> int:
@@ -451,7 +571,45 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backoff-cap", type=int, default=128, help="max retry backoff (cycles)"
     )
+    serve.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        help="durable run: write checkpoints + a write-ahead journal here "
+        "(resumable with 'pmtree recover' after a crash)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        help="cycles between checkpoints (with --state-dir)",
+    )
+    serve.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="crash harness: kill the run at this cycle (exit code 9)",
+    )
+    serve.add_argument(
+        "--crash-mode",
+        choices=["instant", "mid_checkpoint", "torn_journal"],
+        default="instant",
+        help="what the simulated crash leaves behind",
+    )
     serve.set_defaults(fn=cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="resume a crashed 'serve --state-dir' run to completion",
+    )
+    recover.add_argument(
+        "--state-dir", required=True, metavar="DIR", help="durable run state dir"
+    )
+    recover.add_argument(
+        "--obs",
+        metavar="PATH",
+        help="override the telemetry artifact path from the original run",
+    )
+    recover.set_defaults(fn=cmd_recover)
 
     obs = sub.add_parser("obs", help="telemetry: record / report / diff / export")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

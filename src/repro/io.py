@@ -10,12 +10,21 @@ Fault specs — both static :class:`~repro.memory.faults.FaultModel`
 snapshots and timed :class:`~repro.memory.faults.FaultSchedule` scripts —
 round-trip through JSON via :func:`save_faults` / :func:`load_faults`, so a
 chaos scenario exercised locally can be replayed byte-identically in CI or
-on another machine.
+on another machine.  A live schedule's advancement state (cursor + drop
+lottery) rides along, so a spec saved mid-run resumes mid-window.
+
+Serving-state snapshots (:mod:`repro.serve.durability`) persist through
+:func:`save_snapshot` / :func:`load_snapshot`: one JSON document carrying a
+CRC-32 over the canonical payload encoding, written atomically
+(temp-file + rename) so a crash mid-write never leaves a file that loads as
+valid but truncated state.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -28,8 +37,10 @@ __all__ = [
     "FrozenMapping",
     "load_faults",
     "load_mapping",
+    "load_snapshot",
     "save_faults",
     "save_mapping",
+    "save_snapshot",
 ]
 
 _FORMAT_VERSION = 1
@@ -144,3 +155,56 @@ def load_faults(path: str | Path) -> FaultModel | FaultSchedule:
     if kind == "fault_schedule":
         return FaultSchedule.from_json(payload)
     raise ValueError(f"{path} is not a saved fault spec: type={kind!r}")
+
+
+def _canonical(payload: dict) -> bytes:
+    """Canonical JSON encoding (sorted keys, no whitespace) for checksums."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def save_snapshot(payload: dict, path: str | Path) -> Path:
+    """Write ``payload`` as a checksummed snapshot document, atomically.
+
+    The document wraps the payload with a format version and a CRC-32 over
+    its canonical encoding; :func:`load_snapshot` refuses anything torn or
+    bit-flipped.  The write goes to a temp file in the same directory and
+    is renamed into place, so a crash mid-write leaves either the old
+    snapshot or none — never a half-written one at the final path.
+    """
+    path = Path(path)
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "type": "engine_snapshot",
+        "crc": zlib.crc32(_canonical(payload)),
+        "payload": payload,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read a snapshot written by :func:`save_snapshot`, verifying its CRC.
+
+    Raises :class:`ValueError` for anything that is not a complete, intact
+    snapshot document — torn JSON, wrong type/version, checksum mismatch —
+    so recovery can skip a corrupt snapshot and fall back to an older one.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not a complete snapshot: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("type") != "engine_snapshot":
+        raise ValueError(f"{path} is not a snapshot document")
+    if doc.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot format {doc.get('format_version')!r} in {path}"
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} carries no snapshot payload")
+    if zlib.crc32(_canonical(payload)) != doc.get("crc"):
+        raise ValueError(f"{path} failed its checksum (torn or corrupted write)")
+    return payload

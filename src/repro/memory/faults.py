@@ -192,6 +192,10 @@ class FaultSchedule:
     def __init__(self, windows, seed: int = 0):
         self.windows: tuple[FaultWindow, ...] = tuple(windows)
         self.seed = seed
+        #: transitions already applied by an attached system (runtime state;
+        #: advances as the system's clock passes window edges)
+        self.cursor = 0
+        self._rng: np.random.Generator | None = None
         by_module: dict[tuple[str, int], list[FaultWindow]] = {}
         for w in self.windows:
             by_module.setdefault((w.kind, w.module), []).append(w)
@@ -203,6 +207,43 @@ class FaultSchedule:
                         f"overlapping {kind} windows for module {module}: "
                         f"[{a.start}, {a.end}) and [{b.start}, {b.end})"
                     )
+
+    # -- runtime (advancement) state -------------------------------------------
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The drop-lottery generator, created lazily from ``seed``.
+
+        The schedule — not the attached system — owns the lottery, so its
+        position travels with the schedule through :meth:`runtime_state` /
+        :func:`repro.io.save_faults` and a restored schedule resumes its
+        drop sequence exactly where it left off.
+        """
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
+        return self._rng
+
+    def rewind(self) -> None:
+        """Re-arm from cycle 0: cursor to the first edge, lottery re-seeded."""
+        self.cursor = 0
+        self._rng = np.random.default_rng(self.seed)
+
+    def runtime_state(self) -> dict:
+        """JSON-serializable advancement state (cursor + lottery position)."""
+        return {"cursor": self.cursor, "rng": self.rng.bit_generator.state}
+
+    def restore_runtime(self, state: dict) -> None:
+        """Resume from a :meth:`runtime_state` capture."""
+        cursor = int(state["cursor"])
+        num_edges = len(self.transitions())
+        if not 0 <= cursor <= num_edges:
+            raise ValueError(
+                f"cursor {cursor} out of range for a schedule with "
+                f"{num_edges} transitions"
+            )
+        self.cursor = cursor
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = state["rng"]
 
     def validate_against(self, num_modules: int) -> None:
         bad = sorted(
@@ -302,20 +343,27 @@ class FaultSchedule:
         return cls(windows, seed=seed)
 
     def to_json(self) -> dict:
+        """Serialize the schedule *including* its advancement state, so a
+        schedule saved mid-run resumes mid-window after a round-trip."""
         return {
             "type": "fault_schedule",
             "seed": self.seed,
             "windows": [w.to_json() for w in self.windows],
+            "runtime": self.runtime_state(),
         }
 
     @classmethod
     def from_json(cls, payload: dict) -> "FaultSchedule":
         if payload.get("type") != "fault_schedule":
             raise ValueError(f"not a fault schedule payload: {payload.get('type')!r}")
-        return cls(
+        schedule = cls(
             [FaultWindow.from_json(w) for w in payload.get("windows", [])],
             seed=int(payload.get("seed", 0)),
         )
+        runtime = payload.get("runtime")
+        if runtime is not None:
+            schedule.restore_runtime(runtime)
+        return schedule
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FaultSchedule({len(self.windows)} windows, seed={self.seed})"

@@ -18,6 +18,8 @@ Two replay modes:
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.core.mapping import TreeMapping
@@ -94,13 +96,24 @@ class ParallelMemorySystem:
         serving) passes their edges; :meth:`reset` re-arms the schedule
         from cycle 0.  Each applied edge emits a ``fault_inject`` /
         ``fault_recover`` event when a recorder is enabled.
+
+        A schedule whose :attr:`~repro.memory.faults.FaultSchedule.cursor`
+        has already advanced (restored via :func:`repro.io.load_faults` or
+        :meth:`~repro.memory.faults.FaultSchedule.restore_runtime`) resumes
+        mid-window: the effects of the already-applied transitions are
+        installed silently (no telemetry — those events were emitted by the
+        original run) and stepping continues from the cursor.
         """
         schedule.validate_against(self.num_modules)
         self._fault_schedule = schedule
         self._fault_transitions = schedule.transitions()
-        self._fault_idx = 0
         self._drop_prob = 0.0
-        self._drop_rng = np.random.default_rng(schedule.seed)
+        # the schedule owns the drop lottery so its position survives
+        # save/restore round-trips; the system just draws from it
+        self._drop_rng = schedule.rng
+        self._fault_idx = schedule.cursor
+        for _, edge, window in self._fault_transitions[: self._fault_idx]:
+            self._apply_transition_effect(window, edge == "start")
         if self.recorder.enabled:
             self.recorder.set_meta(
                 fault_windows=len(schedule.windows), fault_seed=schedule.seed
@@ -115,6 +128,19 @@ class ParallelMemorySystem:
         return frozenset(
             mod.module_id for mod in self.modules if mod.failed
         )
+
+    def _apply_transition_effect(self, window, starting: bool) -> None:
+        """Install one fault edge's effect on the array (no telemetry)."""
+        if window.kind == "fail":
+            self.modules[window.module].failed = starting
+        elif window.kind == "slow":
+            mod = self.modules[window.module]
+            if starting:
+                mod.latency = window.latency
+            else:
+                mod.restore_latency()
+        else:  # drop
+            self._drop_prob = window.drop_prob if starting else 0.0
 
     def advance_faults(self, now: int, emit_cycle: int | None = None) -> None:
         """Apply every scheduled fault edge with ``cycle <= now``.
@@ -134,16 +160,7 @@ class ParallelMemorySystem:
                 break
             self._fault_idx += 1
             starting = edge == "start"
-            if window.kind == "fail":
-                self.modules[window.module].failed = starting
-            elif window.kind == "slow":
-                mod = self.modules[window.module]
-                if starting:
-                    mod.latency = window.latency
-                else:
-                    mod.restore_latency()
-            else:  # drop
-                self._drop_prob = window.drop_prob if starting else 0.0
+            self._apply_transition_effect(window, starting)
             if rec.enabled:
                 fields = {"cycle": stamp, "kind": window.kind}
                 if window.kind == "drop":
@@ -153,6 +170,7 @@ class ParallelMemorySystem:
                 if window.kind == "slow":
                     fields["latency"] = window.latency
                 rec.event("fault_inject" if starting else "fault_recover", **fields)
+        self._fault_schedule.cursor = self._fault_idx
 
     def _faults_pending_after(self, now: int) -> bool:
         """Whether the schedule still holds edges strictly after ``now``."""
@@ -504,7 +522,94 @@ class ParallelMemorySystem:
         self._drop_prob = 0.0
         self.dropped = 0
         if self._fault_schedule is not None:
-            self._drop_rng = np.random.default_rng(self._fault_schedule.seed)
+            self._fault_schedule.rewind()
+            self._drop_rng = self._fault_schedule.rng
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Full JSON-serializable runtime state (see :mod:`repro.serve.durability`).
+
+        Captures the lifetime ``clock``, per-module queues and port clocks,
+        fault-schedule advancement, and the drop-lottery RNG position — i.e.
+        everything :meth:`reset` would wipe — so :meth:`restore_state` can
+        resume the array mid-run with fault windows still firing at the same
+        absolute cycles.
+        """
+
+        def tag_json(tag):
+            return list(tag) if isinstance(tag, tuple) else tag
+
+        return {
+            "clock": self.clock,
+            "rr_start": self._rr_start,
+            "access_index": self._access_index,
+            "dropped": self.dropped,
+            "drop_prob": self._drop_prob,
+            "modules": [
+                {
+                    "queue": [[tag_json(tag), addr] for tag, addr in mod.queue],
+                    "served": mod.served,
+                    "busy_cycles": mod.busy_cycles,
+                    "max_queue_depth": mod.max_queue_depth,
+                    "failed": mod.failed,
+                    "latency": mod.latency,
+                    "base_latency": mod.base_latency,
+                    "port_free": list(mod._port_free),
+                }
+                for mod in self.modules
+            ],
+            "faults": (
+                self._fault_schedule.runtime_state()
+                if self._fault_schedule is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from a :meth:`snapshot_state` capture.
+
+        Unlike :meth:`reset`, restore preserves *absolute* time: the
+        lifetime ``clock``, each module's port clocks (``_port_free``) and
+        the fault cursor come back exactly, so a schedule attached before
+        the snapshot keeps injecting at the cycles it would have anyway.
+        """
+
+        def tag_py(tag):
+            return tuple(tag) if isinstance(tag, list) else tag
+
+        module_states = state["modules"]
+        if len(module_states) != self.num_modules:
+            raise ValueError(
+                f"snapshot has {len(module_states)} modules, "
+                f"system has {self.num_modules}"
+            )
+        self.clock = int(state["clock"])
+        self._rr_start = int(state["rr_start"])
+        self._access_index = int(state["access_index"])
+        self.dropped = int(state["dropped"])
+        self._drop_prob = float(state["drop_prob"])
+        for mod, mod_state in zip(self.modules, module_states):
+            mod.queue = deque(
+                (tag_py(tag), int(addr)) for tag, addr in mod_state["queue"]
+            )
+            mod.served = int(mod_state["served"])
+            mod.busy_cycles = int(mod_state["busy_cycles"])
+            mod.max_queue_depth = int(mod_state["max_queue_depth"])
+            mod.failed = bool(mod_state["failed"])
+            mod.latency = int(mod_state["latency"])
+            mod.base_latency = int(mod_state["base_latency"])
+            mod._port_free = [int(v) for v in mod_state["port_free"]]
+        fault_state = state.get("faults")
+        if fault_state is not None:
+            if self._fault_schedule is None:
+                raise ValueError(
+                    "snapshot carries fault-schedule state but no schedule "
+                    "is attached; attach_faults() the same schedule first"
+                )
+            self._fault_schedule.restore_runtime(fault_state)
+            self._fault_idx = self._fault_schedule.cursor
+            self._drop_rng = self._fault_schedule.rng
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -42,6 +42,19 @@ resilience ladder add:
     allows) its re-dispatch was scheduled for cycle ``retry_at``
     (``degraded=True`` when the template was shrunk first).
 
+The durability layer (:mod:`repro.serve.durability`) adds three
+*control-plane* kinds, excluded from run-equivalence comparison:
+
+``checkpoint``
+    a snapshot of the serving state was written (``cycle``, journal
+    ``seqno`` it covers);
+``restore``
+    a run resumed from a snapshot (``cycle`` restored to, ``snapshot``
+    cycle used, ``None`` for a cold journal-only start);
+``journal_replay``
+    recovery finished re-verifying the journalled records between the
+    snapshot and the crash point (``records`` replayed).
+
 Artifacts are JSON-lines: a ``meta`` header line, one line per event, and a
 final ``metrics`` line with the registry snapshot.  :func:`to_chrome_trace`
 converts an artifact to the Chrome ``chrome://tracing`` / Perfetto format.
@@ -123,6 +136,14 @@ class EventRecorder(NullRecorder):
         if self.access_index >= 0 and "access" not in fields:
             fields["access"] = self.access_index
         self.events.append(fields)
+        self._update_metrics(ev, fields)
+
+    def _update_metrics(self, ev: str, fields: dict) -> None:
+        """Fold one event into the registry.
+
+        Metrics are updated *only* here, so :meth:`load_state` can rebuild
+        the registry exactly by replaying the restored event list.
+        """
         self.metrics.counter(f"events.{ev}").inc()
         if ev == "queue_depth":
             self.metrics.histogram("queue_depth").observe(fields["depth"])
@@ -139,6 +160,34 @@ class EventRecorder(NullRecorder):
 
     def set_meta(self, **fields) -> None:
         self.meta.update(fields)
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable capture of the buffered events and clock state."""
+        return {
+            "events": [dict(event) for event in self.events],
+            "meta": dict(self.meta),
+            "clock_offset": self.clock_offset,
+            "access_index": self.access_index,
+            "access_label": self._access_label,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Resume from a :meth:`state_dict` capture.
+
+        The metrics registry is rebuilt by replaying the restored events
+        through the same update logic that built it live, so restored
+        metrics equal the originals without being serialized separately.
+        """
+        self.events = [dict(event) for event in state["events"]]
+        self.meta = dict(state["meta"])
+        self.clock_offset = int(state["clock_offset"])
+        self.access_index = int(state["access_index"])
+        self._access_label = state["access_label"]
+        self.metrics = MetricsRegistry()
+        for event in self.events:
+            self._update_metrics(event["ev"], event)
 
     # -- export ---------------------------------------------------------------
 

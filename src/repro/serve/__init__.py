@@ -18,9 +18,17 @@ conflicts under COLOR) turned into an online batching engine:
   remapping (``repair="oblivious" | "color"``) for runs under a
   :class:`~repro.memory.faults.FaultSchedule`;
 * :mod:`repro.serve.slo` — sojourn percentiles, goodput, shed and
-  deadline-miss accounting.
+  deadline-miss accounting;
+* :mod:`repro.serve.durability` — crash consistency: versioned
+  :class:`EngineSnapshot` checkpoints, an append-only
+  :class:`ServeJournal` write-ahead log, and a crash harness
+  (:class:`CrashPlan` / :class:`DurableServer` /
+  :func:`run_with_recovery`) that proves recovery is deterministic and
+  exactly-once.
 
-CLI: ``pmtree serve --levels 11 --modules 15 --policy greedy-pack ...``.
+CLI: ``pmtree serve --levels 11 --modules 15 --policy greedy-pack ...``
+(add ``--state-dir/--checkpoint-every`` for durable runs, then
+``pmtree recover`` after a crash).
 """
 
 from repro.serve.batching import (
@@ -42,11 +50,28 @@ from repro.serve.clients import (
     TemplateMix,
     TraceClient,
 )
+from repro.serve.durability import (
+    CONTROL_EVENTS,
+    CrashPlan,
+    DurabilityError,
+    DurableServer,
+    EngineSnapshot,
+    JournalError,
+    RecoveryResult,
+    ServeJournal,
+    SimulatedCrash,
+    assert_equivalent,
+    diff_reports,
+    filter_control,
+    journal_accounting,
+    run_with_recovery,
+)
 from repro.serve.engine import REPAIR_MODES, ServeEngine
 from repro.serve.request import AdmissionQueue, Request, degrade_instance
 from repro.serve.slo import ServeReport, SLOTracker
 
 __all__ = [
+    "CONTROL_EVENTS",
     "POLICIES",
     "AdmissionQueue",
     "Batch",
@@ -54,19 +79,32 @@ __all__ = [
     "BurstyClient",
     "Client",
     "ClosedLoopClient",
+    "CrashPlan",
+    "DurabilityError",
+    "DurableServer",
+    "EngineSnapshot",
     "FifoPolicy",
     "GreedyPackPolicy",
+    "JournalError",
     "LoadAwarePolicy",
     "MixEntry",
     "PoissonClient",
     "REPAIR_MODES",
+    "RecoveryResult",
     "Request",
     "SLOTracker",
     "ServeEngine",
+    "ServeJournal",
     "ServeReport",
+    "SimulatedCrash",
     "TemplateMix",
     "TraceClient",
+    "assert_equivalent",
     "batch_conflict_bound",
     "degrade_instance",
+    "diff_reports",
+    "filter_control",
+    "journal_accounting",
     "make_policy",
+    "run_with_recovery",
 ]

@@ -142,7 +142,14 @@ def _elementary_family(kind: str, size: int) -> TemplateFamily:
 class Client(abc.ABC):
     """A traffic source.  ``poll`` is called once per cycle while the run is
     accepting arrivals; ``notify``/``notify_shed`` close the loop for
-    clients that react to service progress."""
+    clients that react to service progress.
+
+    Clients are checkpointable: :meth:`state_dict` captures everything that
+    changes as the client runs (RNG position, pacing state, progress
+    counters) as JSON-serializable data, and :meth:`load_state` resumes a
+    *same-configured* client exactly — the contract
+    :mod:`repro.serve.durability` relies on for deterministic recovery.
+    """
 
     def __init__(self, client_id: int):
         self.client_id = client_id
@@ -157,6 +164,14 @@ class Client(abc.ABC):
 
     def notify_shed(self, request: Request, cycle: int) -> None:
         """A request from this client was shed at ``cycle``."""
+
+    def state_dict(self) -> dict:
+        """JSON-serializable runtime state (configuration is *not* included)."""
+        return {"generated": self.generated}
+
+    def load_state(self, state: dict) -> None:
+        """Resume from a :meth:`state_dict` capture."""
+        self.generated = int(state["generated"])
 
 
 class PoissonClient(Client):
@@ -180,6 +195,15 @@ class PoissonClient(Client):
         n = int(self.rng.poisson(self.rate))
         self.generated += n
         return [self.mix.sample(self.rng) for _ in range(n)]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rng"] = self.rng.bit_generator.state
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.rng.bit_generator.state = state["rng"]
 
 
 class BurstyClient(Client):
@@ -222,6 +246,17 @@ class BurstyClient(Client):
         n = int(self.rng.poisson(self.rate))
         self.generated += n
         return [self.mix.sample(self.rng) for _ in range(n)]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rng"] = self.rng.bit_generator.state
+        state["on"] = self.on
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.rng.bit_generator.state = state["rng"]
+        self.on = bool(state["on"])
 
 
 class ClosedLoopClient(Client):
@@ -268,6 +303,23 @@ class ClosedLoopClient(Client):
     def notify_shed(self, request: Request, cycle: int) -> None:
         self._release_slot(cycle)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rng"] = self.rng.bit_generator.state
+        state["ready_at"] = list(self._ready_at)  # None = slot in flight
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.rng.bit_generator.state = state["rng"]
+        ready_at = state["ready_at"]
+        if len(ready_at) != self.concurrency:
+            raise ValueError(
+                f"snapshot has {len(ready_at)} slots, client has "
+                f"{self.concurrency}"
+            )
+        self._ready_at = [None if r is None else int(r) for r in ready_at]
+
 
 class TraceClient(Client):
     """Replays a recorded :class:`AccessTrace` as an arrival stream.
@@ -306,3 +358,12 @@ class TraceClient(Client):
     @property
     def exhausted(self) -> bool:
         return self._next >= len(self._instances)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["next"] = self._next
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._next = int(state["next"])

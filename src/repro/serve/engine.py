@@ -43,8 +43,7 @@ events, so ``pmtree obs report`` works on serving artifacts unchanged.
 from __future__ import annotations
 
 import heapq
-from collections import deque
-from itertools import count
+from collections import OrderedDict, deque
 
 from repro.core.mapping import TreeMapping
 from repro.memory.system import ParallelMemorySystem
@@ -99,6 +98,11 @@ class ServeEngine:
         (requests wait or time out), ``"oblivious"`` (round-robin remap) or
         ``"color"`` (conflict-aware recoloring).  Repair mappings are built
         lazily per failed-module set and dropped when the set recovers.
+    repair_cache_cap:
+        Bound on the per-failed-set repair-mapping cache (LRU eviction).
+        Under churning failure sets the number of distinct sets is
+        combinatorial, so a long-lived engine must not hold them all;
+        evicted mappings are rebuilt deterministically on demand.
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class ServeEngine:
         backoff_base: int = 8,
         backoff_cap: int = 128,
         repair: str = "none",
+        repair_cache_cap: int = 8,
     ):
         self.system = system
         if bound_k == "auto":
@@ -138,30 +143,69 @@ class ServeEngine:
             )
         if repair not in REPAIR_MODES:
             raise ValueError(f"unknown repair mode {repair!r}; pick from {REPAIR_MODES}")
+        if repair_cache_cap < 1:
+            raise ValueError(
+                f"repair_cache_cap must be >= 1, got {repair_cache_cap}"
+            )
         self.retry_timeout = retry_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.repair = repair
+        self.repair_cache_cap = repair_cache_cap
         self.tracker = SLOTracker()
-        self._ids = count()
+        #: write-ahead journal hook (see :mod:`repro.serve.durability`);
+        #: ``None`` keeps the engine journal-free
+        self.journal = None
+        self._next_id = 0  # plain int so checkpoints can capture it
         self._requests: dict[int, Request] = {}  # in flight, by id
         self._mapping: TreeMapping = system.mapping  # effective (repair) mapping
         self._failed_now: frozenset[int] = frozenset()
-        self._repair_cache: dict[frozenset[int], TreeMapping] = {}
+        self._repair_cache: OrderedDict[frozenset[int], TreeMapping] = OrderedDict()
+        # per-run state, owned by start()/step()/finish() (promoted to
+        # attributes so checkpoints can capture a run mid-flight)
+        self._clients: list[Client] = []
+        self._clients_by_id: dict[int, Client] = {}
+        self._max_cycles = 0
+        self._drain = True
+        self._drain_limit = 0
+        self._completions: list[tuple[int, int]] = []
+        self._remaining: dict[int, int] = {}
+        self._current_batch: Batch | None = None
+        self._batch_dispatched_at = 0
+        self._access_index = -1
+        self._cycle = 0
+        self._active = False
 
     # -- fault / repair internals ----------------------------------------------
 
+    def _journal(self, kind: str, cycle: int, **fields) -> None:
+        """Append (or, during recovery, verify) one WAL record."""
+        if self.journal is not None:
+            self.journal.record(kind, cycle, **fields)
+
     def _repair_mapping(self, failed: frozenset[int]) -> TreeMapping:
-        """Effective mapping for the current failed set (cached per set)."""
+        """Effective mapping for the current failed set.
+
+        Mappings are cached per failed set with LRU eviction bounded by
+        ``repair_cache_cap``; an evicted set's mapping is rebuilt
+        deterministically if the set recurs, so eviction never changes
+        behavior — only construction cost.
+        """
         if not failed or self.repair == "none":
             return self.system.mapping
-        if failed not in self._repair_cache:
-            from repro.memory.faults import ColorRepairMapping, RemappedMapping
+        cache = self._repair_cache
+        if failed in cache:
+            cache.move_to_end(failed)
+            return cache[failed]
+        from repro.memory.faults import ColorRepairMapping, RemappedMapping
 
-            cls = ColorRepairMapping if self.repair == "color" else RemappedMapping
-            self._repair_cache[failed] = cls(self.system.mapping, failed)
-        return self._repair_cache[failed]
+        cls = ColorRepairMapping if self.repair == "color" else RemappedMapping
+        mapping = cls(self.system.mapping, failed)
+        cache[failed] = mapping
+        while len(cache) > self.repair_cache_cap:
+            cache.popitem(last=False)
+        return mapping
 
     def _advance_faults(self, cycle: int) -> None:
         """Apply schedule edges; swap the dispatch mapping on membership change."""
@@ -206,6 +250,14 @@ class ServeEngine:
                 requests=len(batch),
                 components=batch.num_components,
             )
+        self._journal(
+            "dispatch",
+            cycle,
+            batch=access_index,
+            requests=[req.request_id for req in batch.requests],
+            size=batch.size,
+            conflicts=batch.conflicts,
+        )
         remaining: dict[int, int] = {}
         mapping = self._mapping
         for req in batch.requests:
@@ -220,12 +272,13 @@ class ServeEngine:
         self.tracker.on_dispatch(batch, cycle)
         return remaining
 
-    def _step_modules(self, cycle: int, remaining: dict[int, int], completions) -> None:
+    def _step_modules(self, cycle: int) -> None:
         """One service cycle: round-robin issue under the interconnect limit;
         requests whose last item issues complete ``latency`` cycles later."""
         system = self.system
         rec = system.recorder
         recording = rec.enabled
+        remaining = self._remaining
         limit = system.interconnect.issue_limit(system.num_modules)
         if recording:
             for mod in system.modules:
@@ -266,12 +319,13 @@ class ServeEngine:
                 remaining[request_id] -= 1
                 if remaining[request_id] == 0:
                     del remaining[request_id]
-                    heapq.heappush(completions, (completion, request_id))
+                    heapq.heappush(self._completions, (completion, request_id))
 
-    def _retire(self, cycle: int, completions, clients_by_id) -> int:
+    def _retire(self, cycle: int) -> int:
         """Complete requests whose last item finished by ``cycle``; returns
         the latest completion cycle retired (or -1)."""
         rec = self.system.recorder
+        completions = self._completions
         last = -1
         while completions and completions[0][0] <= cycle:
             done_cycle, request_id = heapq.heappop(completions)
@@ -288,14 +342,22 @@ class ServeEngine:
                     sojourn=request.sojourn,
                     missed=request.missed_deadline,
                 )
-            client = clients_by_id.get(request.client_id)
+            self._journal(
+                "retire",
+                cycle,
+                request=request_id,
+                client=request.client_id,
+                completed=done_cycle,
+                sojourn=request.sojourn,
+            )
+            client = self._clients_by_id.get(request.client_id)
             if client is not None:
                 client.notify(request, done_cycle)
         return last
 
     # -- retry ladder ----------------------------------------------------------
 
-    def _escalate(self, request: Request, cycle: int, clients_by_id) -> None:
+    def _escalate(self, request: Request, cycle: int) -> None:
         """One rung up the ladder for a timed-out request:
         retry -> degrade -> shed."""
         tracker = self.tracker
@@ -326,7 +388,14 @@ class ServeEngine:
                         size=request.size,
                         reason="timeout",
                     )
-                client = clients_by_id.get(request.client_id)
+                self._journal(
+                    "shed",
+                    cycle,
+                    request=request.request_id,
+                    client=request.client_id,
+                    reason="timeout",
+                )
+                client = self._clients_by_id.get(request.client_id)
                 if client is not None:
                     client.notify_shed(request, cycle)
                 return
@@ -352,15 +421,22 @@ class ServeEngine:
                 attempt=request.attempts,
                 degraded=degraded_now,
             )
+        self._journal(
+            "retry",
+            cycle,
+            request=request.request_id,
+            retry_at=request.retry_at,
+            attempt=request.attempts,
+            degraded=degraded_now,
+        )
         self.queue.requeue(request)
 
-    def _abort_batch(
-        self, batch: Batch, cycle: int, remaining: dict[int, int], clients_by_id
-    ) -> None:
+    def _abort_batch(self, batch: Batch, cycle: int) -> None:
         """Pull a timed-out batch's unserved items off the array and send
         every still-incomplete request up the retry ladder.  Requests whose
         items all issued already retire normally through the completions
         heap — aborting them would discard finished work."""
+        remaining = self._remaining
         live = [req for req in batch.requests if req.request_id in remaining]
         ids = {req.request_id for req in live}
         for mod in self.system.modules:
@@ -371,23 +447,22 @@ class ServeEngine:
         for req in live:
             del remaining[req.request_id]
             self._requests.pop(req.request_id, None)
-            self._escalate(req, cycle, clients_by_id)
+            self._escalate(req, cycle)
 
     # -- main loop -------------------------------------------------------------
 
-    def run(
+    def start(
         self,
         clients: list[Client],
         max_cycles: int,
         drain: bool = True,
         drain_limit: int = 1_000_000,
-    ) -> ServeReport:
-        """Serve ``clients`` for ``max_cycles`` cycles of arrivals.
+    ) -> None:
+        """Arm a fresh run: reset the system, install clients, zero the clock.
 
-        With ``drain`` (default) the loop keeps cycling after arrivals stop
-        until every admitted request has completed, so the report covers the
-        full offered load; ``drain_limit`` bounds the post-arrival cycles as
-        a runaway guard.
+        ``run`` is ``start`` + ``step`` until exhausted + ``finish``; the
+        split exists so a supervisor (:mod:`repro.serve.durability`) can
+        interleave checkpoints — and simulated crashes — between cycles.
         """
         if max_cycles < 1:
             raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
@@ -411,136 +486,239 @@ class ServeEngine:
         clients_by_id = {client.client_id: client for client in clients}
         if len(clients_by_id) != len(clients):
             raise ValueError("client ids must be unique")
+        self._clients = list(clients)
+        self._clients_by_id = clients_by_id
+        self._max_cycles = max_cycles
+        self._drain = drain
+        self._drain_limit = drain_limit
         # each run reports itself (requests still queued from a previous
         # non-drained run are served, but counted there)
-        self.tracker = tracker = SLOTracker()
-        completions: list[tuple[int, int]] = []
-        remaining: dict[int, int] = {}
-        current_batch: Batch | None = None
-        batch_dispatched_at = 0
-        access_index = -1
-        cycle = 0
-        while True:
-            arriving = cycle < max_cycles
-            if not arriving and not drain:
-                break
-            if not arriving and (
-                current_batch is None
-                and self.queue.drained
-                and not completions
-                and not remaining
-            ):
-                break
-            if cycle > max_cycles + drain_limit:
-                raise RuntimeError(
-                    f"serving did not drain within {drain_limit} cycles after "
-                    f"arrivals stopped (queue={self.queue!r})"
+        self.tracker = SLOTracker()
+        self._completions = []
+        self._remaining = {}
+        self._current_batch = None
+        self._batch_dispatched_at = 0
+        self._access_index = -1
+        self._cycle = 0
+        self._active = True
+
+    def step(self) -> bool:
+        """Advance the run by one cycle; ``False`` once the run is over.
+
+        A ``False`` return leaves all state untouched (the exit checks run
+        before any work), so callers may checkpoint right up to the end.
+        """
+        if not self._active:
+            return False
+        system = self.system
+        rec = system.recorder
+        tracker = self.tracker
+        cycle = self._cycle
+        arriving = cycle < self._max_cycles
+        if not arriving and not self._drain:
+            self._active = False
+            return False
+        if not arriving and (
+            self._current_batch is None
+            and self.queue.drained
+            and not self._completions
+            and not self._remaining
+        ):
+            self._active = False
+            return False
+        if cycle > self._max_cycles + self._drain_limit:
+            raise RuntimeError(
+                f"serving did not drain within {self._drain_limit} cycles after "
+                f"arrivals stopped (queue={self.queue!r})"
+            )
+        # 0. fault-schedule edges + repair remapping + availability sample
+        self._advance_faults(cycle)
+        tracker.on_cycle(len(self._failed_now), system.num_modules)
+        # 1. retire completions due now; free the array when its batch ends
+        last_done = self._retire(cycle)
+        if self._current_batch is not None and not any(
+            not req.completed for req in self._current_batch.requests
+        ):
+            batch = self._current_batch
+            rounds = (
+                max(last_done, self._batch_dispatched_at)
+                - self._batch_dispatched_at
+            )
+            tracker.on_batch_retired(batch, rounds)
+            if rec.enabled:
+                rec.event(
+                    "batch_retire",
+                    cycle=cycle,
+                    rounds=rounds,
+                    requests=len(batch),
+                    components=batch.num_components,
+                    conflicts=batch.conflicts,
                 )
-            # 0. fault-schedule edges + repair remapping + availability sample
-            self._advance_faults(cycle)
-            tracker.on_cycle(len(self._failed_now), system.num_modules)
-            # 1. retire completions due now; free the array when its batch ends
-            last_done = self._retire(cycle, completions, clients_by_id)
-            if current_batch is not None and not any(
-                not req.completed for req in current_batch.requests
-            ):
-                rounds = max(last_done, batch_dispatched_at) - batch_dispatched_at
-                tracker.on_batch_retired(current_batch, rounds)
-                if rec.enabled:
-                    rec.event(
-                        "batch_retire",
-                        cycle=cycle,
-                        rounds=rounds,
-                        requests=len(current_batch),
-                        components=current_batch.num_components,
-                        conflicts=current_batch.conflicts,
+            self._current_batch = None
+        # 1b. retry-timeout abort: the batch has held the array too long
+        if (
+            self._current_batch is not None
+            and self.retry_timeout is not None
+            and cycle - self._batch_dispatched_at >= self.retry_timeout
+            and any(
+                req.request_id in self._remaining
+                for req in self._current_batch.requests
+            )
+        ):
+            batch = self._current_batch
+            rounds = cycle - self._batch_dispatched_at
+            tracker.on_batch_aborted(batch, rounds)
+            if rec.enabled:
+                rec.event(
+                    "batch_retire",
+                    cycle=cycle,
+                    rounds=rounds,
+                    requests=len(batch),
+                    components=batch.num_components,
+                    conflicts=batch.conflicts,
+                    aborted=True,
+                )
+            self._abort_batch(batch, cycle)
+            self._current_batch = None
+        # 2. arrivals + admission
+        if arriving:
+            for client in self._clients:
+                for instance in client.poll(cycle):
+                    request = Request(
+                        request_id=self._next_id,
+                        client_id=client.client_id,
+                        instance=instance,
+                        arrival_cycle=cycle,
+                        deadline=(
+                            cycle + self.deadline
+                            if self.deadline is not None
+                            else None
+                        ),
                     )
-                current_batch = None
-            # 1b. retry-timeout abort: the batch has held the array too long
-            if (
-                current_batch is not None
-                and self.retry_timeout is not None
-                and cycle - batch_dispatched_at >= self.retry_timeout
-                and any(req.request_id in remaining for req in current_batch.requests)
-            ):
-                rounds = cycle - batch_dispatched_at
-                tracker.on_batch_aborted(current_batch, rounds)
-                if rec.enabled:
-                    rec.event(
-                        "batch_retire",
-                        cycle=cycle,
-                        rounds=rounds,
-                        requests=len(current_batch),
-                        components=current_batch.num_components,
-                        conflicts=current_batch.conflicts,
-                        aborted=True,
-                    )
-                self._abort_batch(current_batch, cycle, remaining, clients_by_id)
-                current_batch = None
-            # 2. arrivals + admission
-            if arriving:
-                for client in clients:
-                    for instance in client.poll(cycle):
-                        request = Request(
-                            request_id=next(self._ids),
-                            client_id=client.client_id,
-                            instance=instance,
-                            arrival_cycle=cycle,
-                            deadline=(
-                                cycle + self.deadline
-                                if self.deadline is not None
-                                else None
-                            ),
+                    self._next_id += 1
+                    tracker.on_arrival(request)
+                    if rec.enabled:
+                        rec.event(
+                            "serve_arrival",
+                            cycle=cycle,
+                            request=request.request_id,
+                            client=client.client_id,
+                            size=request.size,
+                            kind=instance.kind,
                         )
-                        tracker.on_arrival(request)
+                    outcome = self.queue.offer(request, cycle)
+                    if outcome == "admitted":
+                        tracker.on_admit(request)
+                        self._journal(
+                            "admit",
+                            cycle,
+                            request=request.request_id,
+                            client=client.client_id,
+                            size=request.size,
+                        )
+                    elif outcome == "shed":
+                        tracker.on_shed(request)
                         if rec.enabled:
                             rec.event(
-                                "serve_arrival",
+                                "serve_shed",
                                 cycle=cycle,
                                 request=request.request_id,
                                 client=client.client_id,
                                 size=request.size,
-                                kind=instance.kind,
                             )
-                        outcome = self.queue.offer(request, cycle)
-                        if outcome == "admitted":
-                            tracker.on_admit(request)
-                        elif outcome == "shed":
-                            tracker.on_shed(request)
-                            if rec.enabled:
-                                rec.event(
-                                    "serve_shed",
-                                    cycle=cycle,
-                                    request=request.request_id,
-                                    client=client.client_id,
-                                    size=request.size,
-                                )
-                            client.notify_shed(request, cycle)
-            for request in self.queue.admit_waiting(cycle):
-                tracker.on_admit(request)
-            # 3. dispatch the next batch once the array is idle; requests in
-            # a backoff window are not yet eligible
-            if current_batch is None and self.queue.pending:
-                eligible = [
-                    req for req in self.queue.pending if req.retry_at <= cycle
-                ]
-                if eligible:
-                    avoid = (
-                        self._failed_now if self.repair == "none" else frozenset()
-                    )
-                    batch = self.policy.form(eligible, self._mapping, avoid=avoid)
-                    self.queue.remove(batch.requests)
-                    access_index += 1
-                    for req in batch.requests:
-                        self._requests[req.request_id] = req
-                    remaining.update(self._dispatch(batch, cycle, access_index))
-                    current_batch = batch
-                    batch_dispatched_at = cycle
-            # 4. service
-            if remaining or any(mod.queue for mod in system.modules):
-                self._step_modules(cycle, remaining, completions)
-            cycle += 1
-        report = tracker.report(self.policy.name, cycles=cycle)
+                        self._journal(
+                            "shed",
+                            cycle,
+                            request=request.request_id,
+                            client=client.client_id,
+                            reason="admission",
+                        )
+                        client.notify_shed(request, cycle)
+        for request in self.queue.admit_waiting(cycle):
+            tracker.on_admit(request)
+            self._journal(
+                "admit",
+                cycle,
+                request=request.request_id,
+                client=request.client_id,
+                size=request.size,
+            )
+        # 3. dispatch the next batch once the array is idle; requests in
+        # a backoff window are not yet eligible
+        if self._current_batch is None and self.queue.pending:
+            eligible = [
+                req for req in self.queue.pending if req.retry_at <= cycle
+            ]
+            if eligible:
+                avoid = (
+                    self._failed_now if self.repair == "none" else frozenset()
+                )
+                batch = self.policy.form(eligible, self._mapping, avoid=avoid)
+                self.queue.remove(batch.requests)
+                self._access_index += 1
+                for req in batch.requests:
+                    self._requests[req.request_id] = req
+                self._remaining.update(
+                    self._dispatch(batch, cycle, self._access_index)
+                )
+                self._current_batch = batch
+                self._batch_dispatched_at = cycle
+        # 4. service
+        if self._remaining or any(mod.queue for mod in system.modules):
+            self._step_modules(cycle)
+        self._cycle = cycle + 1
+        return True
+
+    def finish(self) -> ServeReport:
+        """Close the run out and fold the tracker into a :class:`ServeReport`."""
+        self._active = False
+        report = self.tracker.report(self.policy.name, cycles=self._cycle)
+        rec = self.system.recorder
         if rec.enabled:
-            rec.set_meta(serve_cycles=cycle, serve_arrivals=tracker.arrivals)
+            rec.set_meta(
+                serve_cycles=self._cycle, serve_arrivals=self.tracker.arrivals
+            )
         return report
+
+    def run(
+        self,
+        clients: list[Client],
+        max_cycles: int,
+        drain: bool = True,
+        drain_limit: int = 1_000_000,
+    ) -> ServeReport:
+        """Serve ``clients`` for ``max_cycles`` cycles of arrivals.
+
+        With ``drain`` (default) the loop keeps cycling after arrivals stop
+        until every admitted request has completed, so the report covers the
+        full offered load; ``drain_limit`` bounds the post-arrival cycles as
+        a runaway guard.
+        """
+        self.start(clients, max_cycles, drain=drain, drain_limit=drain_limit)
+        while self.step():
+            pass
+        return self.finish()
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def checkpoint(self):
+        """Capture the full serving state as an
+        :class:`~repro.serve.durability.EngineSnapshot` (cycle-boundary
+        consistent: call between :meth:`step` invocations)."""
+        from repro.serve.durability import EngineSnapshot
+
+        return EngineSnapshot.capture(self)
+
+    def restore(self, snapshot, clients: list[Client]) -> None:
+        """Resume a run from a snapshot captured by :meth:`checkpoint`.
+
+        ``clients`` must be freshly constructed with the same configuration
+        as the checkpointed run's; their RNG and pacing state is overwritten
+        from the snapshot.  After restore, :meth:`step` continues the run
+        bit-exactly — including fault windows and the drop lottery.
+        """
+        from repro.serve.durability import EngineSnapshot
+
+        if not isinstance(snapshot, EngineSnapshot):
+            raise TypeError(f"expected an EngineSnapshot, got {type(snapshot)!r}")
+        snapshot.restore_into(self, clients)

@@ -11,7 +11,7 @@ speaks to (components per batch, conflicts per batch, rounds per request).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.memory.stats import latency_summary
 from repro.serve.batching import Batch
@@ -63,6 +63,46 @@ class ServeReport:
     #: sojourn percentiles of requests that needed >= 1 retry (recovery
     #: latency), ``None`` when nothing retried
     recovery: dict[str, float] | None = None
+
+    # -- defined-value accessors -----------------------------------------------
+    # A run crashed or restored after 0 cycles / 0 completions still yields a
+    # well-defined report: rates are 0.0 and percentiles are None, never a
+    # ZeroDivisionError or a KeyError on an empty distribution.
+
+    def _percentile(self, which: str) -> float | None:
+        return self.latency[which] if self.latency else None
+
+    @property
+    def p50(self) -> float | None:
+        """Median sojourn, ``None`` when nothing completed."""
+        return self._percentile("p50")
+
+    @property
+    def p95(self) -> float | None:
+        return self._percentile("p95")
+
+    @property
+    def p99(self) -> float | None:
+        return self._percentile("p99")
+
+    @property
+    def max_latency(self) -> float | None:
+        return self._percentile("max")
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed / arrivals; 0.0 on an empty run."""
+        return self.completed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def admit_rate(self) -> float:
+        """Admitted / arrivals; 0.0 on an empty run."""
+        return self.admitted / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per cycle; 0.0 on a 0-cycle run."""
+        return self.completed / self.cycles if self.cycles else 0.0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         lat = self.latency or {}
@@ -171,6 +211,17 @@ class SLOTracker:
             self.recoveries.append(request.sojourn)
         if request.missed_deadline:
             self.deadline_misses += 1
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All counters and distributions, JSON-serializable."""
+        return asdict(self)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SLOTracker":
+        """Rebuild a tracker from a :meth:`state_dict` capture."""
+        return cls(**state)
 
     # -- reporting -------------------------------------------------------------
 
