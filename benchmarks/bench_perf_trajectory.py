@@ -1,0 +1,108 @@
+"""Perf trajectory — the committed wall-clock baselines stay recordable.
+
+Three claims.  First, every committed ``BENCH_<name>.json`` parses as a
+versioned :class:`~repro.obs.trajectory.PerfTrajectory` whose latest entry
+carries the phase spans its scenario instruments (``drain`` for barrier
+replay, the four engine phases for serving, plus ``checkpoint``/``journal``
+for the durable run) and strictly positive wall time and cycle throughput.
+Second, recording is reproducible end to end: a fresh quick-scale recording
+of each scenario kind gates cleanly against a second recording of itself
+under the CI thresholds (:func:`~repro.obs.regress.diff_perf`).  Third, the
+scenario configs are frozen — their fingerprints match what the committed
+baselines were recorded under, so CI candidates and baselines stay
+comparable.
+
+Run directly (``python benchmarks/bench_perf_trajectory.py``) to profile
+the full matrix and *append* to the committed trajectories — the workflow
+for refreshing baselines after an intentional perf change.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perf import SCENARIOS, run_scenario
+from repro.obs.regress import diff_perf
+from repro.obs.trajectory import PerfTrajectory, config_fingerprint
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: span names each scenario's instrumentation must produce
+EXPECTED_PHASES = {
+    "simulate": {"drain"},
+    "serve": {"retire", "admit", "dispatch", "service"},
+    "serve_faults": {"retire", "admit", "dispatch", "service"},
+    "serve_checkpoint": {
+        "retire",
+        "admit",
+        "dispatch",
+        "service",
+        "checkpoint",
+        "journal",
+    },
+}
+
+#: scaled-down overrides per scenario kind for the record-and-diff claim
+QUICK = {
+    "simulate": {"ops": 150, "levels": 10},
+    "serve": {"cycles": 300},
+    "serve_faults": {"cycles": 300},
+    "serve_checkpoint": {"cycles": 300},
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_committed_baseline_parses(name):
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    assert path.exists(), f"missing committed baseline {path}"
+    trajectory = PerfTrajectory.load(path)
+    assert trajectory.name == name
+    assert len(trajectory) >= 1
+    latest = trajectory.latest()
+    assert EXPECTED_PHASES[name] <= set(latest.phases), (
+        f"{name}: phases {sorted(latest.phases)} missing "
+        f"{EXPECTED_PHASES[name] - set(latest.phases)}"
+    )
+    assert latest.wall_time_s > 0
+    assert latest.throughput["cycles_per_sec"] > 0
+    for row in latest.phases.values():
+        assert row["calls"] > 0
+        assert 0.0 <= row["self_s"] <= row["total_s"]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_committed_fingerprint_matches_frozen_config(name):
+    trajectory = PerfTrajectory.load(BENCH_DIR / f"BENCH_{name}.json")
+    assert trajectory.latest().fingerprint == config_fingerprint(SCENARIOS[name])
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_record_and_diff_quick(name):
+    base = run_scenario(name, repeats=1, overrides=QUICK[name])
+    again = run_scenario(name, repeats=1, overrides=QUICK[name])
+    assert base.fingerprint == again.fingerprint
+    assert EXPECTED_PHASES[name] <= set(base.phases)
+    report = diff_perf(base, again, max_wall_growth=3.0, max_throughput_drop=0.75)
+    assert report.ok, str(report)
+
+
+def main() -> int:
+    """Profile the full matrix and append to the committed trajectories."""
+    for name in sorted(SCENARIOS):
+        artifact = run_scenario(name, repeats=5)
+        path = BENCH_DIR / f"BENCH_{name}.json"
+        trajectory = PerfTrajectory.open(path, name)
+        trajectory.append(artifact)
+        trajectory.save(path)
+        t = artifact.throughput
+        print(
+            f"{name}: wall {t['wall_time_s']:.3f}s, "
+            f"{t['cycles_per_sec']:,.0f} cycles/s -> {path} "
+            f"[{len(trajectory)} entries]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

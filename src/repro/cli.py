@@ -18,7 +18,11 @@ CLI under ``python -m repro.bench``):
 * ``pmtree recover``  — resume a crashed durable serve run from its latest
   valid snapshot, replaying and verifying the journal;
 * ``pmtree obs``      — telemetry tooling: ``record`` / ``report`` /
-  ``diff`` (regression gate) / ``export`` (Chrome trace).
+  ``diff`` (regression gate) / ``export`` (Chrome trace);
+* ``pmtree perf``     — wall-clock perf tooling over the fixed scenario
+  matrix (see :mod:`repro.bench.perf`): ``record`` (append to
+  ``BENCH_<name>.json`` trajectories) / ``report`` / ``diff`` (the CI perf
+  gate, exit 3 on regression) / ``expose`` (Prometheus-style text).
 """
 
 from __future__ import annotations
@@ -415,6 +419,121 @@ def cmd_obs_diff(args) -> int:
     return 0 if report.ok else 3
 
 
+def cmd_perf_record(args) -> int:
+    from pathlib import Path
+
+    from repro.bench.perf import SCENARIOS, run_scenario
+    from repro.obs.trajectory import PerfTrajectory
+
+    chosen = args.scenario or ["all"]
+    names = sorted(SCENARIOS) if "all" in chosen else chosen
+    for name in names:
+        if name not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r}; pick from {sorted(SCENARIOS)} or 'all'"
+            )
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        artifact = run_scenario(name, repeats=args.repeats)
+        path = out_dir / f"BENCH_{name}.json"
+        trajectory = (
+            PerfTrajectory(name) if args.fresh else PerfTrajectory.open(path, name)
+        )
+        trajectory.append(artifact)
+        trajectory.save(path)
+        t = artifact.throughput
+        print(
+            f"{name}: wall {t['wall_time_s']:.3f}s, "
+            f"{t['cycles_per_sec']:,.0f} cycles/s, "
+            f"{t['requests_per_sec']:,.0f} requests/s "
+            f"(median of {artifact.repeats}) -> {path} "
+            f"[{len(trajectory)} entries]"
+        )
+    return 0
+
+
+def cmd_perf_report(args) -> int:
+    from repro.obs.trajectory import PerfTrajectory
+
+    trajectory = PerfTrajectory.load(args.trajectory)
+    print(f"perf trajectory {trajectory.name!r}: {len(trajectory)} entries")
+    for entry in trajectory.entries:
+        t = entry.throughput
+        print(
+            f"  {entry.recorded_at or '?':<26} rev {entry.git_rev or '?':<10} "
+            f"fp {entry.fingerprint}  wall {t.get('wall_time_s', 0.0):.3f}s  "
+            f"{t.get('cycles_per_sec', 0.0):>12,.0f} cycles/s  "
+            f"{t.get('requests_per_sec', 0.0):>10,.0f} requests/s"
+        )
+    latest = trajectory.latest()
+    if latest is not None and latest.phases:
+        print("latest phase table:")
+        for phase, row in latest.phases.items():
+            print(
+                f"  {phase:<12} {row['calls']:>8} calls  "
+                f"total {row['total_s']:.4f}s  self {row['self_s']:.4f}s"
+            )
+    return 0
+
+
+def cmd_perf_diff(args) -> int:
+    from repro.obs.regress import _resolve_perf, diff_perf
+    from repro.obs.trajectory import PerfTrajectory
+
+    if args.new is None:
+        trajectory = PerfTrajectory.load(args.base)
+        base, new = trajectory.previous(), trajectory.latest()
+        if base is None:
+            raise SystemExit(
+                f"{args.base} has fewer than 2 entries; pass an explicit "
+                f"candidate to diff against"
+            )
+    else:
+        base, new = _resolve_perf(args.base), _resolve_perf(args.new)
+    if base.fingerprint != new.fingerprint:
+        print(
+            f"note: config fingerprints differ ({base.fingerprint} vs "
+            f"{new.fingerprint}) — the scenario was retuned between recordings"
+        )
+    report = diff_perf(
+        base,
+        new,
+        max_wall_growth=args.max_wall_growth,
+        max_throughput_drop=args.max_throughput_drop,
+        min_wall_s=args.min_wall_s,
+    )
+    print(report)
+    return 0 if report.ok else 3
+
+
+def cmd_perf_expose(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.metrics import MetricsRegistry
+
+    path = Path(args.source)
+    registry = MetricsRegistry()
+    if path.suffix == ".jsonl":
+        from repro.obs.regress import summarize
+
+        for name, value in summarize(path).items():
+            registry.gauge(name).set(value)
+    else:
+        from repro.obs.trajectory import PerfTrajectory
+
+        artifact = PerfTrajectory.load(path).latest()
+        scope = f"perf.{artifact.name}"
+        for key, value in artifact.throughput.items():
+            registry.gauge(f"{scope}.{key}").set(value)
+        for phase, row in artifact.phases.items():
+            registry.counter(f"{scope}.phase.{phase}.calls").inc(int(row["calls"]))
+            registry.gauge(f"{scope}.phase.{phase}.total_s").set(row["total_s"])
+            registry.gauge(f"{scope}.phase.{phase}.self_s").set(row["self_s"])
+    print(registry.expose_text(), end="")
+    return 0
+
+
 def cmd_obs_export(args) -> int:
     from repro.obs import to_chrome_trace
 
@@ -646,6 +765,75 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("artifact", help="telemetry .jsonl")
     exp.add_argument("--out", required=True, help="Chrome-trace .json path")
     exp.set_defaults(fn=cmd_obs_export)
+
+    perf = sub.add_parser(
+        "perf", help="wall-clock perf: record / report / diff / expose"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    prec = perf_sub.add_parser(
+        "record", help="profile the scenario matrix into BENCH_<name>.json"
+    )
+    prec.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="scenario name (repeatable) or 'all'; default all",
+    )
+    prec.add_argument(
+        "--repeats", type=int, default=3, help="repeats per scenario (median taken)"
+    )
+    prec.add_argument(
+        "--out-dir", default="benchmarks", help="directory for BENCH_<name>.json"
+    )
+    prec.add_argument(
+        "--fresh",
+        action="store_true",
+        help="write a one-entry trajectory instead of appending (CI candidates)",
+    )
+    prec.set_defaults(fn=cmd_perf_record)
+
+    prep = perf_sub.add_parser("report", help="render a perf trajectory")
+    prep.add_argument("trajectory", help="BENCH_<name>.json")
+    prep.set_defaults(fn=cmd_perf_report)
+
+    pdiff = perf_sub.add_parser(
+        "diff", help="gate a candidate recording on a baseline (exit 3 on fail)"
+    )
+    pdiff.add_argument("base", help="baseline BENCH_<name>.json (latest entry)")
+    pdiff.add_argument(
+        "new",
+        nargs="?",
+        default=None,
+        help="candidate recording; omitted = base's last two entries",
+    )
+    pdiff.add_argument(
+        "--max-wall-growth",
+        type=float,
+        default=0.5,
+        help="allowed relative wall-time growth (0.5 = 50%%)",
+    )
+    pdiff.add_argument(
+        "--max-throughput-drop",
+        type=float,
+        default=0.5,
+        help="allowed relative throughput decline",
+    )
+    pdiff.add_argument(
+        "--min-wall-s",
+        type=float,
+        default=0.001,
+        help="skip the gate when the baseline wall clock is below this",
+    )
+    pdiff.set_defaults(fn=cmd_perf_diff)
+
+    pexp = perf_sub.add_parser(
+        "expose", help="Prometheus-style text from a perf trajectory or .jsonl"
+    )
+    pexp.add_argument(
+        "source", help="BENCH_<name>.json trajectory or telemetry .jsonl"
+    )
+    pexp.set_defaults(fn=cmd_perf_expose)
     return parser
 
 

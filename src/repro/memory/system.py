@@ -28,6 +28,7 @@ from repro.memory.module import MemoryModule
 from repro.memory.stats import AccessResult, TraceStats
 from repro.memory.trace import AccessTrace
 from repro.obs.events import NullRecorder, default_recorder
+from repro.obs.perf import NULL_PROFILER, NullProfiler
 
 __all__ = ["ParallelMemorySystem"]
 
@@ -49,6 +50,7 @@ class ParallelMemorySystem:
         module_ports: int = 1,
         record_latencies: bool = False,
         recorder: NullRecorder | None = None,
+        profiler: NullProfiler | None = None,
     ):
         self.mapping = mapping
         self.interconnect = interconnect or Crossbar()
@@ -64,6 +66,10 @@ class ParallelMemorySystem:
             for i in range(self.num_modules)
         ]
         self.record_latencies = record_latencies
+        #: wall-clock span profiler (see :mod:`repro.obs.perf`): the drain
+        #: loops run under a ``drain`` / ``open_loop`` span and count
+        #: simulated cycles; the default null profiler is a free no-op
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         #: per-request completion cycles of the most recent drain (1-based),
         #: populated only when ``record_latencies`` is set
         self.last_latencies: np.ndarray | None = None
@@ -241,51 +247,55 @@ class ParallelMemorySystem:
         start = self._rr_start
         rec = self.recorder
         recording = rec.enabled
-        while pending:
-            self.advance_faults(self.clock, emit_cycle=cycles)
-            if recording:
-                for mod in self.modules:
-                    if mod.queue:
-                        rec.event(
-                            "queue_depth",
-                            cycle=cycles,
-                            module=mod.module_id,
-                            depth=len(mod.queue),
-                        )
-            issued = 0
-            # fair round-robin over modules so a narrow interconnect
-            # does not starve high-numbered banks
-            for off in range(self.num_modules):
-                if issued >= limit:
-                    if recording and pending:
-                        rec.event(
-                            "stall",
-                            cycle=cycles,
-                            where="interconnect",
-                            pending=pending,
-                        )
-                    break
-                mod = self.modules[(start + cycles + off) % self.num_modules]
-                while issued < limit:
-                    served = mod.step(cycles)
-                    if served is None:
+        prof = self.profiler
+        with prof.span("drain"):
+            while pending:
+                self.advance_faults(self.clock, emit_cycle=cycles)
+                if recording:
+                    for mod in self.modules:
+                        if mod.queue:
+                            rec.event(
+                                "queue_depth",
+                                cycle=cycles,
+                                module=mod.module_id,
+                                depth=len(mod.queue),
+                            )
+                issued = 0
+                # fair round-robin over modules so a narrow interconnect
+                # does not starve high-numbered banks
+                for off in range(self.num_modules):
+                    if issued >= limit:
+                        if recording and pending:
+                            rec.event(
+                                "stall",
+                                cycle=cycles,
+                                where="interconnect",
+                                pending=pending,
+                            )
                         break
-                    issued += 1
-                    if self.maybe_drop(mod, served, cycles):
-                        continue  # lost in flight; re-queued for another go
-                    pending -= 1
-                    completion = cycles + mod.latency
-                    last_completion = max(last_completion, completion)
-                    if recording:
-                        rec.event(
-                            "complete", cycle=completion, module=mod.module_id
-                        )
-                    if latencies is not None:
-                        latencies.append(completion)
-            if issued == 0 and pending:
-                self._check_fault_deadlock(self.clock)
-            cycles += 1
-            self.clock += 1
+                    mod = self.modules[(start + cycles + off) % self.num_modules]
+                    while issued < limit:
+                        served = mod.step(cycles)
+                        if served is None:
+                            break
+                        issued += 1
+                        if self.maybe_drop(mod, served, cycles):
+                            continue  # lost in flight; re-queued for another go
+                        pending -= 1
+                        completion = cycles + mod.latency
+                        last_completion = max(last_completion, completion)
+                        if recording:
+                            rec.event(
+                                "complete", cycle=completion, module=mod.module_id
+                            )
+                        if latencies is not None:
+                            latencies.append(completion)
+                if issued == 0 and pending:
+                    self._check_fault_deadlock(self.clock)
+                cycles += 1
+                self.clock += 1
+        if prof.enabled:
+            prof.count("cycles", cycles)
         self._rr_start = (start + 1) % self.num_modules
         if latencies is not None:
             self.last_latencies = np.array(latencies, dtype=np.int64)
@@ -402,84 +412,91 @@ class ParallelMemorySystem:
         start = self._rr_start
         rec = self.recorder
         recording = rec.enabled
-        while next_idx < len(accesses) or pending:
-            self.advance_faults(cycle)
-            # arrivals scheduled for this cycle
-            while next_idx < len(accesses) and cycle >= next_idx * arrival_interval:
-                label, nodes = accesses[next_idx]
-                nodes = np.asarray(nodes, dtype=np.int64)
-                colors = self.mapping.colors_of(nodes)
-                counts = np.bincount(colors, minlength=self.num_modules)
-                if recording:
-                    self._access_index += 1
-                    rec.begin_access(self._access_index, label)
-                    self._emit_conflicts(counts, cycle=cycle)
-                    rec.event(
-                        "access",
-                        cycle=cycle,
-                        label=label,
-                        size=int(nodes.size),
-                        conflicts=int(counts.max() - 1),
-                    )
-                for tag, (node, color) in enumerate(zip(nodes, colors)):
-                    self.modules[int(color)].enqueue((next_idx, tag), int(node))
-                    enqueue_time[(next_idx, tag)] = cycle
-                stats.record(
-                    AccessResult(
-                        cycles=0,
-                        conflicts=int(counts.max() - 1),
-                        module_counts=counts,
-                        size=int(nodes.size),
-                        label=label,
-                    )
-                )
-                pending += nodes.size
-                next_idx += 1
-            if recording:
-                rec.begin_access(-1)  # served requests span accesses
-                for mod in self.modules:
-                    if mod.queue:
-                        rec.event(
-                            "queue_depth",
-                            cycle=cycle,
-                            module=mod.module_id,
-                            depth=len(mod.queue),
-                        )
-            issued = 0
-            for off in range(self.num_modules):
-                if issued >= limit:
-                    if recording and pending:
-                        rec.event(
-                            "stall",
-                            cycle=cycle,
-                            where="interconnect",
-                            pending=pending,
-                        )
-                    break
-                mod = self.modules[(start + cycle + off) % self.num_modules]
-                while issued < limit:
-                    served = mod.step(cycle)
-                    if served is None:
-                        break
-                    issued += 1
-                    if self.maybe_drop(mod, served, cycle):
-                        continue  # lost in flight; re-queued for another go
-                    pending -= 1
-                    completion = cycle + mod.latency
-                    last_completion = max(last_completion, completion)
+        prof = self.profiler
+        with prof.span("open_loop"):
+            while next_idx < len(accesses) or pending:
+                self.advance_faults(cycle)
+                # arrivals scheduled for this cycle
+                while (
+                    next_idx < len(accesses)
+                    and cycle >= next_idx * arrival_interval
+                ):
+                    label, nodes = accesses[next_idx]
+                    nodes = np.asarray(nodes, dtype=np.int64)
+                    colors = self.mapping.colors_of(nodes)
+                    counts = np.bincount(colors, minlength=self.num_modules)
                     if recording:
+                        self._access_index += 1
+                        rec.begin_access(self._access_index, label)
+                        self._emit_conflicts(counts, cycle=cycle)
                         rec.event(
-                            "complete",
-                            cycle=completion,
-                            module=mod.module_id,
-                            access=served[0][0],
-                            sojourn=completion - enqueue_time[served[0]],
+                            "access",
+                            cycle=cycle,
+                            label=label,
+                            size=int(nodes.size),
+                            conflicts=int(counts.max() - 1),
                         )
-                    if latencies is not None:
-                        latencies.append(completion - enqueue_time[served[0]])
-            if issued == 0 and pending and next_idx >= len(accesses):
-                self._check_fault_deadlock(cycle)
-            cycle += 1
+                    for tag, (node, color) in enumerate(zip(nodes, colors)):
+                        self.modules[int(color)].enqueue((next_idx, tag), int(node))
+                        enqueue_time[(next_idx, tag)] = cycle
+                    stats.record(
+                        AccessResult(
+                            cycles=0,
+                            conflicts=int(counts.max() - 1),
+                            module_counts=counts,
+                            size=int(nodes.size),
+                            label=label,
+                        )
+                    )
+                    pending += nodes.size
+                    next_idx += 1
+                if recording:
+                    rec.begin_access(-1)  # served requests span accesses
+                    for mod in self.modules:
+                        if mod.queue:
+                            rec.event(
+                                "queue_depth",
+                                cycle=cycle,
+                                module=mod.module_id,
+                                depth=len(mod.queue),
+                            )
+                issued = 0
+                for off in range(self.num_modules):
+                    if issued >= limit:
+                        if recording and pending:
+                            rec.event(
+                                "stall",
+                                cycle=cycle,
+                                where="interconnect",
+                                pending=pending,
+                            )
+                        break
+                    mod = self.modules[(start + cycle + off) % self.num_modules]
+                    while issued < limit:
+                        served = mod.step(cycle)
+                        if served is None:
+                            break
+                        issued += 1
+                        if self.maybe_drop(mod, served, cycle):
+                            continue  # lost in flight; re-queued for another go
+                        pending -= 1
+                        completion = cycle + mod.latency
+                        last_completion = max(last_completion, completion)
+                        if recording:
+                            rec.event(
+                                "complete",
+                                cycle=completion,
+                                module=mod.module_id,
+                                access=served[0][0],
+                                sojourn=completion - enqueue_time[served[0]],
+                            )
+                        if latencies is not None:
+                            latencies.append(completion - enqueue_time[served[0]])
+                if issued == 0 and pending and next_idx >= len(accesses):
+                    self._check_fault_deadlock(cycle)
+                cycle += 1
+        if prof.enabled:
+            prof.count("cycles", cycle)
         self._rr_start = (start + 1) % self.num_modules
         if latencies is not None:
             self.last_latencies = np.array(latencies, dtype=np.int64)

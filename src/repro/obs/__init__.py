@@ -10,7 +10,13 @@ package records them:
   :class:`~repro.memory.system.ParallelMemorySystem` picks up;
 * :mod:`repro.obs.report` — derived views (utilization, occupancy,
   conflict heatmaps, queue-depth percentiles) with ASCII rendering;
-* :mod:`repro.obs.regress` — artifact diffing with growth thresholds.
+* :mod:`repro.obs.regress` — artifact diffing with growth thresholds, for
+  both simulated health metrics and wall-clock perf metrics;
+* :mod:`repro.obs.perf` — wall-clock span profiling of the hot loops
+  (cycles/sec, requests/sec, per-phase seconds) with a zero-cost null
+  profiler;
+* :mod:`repro.obs.trajectory` — versioned ``BENCH_*.json`` perf-trajectory
+  artifacts with append/compare semantics.
 
 Instrumentation is opt-in: the default :data:`NULL_RECORDER` makes every
 hook a single attribute check, so an uninstrumented simulation behaves (and
@@ -27,7 +33,15 @@ from repro.obs.events import (
     to_chrome_trace,
     uninstall,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    expose_snapshot_text,
+)
+from repro.obs.perf import NULL_PROFILER, NullProfiler, PerfProfiler, PerfSpan
+from repro.obs.trajectory import PerfArtifact, PerfTrajectory, median_of
 
 __all__ = [
     "Counter",
@@ -35,11 +49,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_RECORDER",
+    "NullProfiler",
     "NullRecorder",
+    "PerfArtifact",
+    "PerfProfiler",
+    "PerfSpan",
+    "PerfTrajectory",
     "default_recorder",
+    "expose_snapshot_text",
     "install",
     "load_artifact",
+    "median_of",
     "to_chrome_trace",
     "uninstall",
 ]

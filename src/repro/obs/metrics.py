@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import bisect
 import math
+import re
 from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "expose_snapshot_text",
+]
 
 #: default histogram bucket upper bounds (powers of two cover queue depths
 #: and cycle counts equally well); the last implicit bucket is +inf
@@ -180,6 +187,16 @@ class MetricsRegistry:
         """Serializable view of every metric, keyed by name."""
         return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
 
+    def expose_text(self, prefix: str = "pmtree") -> str:
+        """Prometheus-style text exposition of every metric.
+
+        The live scrape surface for a daemon (and ``pmtree perf expose``
+        today): deterministic output — metrics sorted by name, one
+        ``# TYPE`` line per family — built from :meth:`snapshot`, so the
+        exposed values are exactly the snapshotted ones.
+        """
+        return expose_snapshot_text(self.snapshot(), prefix=prefix)
+
     @staticmethod
     def percentile_of(values, q: float) -> float:
         """Exact percentile of raw samples (numpy), for report-side math."""
@@ -187,3 +204,65 @@ class MetricsRegistry:
         if arr.size == 0:
             return 0.0
         return float(np.percentile(arr, q))
+
+
+# -- Prometheus-style text exposition ------------------------------------------
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _expo_name(name: str, prefix: str) -> str:
+    """Sanitize a registry name into a Prometheus metric name."""
+    clean = _INVALID_CHARS.sub("_", name)
+    full = f"{prefix}_{clean}" if prefix else clean
+    if full and full[0].isdigit():
+        full = f"_{full}"
+    return full
+
+
+def _expo_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
+def expose_snapshot_text(snapshot: dict[str, dict], prefix: str = "pmtree") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Registry names are sanitized (every character outside
+    ``[a-zA-Z0-9_:]`` becomes ``_``) and prefixed; counters render one
+    sample, gauges one sample, histograms the conventional cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Two registry
+    names that sanitize to the same exposition name (``a.b`` vs ``a_b``)
+    raise :class:`ValueError` rather than silently merging series.
+    """
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        expo = _expo_name(name, prefix)
+        if expo in seen:
+            raise ValueError(
+                f"metrics {seen[expo]!r} and {name!r} both expose as "
+                f"{expo!r}; rename one"
+            )
+        seen[expo] = name
+        kind = metric.get("type", "gauge")
+        if kind == "counter":
+            lines.append(f"# TYPE {expo} counter")
+            lines.append(f"{expo} {_expo_value(metric['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {expo} histogram")
+            cumulative = 0
+            for bound, count in zip(metric["buckets"], metric["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{expo}_bucket{{le="{_expo_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{expo}_bucket{{le="+Inf"}} {metric["total"]}')
+            lines.append(f"{expo}_sum {_expo_value(metric['sum'])}")
+            lines.append(f"{expo}_count {metric['total']}")
+        else:  # gauge
+            lines.append(f"# TYPE {expo} gauge")
+            lines.append(f"{expo} {_expo_value(metric['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,4 +1,4 @@
-"""Regression gate over telemetry artifacts.
+"""Regression gate over telemetry and perf artifacts.
 
 Summarizes an artifact to a handful of scalar health metrics and diffs two
 summaries against configurable growth thresholds — the CI building block
@@ -6,9 +6,24 @@ that turns recorded telemetry into a perf gate (record a baseline artifact
 once, fail the build when a candidate's conflicts or queue depths grow past
 the allowance).
 
-Growth is relative: ``(new - base) / base`` (with ``base == 0``, any
-increase counts as infinite growth).  A threshold of ``0`` therefore means
-"no increase allowed", ``0.1`` allows 10%.
+Growth is relative: ``(new - base) / base``.  A ``base == 0`` has two
+pinned edge cases: ``0 -> 0`` is 0.0 growth (nothing regressed), while
+``0 -> k`` for any ``k > 0`` counts as infinite growth (a metric appeared
+from nowhere — no finite threshold lets it pass).  A threshold of ``0``
+therefore means "no increase allowed", ``0.1`` allows 10%.
+
+Two diffable surfaces share the machinery:
+
+* :func:`diff_artifacts` — *simulated* health metrics (conflicts, queue
+  depths, span cycles) from a telemetry ``.jsonl`` artifact;
+* :func:`diff_perf` — *wall-clock* metrics (wall time, cycles/sec,
+  requests/sec) from a :class:`~repro.obs.trajectory.PerfArtifact` or
+  ``BENCH_*.json`` trajectory.  Throughput metrics gate in the opposite
+  direction (``higher_is_better``): the check fails when the metric
+  *declines* past the allowance.  Wall-clock gates are noise-aware by
+  construction — record medians of N repeats
+  (:func:`~repro.obs.trajectory.median_of`) and keep thresholds generous
+  enough for host-to-host variance.
 """
 
 from __future__ import annotations
@@ -19,7 +34,14 @@ from pathlib import Path
 
 from repro.obs.report import ObsReport
 
-__all__ = ["RegressionCheck", "RegressionReport", "summarize", "diff_artifacts"]
+__all__ = [
+    "RegressionCheck",
+    "RegressionReport",
+    "summarize",
+    "summarize_perf",
+    "diff_artifacts",
+    "diff_perf",
+]
 
 #: CLI-flag name -> summary metric gated by it
 THRESHOLD_METRICS = {
@@ -56,12 +78,21 @@ def summarize(path: str | Path) -> dict[str, float]:
 
 @dataclass(frozen=True)
 class RegressionCheck:
-    """One gated metric: base vs new value against an allowed growth."""
+    """One gated metric: base vs new value against an allowed growth.
+
+    With ``higher_is_better`` the direction flips: the check fails when the
+    metric *declines* by more than ``limit`` (so ``limit=0.1`` tolerates a
+    10% throughput drop).  The zero-base rules hold in both directions:
+    ``0 -> 0`` is 0.0 growth and always passes; ``0 -> k`` is infinite
+    growth (fails any lower-is-better gate, trivially passes a
+    higher-is-better one); ``k -> 0`` is -100% growth.
+    """
 
     metric: str
     base: float
     new: float
     limit: float
+    higher_is_better: bool = False
 
     @property
     def growth(self) -> float:
@@ -71,14 +102,17 @@ class RegressionCheck:
 
     @property
     def ok(self) -> bool:
+        if self.higher_is_better:
+            return -self.growth <= self.limit
         return self.growth <= self.limit
 
     def __str__(self) -> str:
         growth = "inf" if math.isinf(self.growth) else f"{self.growth:+.1%}"
         verdict = "ok" if self.ok else "FAIL"
+        direction = "max drop" if self.higher_is_better else "limit"
         return (
-            f"{self.metric:<18} base={self.base:g} new={self.new:g} "
-            f"growth={growth} (limit {self.limit:+.1%}) {verdict}"
+            f"{self.metric:<22} base={self.base:g} new={self.new:g} "
+            f"growth={growth} ({direction} {self.limit:+.1%}) {verdict}"
         )
 
 
@@ -101,8 +135,8 @@ class RegressionReport:
         )
         for metric in informational:
             lines.append(
-                f"{metric:<18} base={self.base_summary[metric]:g} "
-                f"new={self.new_summary[metric]:g} (not gated)"
+                f"{metric:<22} base={self.base_summary[metric]:g} "
+                f"new={self.new_summary.get(metric, 0.0):g} (not gated)"
             )
         lines.append("regression check: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
@@ -130,3 +164,87 @@ def diff_artifacts(
             RegressionCheck(metric=metric, base=base[metric], new=new[metric], limit=limit)
         )
     return RegressionReport(base_summary=base, new_summary=new, checks=checks)
+
+
+# -- wall-clock (perf-trajectory) gate -----------------------------------------
+
+#: perf metrics gated by default: name -> higher_is_better
+PERF_GATED_METRICS = {
+    "wall_time_s": False,
+    "cycles_per_sec": True,
+    "requests_per_sec": True,
+    "events_per_sec": True,
+}
+
+
+def _resolve_perf(source):
+    """Accept a PerfArtifact, a PerfTrajectory, or a path to either."""
+    from repro.obs.trajectory import PerfArtifact, PerfTrajectory
+
+    if isinstance(source, PerfArtifact):
+        return source
+    if isinstance(source, PerfTrajectory):
+        artifact = source.latest()
+    else:
+        artifact = PerfTrajectory.load(source).latest()
+    if artifact is None:
+        raise ValueError(f"perf trajectory {source!r} has no entries to diff")
+    return artifact
+
+
+def summarize_perf(source) -> dict[str, float]:
+    """Scalar wall-clock metrics of one perf artifact (the diffable surface).
+
+    ``source`` is a :class:`~repro.obs.trajectory.PerfArtifact`, a
+    :class:`~repro.obs.trajectory.PerfTrajectory` (its latest entry), or a
+    path to a ``BENCH_*.json`` / single-artifact file.
+    """
+    return _resolve_perf(source).scalars()
+
+
+def diff_perf(
+    base,
+    new,
+    *,
+    max_wall_growth: float = 0.5,
+    max_throughput_drop: float = 0.5,
+    min_wall_s: float = 0.001,
+) -> RegressionReport:
+    """Gate a candidate perf artifact against a baseline.
+
+    ``wall_time_s`` is checked against ``max_wall_growth`` (lower is
+    better); every ``*_per_sec`` throughput scalar present in the baseline
+    is checked against ``max_throughput_drop`` in the higher-is-better
+    direction.  Phase wall times (``phase.*.total_s``) are reported as
+    informational rows, not gated — their split shifts as instrumentation
+    moves even when totals hold.
+
+    Noise handling: baselines should be medians of repeated runs
+    (:func:`~repro.obs.trajectory.median_of`), thresholds should absorb
+    host variance (the defaults allow 50% either way), and a baseline whose
+    wall clock is below ``min_wall_s`` skips the wall/throughput checks
+    entirely — timing a sub-millisecond run gates pure noise.
+    """
+    base_art = _resolve_perf(base)
+    new_art = _resolve_perf(new)
+    base_summary = base_art.scalars()
+    new_summary = new_art.scalars()
+    checks: list[RegressionCheck] = []
+    if base_art.wall_time_s >= min_wall_s:
+        for metric, higher_is_better in PERF_GATED_METRICS.items():
+            if metric not in base_summary:
+                continue
+            checks.append(
+                RegressionCheck(
+                    metric=metric,
+                    base=base_summary[metric],
+                    new=new_summary.get(metric, 0.0),
+                    limit=(
+                        max_throughput_drop if higher_is_better else max_wall_growth
+                    ),
+                    higher_is_better=higher_is_better,
+                )
+            )
+    return RegressionReport(
+        base_summary=base_summary, new_summary=new_summary, checks=checks
+    )

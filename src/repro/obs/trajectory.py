@@ -1,0 +1,286 @@
+"""Perf-trajectory artifacts: versioned, append-only wall-clock baselines.
+
+A :class:`PerfArtifact` freezes one profiled run (or the median of N
+repeats) of a named scenario: the scenario config and its fingerprint, the
+git revision and host fingerprint it was recorded on, the profiler's phase
+table, and the throughput scalars.  A :class:`PerfTrajectory` is the
+append-only series of those artifacts stored as ``BENCH_<name>.json`` —
+successive PRs *extend* the trajectory (append) rather than overwrite it,
+so the recorded history shows how each change moved the constant factors.
+
+The regression side lives in :mod:`repro.obs.regress`
+(:func:`~repro.obs.regress.diff_perf`): diff the trajectory's latest entry
+against a freshly recorded candidate with noise-aware thresholds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import statistics
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "TRAJECTORY_VERSION",
+    "PerfArtifact",
+    "PerfTrajectory",
+    "config_fingerprint",
+    "git_revision",
+    "host_fingerprint",
+    "median_of",
+]
+
+ARTIFACT_VERSION = 1
+TRAJECTORY_VERSION = 1
+
+
+def config_fingerprint(config: dict) -> str:
+    """Short stable hash of a scenario config (canonical-JSON sha256).
+
+    Two artifacts with equal fingerprints measured the same workload, so
+    their wall clocks are comparable; a fingerprint change in a trajectory
+    marks the point where the scenario itself was retuned.
+    """
+    canon = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:12]
+
+
+def git_revision(root: str | Path | None = None) -> str | None:
+    """Current ``git rev-parse --short HEAD``, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def host_fingerprint() -> dict:
+    """Where a recording was made — wall clocks only compare within a host."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+@dataclass
+class PerfArtifact:
+    """One recorded perf point: phases + throughput + provenance."""
+
+    name: str
+    config: dict
+    phases: dict[str, dict]
+    throughput: dict[str, float]
+    repeats: int = 1
+    fingerprint: str = ""
+    git_rev: str | None = None
+    host: dict = field(default_factory=dict)
+    recorded_at: str = ""
+    version: int = ARTIFACT_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            self.fingerprint = config_fingerprint(self.config)
+
+    @classmethod
+    def from_profiler(
+        cls,
+        name: str,
+        profiler,
+        config: dict,
+        repeats: int = 1,
+    ) -> "PerfArtifact":
+        """Freeze a (stopped) :class:`~repro.obs.perf.PerfProfiler` run."""
+        return cls(
+            name=name,
+            config=dict(config),
+            phases=profiler.phase_table(),
+            throughput=profiler.throughput(),
+            repeats=repeats,
+            git_rev=git_revision(),
+            host=host_fingerprint(),
+            recorded_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        )
+
+    # -- scalar surface (what the regression gate diffs) -----------------------
+
+    def scalars(self) -> dict[str, float]:
+        """Flat metric dict: throughput scalars plus per-phase wall times."""
+        out = {key: float(value) for key, value in sorted(self.throughput.items())}
+        for phase, row in sorted(self.phases.items()):
+            out[f"phase.{phase}.total_s"] = float(row["total_s"])
+        return out
+
+    @property
+    def wall_time_s(self) -> float:
+        return float(self.throughput.get("wall_time_s", 0.0))
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "config": self.config,
+            "fingerprint": self.fingerprint,
+            "git_rev": self.git_rev,
+            "host": self.host,
+            "recorded_at": self.recorded_at,
+            "repeats": self.repeats,
+            "phases": self.phases,
+            "throughput": self.throughput,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PerfArtifact":
+        version = int(payload.get("version", ARTIFACT_VERSION))
+        if version > ARTIFACT_VERSION:
+            raise ValueError(
+                f"perf artifact version {version} is newer than supported "
+                f"({ARTIFACT_VERSION})"
+            )
+        return cls(
+            name=payload["name"],
+            config=dict(payload.get("config", {})),
+            phases={k: dict(v) for k, v in payload.get("phases", {}).items()},
+            throughput={
+                k: float(v) for k, v in payload.get("throughput", {}).items()
+            },
+            repeats=int(payload.get("repeats", 1)),
+            fingerprint=payload.get("fingerprint", ""),
+            git_rev=payload.get("git_rev"),
+            host=dict(payload.get("host", {})),
+            recorded_at=payload.get("recorded_at", ""),
+            version=version,
+        )
+
+
+def median_of(artifacts: list[PerfArtifact]) -> PerfArtifact:
+    """Element-wise median of repeated recordings of one scenario.
+
+    The noise-aware aggregation the gate relies on: throughput scalars and
+    per-phase times take the median across repeats (calls take the median
+    too — repeats of a deterministic scenario agree anyway), provenance
+    comes from the first repeat.
+    """
+    if not artifacts:
+        raise ValueError("median_of needs at least one artifact")
+    first = artifacts[0]
+    for art in artifacts[1:]:
+        if art.name != first.name or art.fingerprint != first.fingerprint:
+            raise ValueError(
+                f"cannot aggregate different scenarios: {first.name}/"
+                f"{first.fingerprint} vs {art.name}/{art.fingerprint}"
+            )
+    throughput = {
+        key: float(statistics.median(a.throughput[key] for a in artifacts))
+        for key in first.throughput
+    }
+    phases = {}
+    for name in first.phases:
+        rows = [a.phases[name] for a in artifacts if name in a.phases]
+        phases[name] = {
+            "calls": int(statistics.median(r["calls"] for r in rows)),
+            "total_s": float(statistics.median(r["total_s"] for r in rows)),
+            "self_s": float(statistics.median(r["self_s"] for r in rows)),
+        }
+    return PerfArtifact(
+        name=first.name,
+        config=dict(first.config),
+        phases=phases,
+        throughput=throughput,
+        repeats=len(artifacts),
+        fingerprint=first.fingerprint,
+        git_rev=first.git_rev,
+        host=dict(first.host),
+        recorded_at=first.recorded_at,
+    )
+
+
+class PerfTrajectory:
+    """The append-only series behind one ``BENCH_<name>.json`` file."""
+
+    def __init__(self, name: str, entries: list[PerfArtifact] | None = None):
+        self.name = name
+        self.entries: list[PerfArtifact] = list(entries or [])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def latest(self) -> PerfArtifact | None:
+        return self.entries[-1] if self.entries else None
+
+    def previous(self) -> PerfArtifact | None:
+        return self.entries[-2] if len(self.entries) >= 2 else None
+
+    def append(self, artifact: PerfArtifact) -> None:
+        """Extend the trajectory; the scenario name must match."""
+        if artifact.name != self.name:
+            raise ValueError(
+                f"artifact {artifact.name!r} does not belong to trajectory "
+                f"{self.name!r}"
+            )
+        self.entries.append(artifact)
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfTrajectory":
+        """Read a trajectory file; a single-artifact JSON loads as a
+        one-entry trajectory (so freshly recorded candidates diff directly)."""
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if "entries" not in payload:
+            artifact = PerfArtifact.from_json(payload)
+            return cls(artifact.name, [artifact])
+        version = int(payload.get("version", TRAJECTORY_VERSION))
+        if version > TRAJECTORY_VERSION:
+            raise ValueError(
+                f"{path}: trajectory version {version} is newer than "
+                f"supported ({TRAJECTORY_VERSION})"
+            )
+        entries = [PerfArtifact.from_json(entry) for entry in payload["entries"]]
+        return cls(payload.get("name", path.stem), entries)
+
+    @classmethod
+    def open(cls, path: str | Path, name: str) -> "PerfTrajectory":
+        """Load ``path`` if it exists, else start an empty trajectory."""
+        path = Path(path)
+        if path.exists():
+            trajectory = cls.load(path)
+            if trajectory.name != name:
+                raise ValueError(
+                    f"{path} holds trajectory {trajectory.name!r}, not {name!r}"
+                )
+            return trajectory
+        return cls(name)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trajectory as indented JSON (diffable in review)."""
+        path = Path(path)
+        payload = {
+            "version": TRAJECTORY_VERSION,
+            "name": self.name,
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PerfTrajectory({self.name!r}, entries={len(self.entries)})"

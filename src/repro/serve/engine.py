@@ -47,6 +47,7 @@ from collections import OrderedDict, deque
 
 from repro.core.mapping import TreeMapping
 from repro.memory.system import ParallelMemorySystem
+from repro.obs.perf import NULL_PROFILER, NullProfiler
 from repro.serve.batching import Batch, BatchPolicy, make_policy
 from repro.serve.clients import Client
 from repro.serve.request import AdmissionQueue, Request, degrade_instance
@@ -103,6 +104,14 @@ class ServeEngine:
         Under churning failure sets the number of distinct sets is
         combinatorial, so a long-lived engine must not hold them all;
         evicted mappings are rebuilt deterministically on demand.
+    profiler:
+        A :class:`~repro.obs.perf.PerfProfiler` to receive wall-clock phase
+        spans (``retire`` / ``admit`` / ``dispatch`` / ``service``) and run
+        throughput counters; the default is the shared
+        :data:`~repro.obs.perf.NULL_PROFILER`, whose spans are free no-ops.
+        Use a fresh profiler per run — :meth:`finish` folds its wall clock
+        into the report's ``wall_time_s`` / ``requests_per_sec`` /
+        ``cycles_per_sec`` fields.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class ServeEngine:
         backoff_cap: int = 128,
         repair: str = "none",
         repair_cache_cap: int = 8,
+        profiler: NullProfiler | None = None,
     ):
         self.system = system
         if bound_k == "auto":
@@ -153,6 +163,13 @@ class ServeEngine:
         self.backoff_cap = backoff_cap
         self.repair = repair
         self.repair_cache_cap = repair_cache_cap
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        # phase spans bound once: with the null profiler these are all the
+        # shared NULL_SPAN singleton, so the step loop never allocates
+        self._sp_retire = self.profiler.span("retire")
+        self._sp_admit = self.profiler.span("admit")
+        self._sp_dispatch = self.profiler.span("dispatch")
+        self._sp_service = self.profiler.span("service")
         self.tracker = SLOTracker()
         #: write-ahead journal hook (see :mod:`repro.serve.durability`);
         #: ``None`` keeps the engine journal-free
@@ -501,6 +518,7 @@ class ServeEngine:
         self._access_index = -1
         self._cycle = 0
         self._active = True
+        self.profiler.start()
 
     def step(self) -> bool:
         """Advance the run by one cycle; ``False`` once the run is over.
@@ -535,142 +553,153 @@ class ServeEngine:
         self._advance_faults(cycle)
         tracker.on_cycle(len(self._failed_now), system.num_modules)
         # 1. retire completions due now; free the array when its batch ends
-        last_done = self._retire(cycle)
-        if self._current_batch is not None and not any(
-            not req.completed for req in self._current_batch.requests
-        ):
-            batch = self._current_batch
-            rounds = (
-                max(last_done, self._batch_dispatched_at)
-                - self._batch_dispatched_at
-            )
-            tracker.on_batch_retired(batch, rounds)
-            if rec.enabled:
-                rec.event(
-                    "batch_retire",
-                    cycle=cycle,
-                    rounds=rounds,
-                    requests=len(batch),
-                    components=batch.num_components,
-                    conflicts=batch.conflicts,
+        with self._sp_retire:
+            last_done = self._retire(cycle)
+            if self._current_batch is not None and not any(
+                not req.completed for req in self._current_batch.requests
+            ):
+                batch = self._current_batch
+                rounds = (
+                    max(last_done, self._batch_dispatched_at)
+                    - self._batch_dispatched_at
                 )
-            self._current_batch = None
-        # 1b. retry-timeout abort: the batch has held the array too long
-        if (
-            self._current_batch is not None
-            and self.retry_timeout is not None
-            and cycle - self._batch_dispatched_at >= self.retry_timeout
-            and any(
-                req.request_id in self._remaining
-                for req in self._current_batch.requests
-            )
-        ):
-            batch = self._current_batch
-            rounds = cycle - self._batch_dispatched_at
-            tracker.on_batch_aborted(batch, rounds)
-            if rec.enabled:
-                rec.event(
-                    "batch_retire",
-                    cycle=cycle,
-                    rounds=rounds,
-                    requests=len(batch),
-                    components=batch.num_components,
-                    conflicts=batch.conflicts,
-                    aborted=True,
-                )
-            self._abort_batch(batch, cycle)
-            self._current_batch = None
-        # 2. arrivals + admission
-        if arriving:
-            for client in self._clients:
-                for instance in client.poll(cycle):
-                    request = Request(
-                        request_id=self._next_id,
-                        client_id=client.client_id,
-                        instance=instance,
-                        arrival_cycle=cycle,
-                        deadline=(
-                            cycle + self.deadline
-                            if self.deadline is not None
-                            else None
-                        ),
+                tracker.on_batch_retired(batch, rounds)
+                if rec.enabled:
+                    rec.event(
+                        "batch_retire",
+                        cycle=cycle,
+                        rounds=rounds,
+                        requests=len(batch),
+                        components=batch.num_components,
+                        conflicts=batch.conflicts,
                     )
-                    self._next_id += 1
-                    tracker.on_arrival(request)
-                    if rec.enabled:
-                        rec.event(
-                            "serve_arrival",
-                            cycle=cycle,
-                            request=request.request_id,
-                            client=client.client_id,
-                            size=request.size,
-                            kind=instance.kind,
+                self._current_batch = None
+            # 1b. retry-timeout abort: the batch has held the array too long
+            if (
+                self._current_batch is not None
+                and self.retry_timeout is not None
+                and cycle - self._batch_dispatched_at >= self.retry_timeout
+                and any(
+                    req.request_id in self._remaining
+                    for req in self._current_batch.requests
+                )
+            ):
+                batch = self._current_batch
+                rounds = cycle - self._batch_dispatched_at
+                tracker.on_batch_aborted(batch, rounds)
+                if rec.enabled:
+                    rec.event(
+                        "batch_retire",
+                        cycle=cycle,
+                        rounds=rounds,
+                        requests=len(batch),
+                        components=batch.num_components,
+                        conflicts=batch.conflicts,
+                        aborted=True,
+                    )
+                self._abort_batch(batch, cycle)
+                self._current_batch = None
+        # 2. arrivals + admission
+        with self._sp_admit:
+            if arriving:
+                for client in self._clients:
+                    for instance in client.poll(cycle):
+                        request = Request(
+                            request_id=self._next_id,
+                            client_id=client.client_id,
+                            instance=instance,
+                            arrival_cycle=cycle,
+                            deadline=(
+                                cycle + self.deadline
+                                if self.deadline is not None
+                                else None
+                            ),
                         )
-                    outcome = self.queue.offer(request, cycle)
-                    if outcome == "admitted":
-                        tracker.on_admit(request)
-                        self._journal(
-                            "admit",
-                            cycle,
-                            request=request.request_id,
-                            client=client.client_id,
-                            size=request.size,
-                        )
-                    elif outcome == "shed":
-                        tracker.on_shed(request)
+                        self._next_id += 1
+                        tracker.on_arrival(request)
                         if rec.enabled:
                             rec.event(
-                                "serve_shed",
+                                "serve_arrival",
                                 cycle=cycle,
                                 request=request.request_id,
                                 client=client.client_id,
                                 size=request.size,
+                                kind=instance.kind,
                             )
-                        self._journal(
-                            "shed",
-                            cycle,
-                            request=request.request_id,
-                            client=client.client_id,
-                            reason="admission",
-                        )
-                        client.notify_shed(request, cycle)
-        for request in self.queue.admit_waiting(cycle):
-            tracker.on_admit(request)
-            self._journal(
-                "admit",
-                cycle,
-                request=request.request_id,
-                client=request.client_id,
-                size=request.size,
-            )
+                        outcome = self.queue.offer(request, cycle)
+                        if outcome == "admitted":
+                            tracker.on_admit(request)
+                            self._journal(
+                                "admit",
+                                cycle,
+                                request=request.request_id,
+                                client=client.client_id,
+                                size=request.size,
+                            )
+                        elif outcome == "shed":
+                            tracker.on_shed(request)
+                            if rec.enabled:
+                                rec.event(
+                                    "serve_shed",
+                                    cycle=cycle,
+                                    request=request.request_id,
+                                    client=client.client_id,
+                                    size=request.size,
+                                )
+                            self._journal(
+                                "shed",
+                                cycle,
+                                request=request.request_id,
+                                client=client.client_id,
+                                reason="admission",
+                            )
+                            client.notify_shed(request, cycle)
+            for request in self.queue.admit_waiting(cycle):
+                tracker.on_admit(request)
+                self._journal(
+                    "admit",
+                    cycle,
+                    request=request.request_id,
+                    client=request.client_id,
+                    size=request.size,
+                )
         # 3. dispatch the next batch once the array is idle; requests in
         # a backoff window are not yet eligible
-        if self._current_batch is None and self.queue.pending:
-            eligible = [
-                req for req in self.queue.pending if req.retry_at <= cycle
-            ]
-            if eligible:
-                avoid = (
-                    self._failed_now if self.repair == "none" else frozenset()
-                )
-                batch = self.policy.form(eligible, self._mapping, avoid=avoid)
-                self.queue.remove(batch.requests)
-                self._access_index += 1
-                for req in batch.requests:
-                    self._requests[req.request_id] = req
-                self._remaining.update(
-                    self._dispatch(batch, cycle, self._access_index)
-                )
-                self._current_batch = batch
-                self._batch_dispatched_at = cycle
+        with self._sp_dispatch:
+            if self._current_batch is None and self.queue.pending:
+                eligible = [
+                    req for req in self.queue.pending if req.retry_at <= cycle
+                ]
+                if eligible:
+                    avoid = (
+                        self._failed_now if self.repair == "none" else frozenset()
+                    )
+                    batch = self.policy.form(eligible, self._mapping, avoid=avoid)
+                    self.queue.remove(batch.requests)
+                    self._access_index += 1
+                    for req in batch.requests:
+                        self._requests[req.request_id] = req
+                    self._remaining.update(
+                        self._dispatch(batch, cycle, self._access_index)
+                    )
+                    self._current_batch = batch
+                    self._batch_dispatched_at = cycle
         # 4. service
-        if self._remaining or any(mod.queue for mod in system.modules):
-            self._step_modules(cycle)
+        with self._sp_service:
+            if self._remaining or any(mod.queue for mod in system.modules):
+                self._step_modules(cycle)
         self._cycle = cycle + 1
         return True
 
     def finish(self) -> ServeReport:
-        """Close the run out and fold the tracker into a :class:`ServeReport`."""
+        """Close the run out and fold the tracker into a :class:`ServeReport`.
+
+        With an enabled profiler the report's wall-clock fields are
+        populated from it: ``wall_time_s`` is the profiler's accumulated
+        run clock, ``requests_per_sec`` / ``cycles_per_sec`` divide the
+        run's completions / cycles by it (0.0 on an empty or unclocked
+        run — the fields are always defined).
+        """
         self._active = False
         report = self.tracker.report(self.policy.name, cycles=self._cycle)
         rec = self.system.recorder
@@ -678,6 +707,18 @@ class ServeEngine:
             rec.set_meta(
                 serve_cycles=self._cycle, serve_arrivals=self.tracker.arrivals
             )
+        prof = self.profiler
+        if prof.enabled:
+            prof.stop()
+            prof.count("cycles", self._cycle)
+            prof.count("requests", self.tracker.completed)
+            if rec.enabled:
+                prof.count("events", len(rec.events))
+            wall = prof.wall_time_s
+            report.wall_time_s = wall
+            if wall > 0:
+                report.cycles_per_sec = self._cycle / wall
+                report.requests_per_sec = self.tracker.completed / wall
         return report
 
     def run(

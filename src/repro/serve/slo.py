@@ -17,7 +17,14 @@ from repro.memory.stats import latency_summary
 from repro.serve.batching import Batch
 from repro.serve.request import Request
 
-__all__ = ["SLOTracker", "ServeReport"]
+__all__ = ["SLOTracker", "ServeReport", "WALL_CLOCK_FIELDS"]
+
+#: report fields measured in real seconds, not simulated cycles — excluded
+#: from determinism/equivalence comparison (two bit-identical runs still
+#: take different wall time)
+WALL_CLOCK_FIELDS = frozenset(
+    {"wall_time_s", "requests_per_sec", "cycles_per_sec"}
+)
 
 
 @dataclass
@@ -63,6 +70,14 @@ class ServeReport:
     #: sojourn percentiles of requests that needed >= 1 retry (recovery
     #: latency), ``None`` when nothing retried
     recovery: dict[str, float] | None = None
+    # -- wall-clock figures (see WALL_CLOCK_FIELDS) ---------------------------
+    #: real seconds the run took, from the engine's attached
+    #: :class:`~repro.obs.perf.PerfProfiler`; 0.0 when profiling was off
+    wall_time_s: float = 0.0
+    #: completed requests per wall-clock second (0.0 when unprofiled/empty)
+    requests_per_sec: float = 0.0
+    #: simulated cycles per wall-clock second (0.0 when unprofiled/empty)
+    cycles_per_sec: float = 0.0
 
     # -- defined-value accessors -----------------------------------------------
     # A run crashed or restored after 0 cycles / 0 completions still yields a
@@ -130,6 +145,12 @@ class ServeReport:
             lines.append(
                 "  recovery cycles: p50={p50:g} p95={p95:g} p99={p99:g} "
                 "max={max:g}".format(**self.recovery)
+            )
+        if self.wall_time_s > 0:
+            lines.append(
+                f"  wall clock: {self.wall_time_s:.3f}s, "
+                f"{self.cycles_per_sec:,.0f} cycles/s, "
+                f"{self.requests_per_sec:,.0f} requests/s"
             )
         return "\n".join(lines)
 

@@ -248,3 +248,78 @@ class TestFaultInjection:
         )
         assert code == 0
         assert "availability 0." in capsys.readouterr().out
+
+
+class TestPerfCommands:
+    @pytest.fixture(scope="class")
+    def trajectory(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("perf")
+        record = [
+            "perf", "record", "--scenario", "simulate",
+            "--repeats", "1", "--out-dir", str(out),
+        ]
+        assert main(record) == 0
+        assert main(record) == 0  # second session appends
+        return out / "BENCH_simulate.json"
+
+    def test_record_appends_to_trajectory(self, trajectory, capsys):
+        from repro.obs.trajectory import PerfTrajectory
+
+        assert trajectory.exists()
+        assert len(PerfTrajectory.load(trajectory)) == 2
+
+    def test_record_rejects_unknown_scenario(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["perf", "record", "--scenario", "bogus",
+                  "--out-dir", str(tmp_path)])
+
+    def test_report_renders_entries_and_phases(self, trajectory, capsys):
+        assert main(["perf", "report", str(trajectory)]) == 0
+        text = capsys.readouterr().out
+        assert "perf trajectory 'simulate': 2 entries" in text
+        assert "drain" in text
+        assert "cycles/s" in text
+
+    def test_diff_last_two_entries_passes(self, trajectory, capsys):
+        code = main([
+            "perf", "diff", str(trajectory),
+            "--max-wall-growth", "5.0", "--max-throughput-drop", "0.9",
+        ])
+        assert code == 0
+        assert "regression check: PASS" in capsys.readouterr().out
+
+    def test_diff_flags_injected_regression(self, trajectory, tmp_path, capsys):
+        import json
+
+        from repro.obs.trajectory import PerfTrajectory
+
+        slow = PerfTrajectory.load(trajectory).latest()
+        slow.throughput["wall_time_s"] *= 10
+        slow.throughput["cycles_per_sec"] /= 10
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(slow.to_json()))
+        code = main([
+            "perf", "diff", str(trajectory), str(candidate),
+            "--max-wall-growth", "0.5", "--max-throughput-drop", "0.5",
+        ])
+        assert code == 3
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_expose_trajectory_prometheus_text(self, trajectory, capsys):
+        assert main(["perf", "expose", str(trajectory)]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE pmtree_perf_simulate_cycles_per_sec gauge" in text
+        assert "# TYPE pmtree_perf_simulate_phase_drain_calls counter" in text
+
+    def test_expose_telemetry_artifact(
+        self, mapping_file, trace_file, tmp_path, capsys
+    ):
+        artifact = tmp_path / "obs.jsonl"
+        assert main([
+            "obs", "record", str(mapping_file), str(trace_file),
+            "--out", str(artifact),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["perf", "expose", str(artifact)]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE pmtree_total_conflicts gauge" in text

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    expose_snapshot_text,
+)
 
 
 class TestCounter:
@@ -92,3 +98,62 @@ class TestRegistry:
     def test_percentile_of_exact(self):
         assert MetricsRegistry.percentile_of([1, 2, 3, 4], 50) == pytest.approx(2.5)
         assert MetricsRegistry.percentile_of([], 95) == 0.0
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("requests.total").inc(7)
+        reg.gauge("queue.depth").set(3.5)
+        text = reg.expose_text()
+        assert "# TYPE pmtree_requests_total counter" in text
+        assert "pmtree_requests_total 7" in text
+        assert "# TYPE pmtree_queue_depth gauge" in text
+        assert "pmtree_queue_depth 3.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=[1, 2, 4])
+        h.observe_many([1, 2, 2, 8])
+        text = reg.expose_text()
+        assert 'pmtree_lat_bucket{le="1"} 1' in text
+        assert 'pmtree_lat_bucket{le="2"} 3' in text
+        assert 'pmtree_lat_bucket{le="4"} 3' in text
+        assert 'pmtree_lat_bucket{le="+Inf"} 4' in text
+        assert "pmtree_lat_sum 13" in text
+        assert "pmtree_lat_count 4" in text
+
+    def test_exposition_matches_snapshot_and_is_deterministic(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(2)
+        reg.counter("a").inc()
+        text = reg.expose_text()
+        assert text == expose_snapshot_text(reg.snapshot())
+        assert text == reg.expose_text()
+        # sorted by name: 'a' family precedes 'b'
+        assert text.index("pmtree_a") < text.index("pmtree_b")
+
+    def test_sanitized_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a_b").inc()
+        with pytest.raises(ValueError, match="both expose"):
+            reg.expose_text()
+
+    def test_leading_digit_and_prefixless(self):
+        text = expose_snapshot_text(
+            {"9lives": {"type": "counter", "value": 1}}, prefix=""
+        )
+        assert "_9lives 1" in text
+
+    def test_infinite_gauge_renders_as_inf(self):
+        import math
+
+        text = expose_snapshot_text(
+            {"g": {"type": "gauge", "value": math.inf}}
+        )
+        assert "pmtree_g +Inf" in text
+
+    def test_empty_registry_exposes_empty_string(self):
+        assert MetricsRegistry().expose_text() == ""

@@ -74,3 +74,52 @@ class TestDiff:
     def test_unknown_metric_rejected(self, artifacts):
         with pytest.raises(KeyError):
             diff_artifacts(artifacts["good"], artifacts["bad"], {"bogus": 0.0})
+
+
+class TestZeroBaseSemantics:
+    """The pinned base == 0 rules, in both gate directions."""
+
+    def test_zero_to_zero_is_zero_growth(self):
+        check = RegressionCheck("m", base=0.0, new=0.0, limit=0.0)
+        assert check.growth == 0.0
+        assert check.ok
+        assert RegressionCheck("m", base=0.0, new=0.0, limit=0.0,
+                               higher_is_better=True).ok
+
+    def test_zero_to_positive_is_infinite_growth(self):
+        import math
+
+        check = RegressionCheck("m", base=0.0, new=5.0, limit=1e9)
+        assert math.isinf(check.growth)
+        assert not check.ok  # no finite threshold admits a metric from nowhere
+        # ...but a throughput that appears from zero is an improvement
+        assert RegressionCheck("m", base=0.0, new=5.0, limit=0.0,
+                               higher_is_better=True).ok
+
+    def test_positive_to_zero_is_full_drop(self):
+        check = RegressionCheck("m", base=5.0, new=0.0, limit=0.0)
+        assert check.growth == -1.0
+        assert check.ok  # lower-is-better: vanishing is fine
+        assert not RegressionCheck("m", base=5.0, new=0.0, limit=0.5,
+                                   higher_is_better=True).ok
+
+
+class TestDirectionality:
+    def test_higher_is_better_flips_the_gate(self):
+        drop = RegressionCheck("thpt", base=100.0, new=80.0, limit=0.1,
+                               higher_is_better=True)
+        assert drop.growth == pytest.approx(-0.2)
+        assert not drop.ok
+        tolerated = RegressionCheck("thpt", base=100.0, new=95.0, limit=0.1,
+                                    higher_is_better=True)
+        assert tolerated.ok
+        gain = RegressionCheck("thpt", base=100.0, new=150.0, limit=0.0,
+                               higher_is_better=True)
+        assert gain.ok
+
+    def test_render_labels_direction(self):
+        up = RegressionCheck("wall", base=1.0, new=2.0, limit=0.5)
+        down = RegressionCheck("thpt", base=1.0, new=2.0, limit=0.5,
+                               higher_is_better=True)
+        assert "limit" in str(up) and "FAIL" in str(up)
+        assert "max drop" in str(down) and "ok" in str(down)

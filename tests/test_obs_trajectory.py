@@ -1,0 +1,204 @@
+"""Perf-trajectory artifacts: fingerprints, persistence, medians, the gate.
+
+Covers the contract between :mod:`repro.obs.trajectory` and the regression
+side in :mod:`repro.obs.regress`: artifacts round-trip through JSON with
+their identity (config fingerprint) intact, trajectories append rather than
+overwrite, ``median_of`` aggregates repeats element-wise, and
+:func:`~repro.obs.regress.diff_perf` gates wall time (lower is better) and
+throughput (higher is better) with the pinned zero-base semantics.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import PerfArtifact, PerfProfiler, PerfTrajectory, median_of
+from repro.obs.regress import diff_perf, summarize_perf
+from repro.obs.trajectory import (
+    ARTIFACT_VERSION,
+    config_fingerprint,
+    host_fingerprint,
+)
+
+CONFIG = {"kind": "demo", "cycles": 100, "seed": 7}
+
+
+def _artifact(wall=2.0, cps=500.0, name="demo", config=CONFIG, phases=None):
+    return PerfArtifact(
+        name=name,
+        config=dict(config),
+        phases=phases
+        or {"drain": {"calls": 100, "total_s": wall * 0.8, "self_s": wall * 0.75}},
+        throughput={
+            "wall_time_s": wall,
+            "cycles_per_sec": cps,
+            "requests_per_sec": cps / 2,
+            "events_per_sec": 0.0,
+        },
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = {"x": 1, "y": [1, 2]}
+        b = {"y": [1, 2], "x": 1}
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"x": 1}) != config_fingerprint({"x": 2})
+
+    def test_artifact_autofingerprints(self):
+        art = _artifact()
+        assert art.fingerprint == config_fingerprint(CONFIG)
+
+    def test_host_fingerprint_shape(self):
+        host = host_fingerprint()
+        assert {"platform", "machine", "python", "cpus"} <= set(host)
+
+
+class TestArtifact:
+    def test_json_round_trip(self):
+        art = _artifact()
+        clone = PerfArtifact.from_json(json.loads(json.dumps(art.to_json())))
+        assert clone == art
+
+    def test_newer_version_rejected(self):
+        payload = _artifact().to_json()
+        payload["version"] = ARTIFACT_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            PerfArtifact.from_json(payload)
+
+    def test_from_profiler(self):
+        prof = PerfProfiler(calibrate=False)
+        prof.start()
+        with prof.span("work"):
+            pass
+        prof.stop()
+        prof.count("cycles", 10)
+        art = PerfArtifact.from_profiler("demo", prof, CONFIG, repeats=2)
+        assert art.name == "demo"
+        assert art.repeats == 2
+        assert "work" in art.phases
+        assert art.wall_time_s == prof.wall_time_s
+
+    def test_scalars_flatten_phases(self):
+        scalars = _artifact(wall=2.0).scalars()
+        assert scalars["wall_time_s"] == 2.0
+        assert scalars["phase.drain.total_s"] == pytest.approx(1.6)
+        assert summarize_perf(_artifact()) == scalars
+
+
+class TestMedianOf:
+    def test_elementwise_median(self):
+        arts = [_artifact(wall=w, cps=c) for w, c in [(1.0, 90.0), (3.0, 100.0), (2.0, 110.0)]]
+        med = median_of(arts)
+        assert med.wall_time_s == 2.0
+        assert med.throughput["cycles_per_sec"] == 100.0
+        assert med.repeats == 3
+
+    def test_mismatched_scenarios_rejected(self):
+        with pytest.raises(ValueError, match="different scenarios"):
+            median_of([_artifact(), _artifact(config={"kind": "other"})])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_of([])
+
+
+class TestTrajectory:
+    def test_append_save_load(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        trajectory = PerfTrajectory.open(path, "demo")
+        assert len(trajectory) == 0 and trajectory.latest() is None
+        trajectory.append(_artifact(wall=1.0))
+        trajectory.save(path)
+        # a second recording session appends, never overwrites
+        again = PerfTrajectory.open(path, "demo")
+        again.append(_artifact(wall=2.0))
+        again.save(path)
+        loaded = PerfTrajectory.load(path)
+        assert len(loaded) == 2
+        assert loaded.previous().wall_time_s == 1.0
+        assert loaded.latest().wall_time_s == 2.0
+
+    def test_foreign_artifact_rejected(self):
+        with pytest.raises(ValueError, match="does not belong"):
+            PerfTrajectory("demo").append(_artifact(name="other"))
+
+    def test_open_wrong_name_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        t = PerfTrajectory("demo")
+        t.append(_artifact())
+        t.save(path)
+        with pytest.raises(ValueError, match="holds trajectory"):
+            PerfTrajectory.open(path, "other")
+
+    def test_single_artifact_file_loads_as_one_entry(self, tmp_path):
+        path = tmp_path / "candidate.json"
+        path.write_text(json.dumps(_artifact().to_json()))
+        loaded = PerfTrajectory.load(path)
+        assert len(loaded) == 1
+        assert loaded.name == "demo"
+
+
+class TestDiffPerf:
+    def test_identical_passes(self):
+        report = diff_perf(_artifact(), _artifact())
+        assert report.ok
+        gated = {c.metric for c in report.checks}
+        assert gated == {
+            "wall_time_s",
+            "cycles_per_sec",
+            "requests_per_sec",
+            "events_per_sec",
+        }
+
+    def test_wall_growth_fails(self):
+        report = diff_perf(_artifact(wall=1.0), _artifact(wall=2.0), max_wall_growth=0.5)
+        assert not report.ok
+        failing = [c.metric for c in report.checks if not c.ok]
+        assert failing == ["wall_time_s"]
+
+    def test_throughput_drop_fails(self):
+        report = diff_perf(
+            _artifact(cps=1000.0), _artifact(cps=100.0), max_throughput_drop=0.5
+        )
+        assert not report.ok
+        failing = {c.metric for c in report.checks if not c.ok}
+        assert failing == {"cycles_per_sec", "requests_per_sec"}
+
+    def test_throughput_gain_always_passes(self):
+        report = diff_perf(
+            _artifact(wall=2.0, cps=100.0),
+            _artifact(wall=1.0, cps=1000.0),
+            max_throughput_drop=0.0,
+        )
+        assert report.ok
+
+    def test_zero_base_throughput_stays_green(self):
+        # events_per_sec is 0 -> 0 in both: pinned as 0.0 growth, passes
+        report = diff_perf(_artifact(), _artifact(), max_throughput_drop=0.0)
+        events = next(c for c in report.checks if c.metric == "events_per_sec")
+        assert events.growth == 0.0 and events.ok
+
+    def test_sub_millisecond_baseline_skips_gate(self):
+        report = diff_perf(
+            _artifact(wall=0.0001), _artifact(wall=1.0), min_wall_s=0.001
+        )
+        assert report.checks == []
+        assert report.ok
+
+    def test_trajectory_sources_use_latest_entry(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        t = PerfTrajectory("demo")
+        t.append(_artifact(wall=9.0))  # stale entry must be ignored
+        t.append(_artifact(wall=1.0))
+        t.save(path)
+        report = diff_perf(path, _artifact(wall=1.1), max_wall_growth=0.5)
+        assert report.ok
+
+    def test_empty_trajectory_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        PerfTrajectory("demo").save(path)
+        with pytest.raises(ValueError, match="no entries"):
+            diff_perf(path, _artifact())
