@@ -1,0 +1,137 @@
+"""E21 — fleet: scaling, noisy-neighbour containment, shard-loss failover.
+
+Three claims about the sharded multi-tenant serving fleet.  First, with
+load balanced placement the fleet's goodput scales >= 0.8x linear from 1
+to 4 shards under a heavy-tailed (Zipf) tenant mix at a shard-saturating
+rate.  Second, balance-bounded tenant-affinity routing strictly beats
+round-robin on fleet p95 sojourn when one bursty noisy-neighbour tenant
+shares the fleet with 23 well-behaved small tenants: affinity walls the
+burst into one shard, round-robin sprays it over every queue.  Third,
+killing a shard mid-run is survivable — the dead shard's queue re-routes
+to survivors, every request is accounted exactly once, and the goodput
+loss against the unkilled control is bounded by 25%.  This file pins all
+three and times the fleet step loop.
+"""
+
+import pytest
+
+from repro.core import ColorMapping
+from repro.fleet import FleetCoordinator, heavy_tailed_tenants
+from repro.memory import ParallelMemorySystem
+from repro.serve import BurstyClient, PoissonClient, ServeEngine, TemplateMix
+from repro.serve.clients import spawn_seeds
+from repro.trees import CompleteBinaryTree
+
+WORKLOAD = "subtree:15=1,path:9=1,level:7=1"
+
+
+def _make_shards(n, levels=10, modules=15):
+    shards = []
+    for _ in range(n):
+        tree = CompleteBinaryTree(levels)
+        mapping = ColorMapping.for_modules(tree, modules)
+        shards.append(
+            ServeEngine(ParallelMemorySystem(mapping), policy="greedy-pack")
+        )
+    return shards
+
+
+def _noisy_population(tree, seed, num_tenants=24):
+    """One on/off subtree:63 burster plus well-behaved small tenants."""
+    seeds = spawn_seeds(seed, num_tenants)
+    clients = [
+        BurstyClient(
+            client_id=0,
+            mix=TemplateMix.parse(tree, "subtree:63=1"),
+            rate=0.5,
+            mean_on=40,
+            mean_off=200,
+            seed=seeds[0],
+            tenant="t0",
+        )
+    ]
+    for i in range(1, num_tenants):
+        family = "path:5" if i % 2 else "level:7"
+        clients.append(
+            PoissonClient(
+                client_id=i,
+                mix=TemplateMix.parse(tree, f"{family}=1"),
+                rate=3.0 / (num_tenants - 1),
+                seed=seeds[i],
+                tenant=f"t{i}",
+            )
+        )
+    return clients
+
+
+def test_e21_claim_holds():
+    from repro.bench.experiments import e21_fleet
+
+    result = e21_fleet("quick")
+    assert result.holds, str(result)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return CompleteBinaryTree(10)
+
+
+def test_e21_goodput_scales_near_linear(tree):
+    """4 shards at 4x the saturating rate complete >= 0.8x of 4x the
+    single-shard goodput — the coordinator adds no serial bottleneck."""
+    goodput = {}
+    for num_shards in (1, 4):
+        population = heavy_tailed_tenants(
+            tree, 4 * num_shards, WORKLOAD, 1.0 * num_shards, seed=5
+        )
+        report = FleetCoordinator(
+            _make_shards(num_shards), router="least-loaded"
+        ).run(population.clients, 600)
+        goodput[num_shards] = report.goodput
+    assert goodput[4] >= 0.8 * 4 * goodput[1], goodput
+
+
+def test_e21_affinity_contains_noisy_neighbour(tree):
+    """Fleet p95 under affinity stays strictly below round-robin on every
+    seed: the burster burns alone instead of burning everyone."""
+    for seed in (0, 1, 2):
+        p95 = {}
+        for router in ("affinity", "round-robin"):
+            report = FleetCoordinator(_make_shards(4), router=router).run(
+                _noisy_population(tree, seed), 800
+            )
+            p95[router] = report.p95
+        assert p95["affinity"] < p95["round-robin"], (seed, p95)
+
+
+def test_e21_shard_kill_bounded_loss(tree):
+    """Kill shard 2 at half-run: the fleet completes, re-routes the dead
+    shard's queue, accounts exactly once, and loses <= 25% goodput."""
+
+    def population():
+        return heavy_tailed_tenants(tree, 12, WORKLOAD, 3.5, seed=5).clients
+
+    control = FleetCoordinator(_make_shards(4), router="least-loaded").run(
+        population(), 600
+    )
+    killed = FleetCoordinator(
+        _make_shards(4), router="least-loaded", kills=["2@300"]
+    ).run(population(), 600)
+    assert killed.dead_shards == [2]
+    assert killed.rerouted > 0
+    assert killed.rerouted_completed > 0
+    assert killed.completed + killed.shard_shed == killed.routed
+    assert killed.availability < 1.0 == control.availability
+    assert killed.goodput >= 0.75 * control.goodput, (
+        control.goodput, killed.goodput,
+    )
+
+
+@pytest.mark.parametrize("router", ["round-robin", "least-loaded", "affinity"])
+def test_bench_fleet_step_loop(benchmark, tree, router):
+    population = heavy_tailed_tenants(tree, 12, WORKLOAD, 2.0, seed=5)
+    benchmark(
+        lambda: FleetCoordinator(_make_shards(4), router=router).run(
+            population.clients, 300
+        )
+    )

@@ -41,6 +41,8 @@ EXPECTED_PHASES = {
         "checkpoint",
         "journal",
     },
+    # shard engines share one profiler, so the fleet rolls up engine phases
+    "fleet": {"retire", "admit", "dispatch", "service"},
 }
 
 #: scaled-down overrides per scenario kind for the record-and-diff claim
@@ -49,6 +51,7 @@ QUICK = {
     "serve": {"cycles": 300},
     "serve_faults": {"cycles": 300},
     "serve_checkpoint": {"cycles": 300},
+    "fleet": {"cycles": 200},
 }
 
 

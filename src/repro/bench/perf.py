@@ -13,7 +13,10 @@ noise of the recorded wall clock.  The matrix spans the system's layers:
 * ``serve_faults``     — serving through a fault schedule with color repair
   and the retry ladder (the resilience paths);
 * ``serve_checkpoint`` — a durable serve run with checkpoints + journal
-  (the :mod:`repro.serve.durability` write paths).
+  (the :mod:`repro.serve.durability` write paths);
+* ``fleet``            — a 4-shard multi-tenant fleet under affinity
+  routing (the :mod:`repro.fleet` coordinator step loop), spans rolled up
+  across all shard engines into one profile.
 
 :func:`run_scenario` profiles ``repeats`` fresh runs and returns the
 element-wise median artifact (:func:`~repro.obs.trajectory.median_of`), the
@@ -82,6 +85,19 @@ SCENARIOS: dict[str, dict] = {
         "seed": 0,
         "checkpoint_every": 100,
     },
+    "fleet": {
+        "kind": "fleet",
+        "levels": 10,
+        "modules": 15,
+        "policy": "greedy-pack",
+        "shards": 4,
+        "router": "affinity",
+        "tenants": 12,
+        "arrival_rate": 2.0,
+        "cycles": 600,
+        "workload": "subtree:15=1,path:9=1,level:7=1",
+        "seed": 5,
+    },
 }
 
 
@@ -106,6 +122,7 @@ def _build_engine(config: dict, profiler: PerfProfiler):
     from repro.memory import ParallelMemorySystem, parse_faults
     from repro.memory.faults import FaultSchedule
     from repro.serve import PoissonClient, ServeEngine, TemplateMix
+    from repro.serve.clients import spawn_seeds
     from repro.trees import CompleteBinaryTree
 
     tree = CompleteBinaryTree(config["levels"])
@@ -125,8 +142,9 @@ def _build_engine(config: dict, profiler: PerfProfiler):
     )
     mix = TemplateMix.parse(tree, config["workload"])
     per_client = config["arrival_rate"] / config["clients"]
+    seeds = spawn_seeds(config["seed"], config["clients"])
     clients = [
-        PoissonClient(i, mix, per_client, seed=config["seed"] + i)
+        PoissonClient(i, mix, per_client, seed=seeds[i])
         for i in range(config["clients"])
     ]
     return engine, clients
@@ -151,10 +169,43 @@ def _run_serve_checkpoint(config: dict, profiler: PerfProfiler) -> None:
         server.serve(config["cycles"])
 
 
+def _run_fleet(config: dict, profiler: PerfProfiler) -> None:
+    from repro.core import ColorMapping
+    from repro.fleet import FleetCoordinator, heavy_tailed_tenants
+    from repro.memory import ParallelMemorySystem
+    from repro.serve import ServeEngine
+    from repro.trees import CompleteBinaryTree
+
+    shards = []
+    for _ in range(config["shards"]):
+        tree = CompleteBinaryTree(config["levels"])
+        mapping = ColorMapping.for_modules(tree, config["modules"])
+        # one shared profiler: spans from every shard engine roll up into
+        # a single fleet-wide profile (start/stop are idempotent/tolerant)
+        shards.append(
+            ServeEngine(
+                ParallelMemorySystem(mapping, profiler=profiler),
+                policy=config["policy"],
+                profiler=profiler,
+            )
+        )
+    population = heavy_tailed_tenants(
+        CompleteBinaryTree(config["levels"]),
+        config["tenants"],
+        config["workload"],
+        config["arrival_rate"],
+        seed=config["seed"],
+    )
+    coordinator = FleetCoordinator(shards, router=config["router"])
+    report = coordinator.run(population.clients, max_cycles=config["cycles"])
+    profiler.count("requests", report.routed)
+
+
 _RUNNERS = {
     "simulate": _run_simulate,
     "serve": _run_serve,
     "serve_checkpoint": _run_serve_checkpoint,
+    "fleet": _run_fleet,
 }
 
 

@@ -259,6 +259,7 @@ def _build_serve(config: dict):
         PoissonClient,
         ServeEngine,
         TemplateMix,
+        spawn_seeds,
     )
 
     if config["mapping"]:
@@ -290,20 +291,20 @@ def _build_serve(config: dict):
         repair=config["repair"],
     )
     per_client = config["arrival_rate"] / config["clients"]
-    seed = config["seed"]
+    seeds = spawn_seeds(config["seed"], config["clients"])
     clients = []
     for i in range(config["clients"]):
         if config["traffic"] == "poisson":
-            clients.append(PoissonClient(i, mix, per_client, seed=seed + i))
+            clients.append(PoissonClient(i, mix, per_client, seed=seeds[i]))
         elif config["traffic"] == "bursty":
-            clients.append(BurstyClient(i, mix, per_client, seed=seed + i))
+            clients.append(BurstyClient(i, mix, per_client, seed=seeds[i]))
         else:
             clients.append(
                 ClosedLoopClient(
                     i,
                     mix,
                     think_time=config["think_time"],
-                    seed=seed + i,
+                    seed=seeds[i],
                 )
             )
     return engine, clients, recorder
@@ -390,6 +391,66 @@ def cmd_recover(args) -> int:
     )
     obs_path = args.obs or config.get("obs")
     return _finish_serve(report, recorder, obs_path)
+
+
+def cmd_fleet(args) -> int:
+    from repro.fleet import FleetCoordinator, SLOClass, heavy_tailed_tenants
+    from repro.memory import FaultSchedule, per_shard_schedules
+    from repro.obs import EventRecorder
+    from repro.serve import ServeEngine
+
+    tree = CompleteBinaryTree(args.levels)
+    schedule = None
+    if args.faults:
+        schedule = _resolve_faults(args.faults)
+        if not isinstance(schedule, FaultSchedule):
+            schedule = FaultSchedule.from_model(schedule)
+    schedules = per_shard_schedules(schedule, args.shards)
+    shards = []
+    for shard in range(args.shards):
+        mapping = ColorMapping.for_modules(tree, args.modules)
+        pms = ParallelMemorySystem(mapping)
+        if schedules[shard] is not None:
+            pms.attach_faults(schedules[shard])
+        shards.append(
+            ServeEngine(
+                pms,
+                policy=args.policy,
+                queue_capacity=args.queue_capacity,
+                admission=args.admission,
+                max_batch_components=args.batch_components,
+                retry_timeout=args.retry_timeout,
+                max_retries=args.max_retries,
+                repair=args.repair,
+            )
+        )
+    gold = SLOClass("gold", deadline=args.gold_deadline, weight=args.gold_weight)
+    population = heavy_tailed_tenants(
+        tree,
+        args.tenants,
+        args.workload,
+        args.arrival_rate,
+        seed=args.seed,
+        alpha=args.tenant_alpha,
+        quota=args.quota,
+        gold_every=args.gold_every,
+        gold=gold,
+    )
+    recorder = EventRecorder() if args.obs else None
+    fleet = FleetCoordinator(
+        shards,
+        router=args.router,
+        directory=population.directory,
+        recorder=recorder,
+        kills=args.kill_shard_at or (),
+    )
+    report = fleet.run(population.clients, args.cycles)
+    print(report)
+    if recorder is not None:
+        recorder.set_meta(mode="fleet")
+        path = recorder.save(args.obs)
+        print(f"wrote telemetry ({len(recorder.events)} events) to {path}")
+    return 0
 
 
 def cmd_obs_record(args) -> int:
@@ -729,6 +790,114 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the telemetry artifact path from the original run",
     )
     recover.set_defaults(fn=cmd_recover)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="serve a multi-tenant stream across N engine shards with "
+        "routing, quotas and shard-loss failover",
+    )
+    fleet.add_argument("--shards", type=int, default=4, help="engine shards N")
+    fleet.add_argument(
+        "--router",
+        choices=["round-robin", "least-loaded", "affinity"],
+        default="affinity",
+        help="request placement strategy",
+    )
+    fleet.add_argument("--levels", type=int, default=10, help="tree levels H")
+    fleet.add_argument(
+        "--modules", type=int, default=15, help="modules M per shard (COLOR)"
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=["fifo", "greedy-pack", "load-aware"],
+        default="greedy-pack",
+    )
+    fleet.add_argument("--cycles", type=int, default=800, help="arrival window")
+    fleet.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=1.2,
+        help="total arrivals per cycle across the whole tenant population",
+    )
+    fleet.add_argument(
+        "--workload",
+        default="subtree:15=1,path:9=1,level:7=1",
+        help="template families cycled across tenants (kind:size=weight terms)",
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=8, help="tenant population size"
+    )
+    fleet.add_argument(
+        "--tenant-alpha",
+        type=float,
+        default=1.2,
+        help="Zipf exponent for the heavy-tailed tenant rate split",
+    )
+    fleet.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        help="max outstanding requests per tenant (fleet admission)",
+    )
+    fleet.add_argument(
+        "--gold-every",
+        type=int,
+        default=0,
+        help="promote every k-th tenant to the gold SLO class (0 = none)",
+    )
+    fleet.add_argument(
+        "--gold-deadline",
+        type=int,
+        default=96,
+        help="gold-class completion deadline in cycles",
+    )
+    fleet.add_argument(
+        "--gold-weight",
+        type=float,
+        default=4.0,
+        help="gold-class admission weight (bronze is 1)",
+    )
+    fleet.add_argument(
+        "--kill-shard-at",
+        action="append",
+        metavar="SHARD@CYCLE",
+        help="kill a shard mid-run (repeatable; bare CYCLE kills shard 0)",
+    )
+    fleet.add_argument(
+        "--queue-capacity", type=int, default=256, help="per-shard admission bound"
+    )
+    fleet.add_argument(
+        "--admission", choices=["block", "shed", "degrade"], default="block"
+    )
+    fleet.add_argument(
+        "--batch-components", type=int, default=4, help="the paper's c"
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="per-shard fault schedules fanned out from one seeded spec "
+        "(same windows, independent drop lotteries)",
+    )
+    fleet.add_argument(
+        "--repair",
+        choices=["none", "oblivious", "color"],
+        default="none",
+        help="per-shard repair mode for dead modules",
+    )
+    fleet.add_argument(
+        "--retry-timeout",
+        type=int,
+        default=None,
+        help="per-shard batch abort threshold in cycles",
+    )
+    fleet.add_argument(
+        "--max-retries", type=int, default=3, help="retries before degrading"
+    )
+    fleet.add_argument(
+        "--obs", metavar="PATH", help="record fleet routing telemetry to .jsonl"
+    )
+    fleet.set_defaults(fn=cmd_fleet)
 
     obs = sub.add_parser("obs", help="telemetry: record / report / diff / export")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -1,0 +1,57 @@
+"""Sharded multi-tenant serving: many engines, one front door.
+
+Where :mod:`repro.serve` drives *one* engine over one memory system, this
+package scales out: a :class:`FleetCoordinator` step-drives N engine shards
+in lockstep behind fleet-level admission control — pluggable request
+routing (:mod:`repro.fleet.router`: round-robin, least-loaded, sticky
+tenant/template affinity), per-tenant quotas and SLO classes
+(:mod:`repro.fleet.tenancy`), and shard-loss failover that detects a dead
+shard from its fault schedule and re-routes everything it held to the
+survivors.  Results merge into a :class:`FleetReport`
+(:mod:`repro.fleet.report`): exactly-once fleet counters plus the per-shard
+:class:`~repro.serve.slo.ServeReport` detail.
+
+CLI: ``pmtree fleet --shards 4 --router affinity --tenants 12 --quota 8
+--kill-shard-at 2@400 ...``; experiment E21 pins the scaling, affinity and
+failover claims.
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, ShardFeed, ShardKill
+from repro.fleet.report import FleetReport
+from repro.fleet.router import (
+    ROUTERS,
+    AffinityRouter,
+    LeastLoadedRouter,
+    Router,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.fleet.tenancy import (
+    BRONZE,
+    GOLD,
+    SLOClass,
+    TenantDirectory,
+    TenantPolicy,
+    TenantPopulation,
+    heavy_tailed_tenants,
+)
+
+__all__ = [
+    "BRONZE",
+    "GOLD",
+    "ROUTERS",
+    "AffinityRouter",
+    "FleetCoordinator",
+    "FleetReport",
+    "LeastLoadedRouter",
+    "Router",
+    "RoundRobinRouter",
+    "SLOClass",
+    "ShardFeed",
+    "ShardKill",
+    "TenantDirectory",
+    "TenantPolicy",
+    "TenantPopulation",
+    "heavy_tailed_tenants",
+    "make_router",
+]

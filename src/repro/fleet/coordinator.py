@@ -1,0 +1,548 @@
+"""The fleet coordinator: N serving engines step-driven in lockstep.
+
+:class:`FleetCoordinator` owns a row of :class:`~repro.serve.engine.ServeEngine`
+shards (replicated trees, or partitioned ones — each engine brings its own
+system/mapping) and drives them with the same ``start`` / ``step`` /
+``finish`` contract the engines themselves expose.  Each fleet cycle:
+
+1. **shard-loss edges** — a shard whose kill schedule (a PR-3
+   :class:`~repro.memory.faults.FaultSchedule` of ``fail`` windows covering
+   every module) says the whole array is down is declared dead: it is never
+   stepped again, and every request it held (feed backlog, admission queue,
+   blocked arrivals, in-flight batch) is re-routed to the survivors;
+2. **fleet admission** — tenant clients are polled, arrivals are ordered by
+   SLO-class weight (stable, so gold outranks bronze when they race for
+   room), per-tenant outstanding-request quotas shed the excess, and the
+   :class:`~repro.fleet.router.Router` places what remains onto per-shard
+   :class:`ShardFeed` queues;
+3. **lockstep stepping** — every alive shard advances one cycle, draining
+   its feed through the normal engine arrival path (so shard-local admission
+   control, batching, faults and durability all apply unchanged).
+
+Fleet accounting is exactly-once: a re-routed request arrives *again* at its
+new shard (shard trackers double-count it by design — each shard reports
+what it saw), but the coordinator's ``routed`` / ``completed`` / ``shed``
+counters track logical requests, closed by completion callbacks relayed
+through the feeds.
+
+Telemetry: ``fleet_route`` / ``fleet_shed`` / ``shard_down`` /
+``fleet_reroute`` events on the coordinator's recorder; per-shard wall-clock
+spans roll up naturally when the engines share one
+:class:`~repro.obs.perf.PerfProfiler` (lockstep stepping never nests spans).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.fleet.report import FleetReport
+from repro.fleet.router import Router, make_router
+from repro.fleet.tenancy import TenantDirectory
+from repro.memory.faults import FaultSchedule, FaultWindow
+from repro.memory.stats import latency_summary
+from repro.obs.events import NullRecorder
+from repro.serve.clients import Client
+from repro.serve.engine import ServeEngine
+from repro.serve.request import Request
+from repro.serve.slo import SLOTracker
+from repro.templates.base import TemplateInstance
+
+__all__ = ["FleetCoordinator", "ShardFeed", "ShardKill"]
+
+
+class ShardFeed(Client):
+    """The bridge between fleet routing and one shard's arrival path.
+
+    The coordinator pushes routed ``(instance, tenant)`` pairs in; the
+    engine drains them via :meth:`poll_tenants` on its next step, so routed
+    work flows through the shard's normal admission control.  Completion and
+    shed callbacks are relayed back to the coordinator for fleet-level
+    exactly-once accounting.
+    """
+
+    def __init__(self, shard_id: int, coordinator: "FleetCoordinator"):
+        super().__init__(client_id=shard_id)
+        self.shard_id = shard_id
+        self._coordinator = coordinator
+        self._incoming: deque[tuple[TemplateInstance, str]] = deque()
+
+    @property
+    def backlog_items(self) -> int:
+        """Items pushed but not yet polled by the shard."""
+        return sum(instance.size for instance, _ in self._incoming)
+
+    def push(self, instance: TemplateInstance, tenant: str) -> None:
+        self._incoming.append((instance, tenant))
+
+    def drain(self) -> list[tuple[TemplateInstance, str]]:
+        """Take the un-polled backlog (used when the shard dies)."""
+        out = list(self._incoming)
+        self._incoming.clear()
+        return out
+
+    def poll_tenants(self, cycle: int) -> list[tuple[TemplateInstance, str | None]]:
+        out = list(self._incoming)
+        self._incoming.clear()
+        self.generated += len(out)
+        return out
+
+    def poll(self, cycle: int) -> list:
+        return [instance for instance, _ in self.poll_tenants(cycle)]
+
+    def notify(self, request: Request, cycle: int) -> None:
+        self._coordinator._on_complete(self.shard_id, request, cycle)
+
+    def notify_shed(self, request: Request, cycle: int) -> None:
+        self._coordinator._on_shed(self.shard_id, request, cycle)
+
+
+@dataclass(frozen=True)
+class ShardKill:
+    """Schedule one shard's death: the whole module array fails at ``cycle``
+    and never recovers (within the run)."""
+
+    shard: int
+    cycle: int
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.cycle < 1:
+            raise ValueError(f"kill cycle must be >= 1, got {self.cycle}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ShardKill":
+        """``"SHARD@CYCLE"``, or a bare ``"CYCLE"`` killing shard 0."""
+        try:
+            if "@" in spec:
+                shard_str, _, cycle_str = spec.partition("@")
+                return cls(int(shard_str), int(cycle_str))
+            return cls(0, int(spec))
+        except ValueError as exc:
+            raise ValueError(
+                f"bad kill spec {spec!r} (expected SHARD@CYCLE or CYCLE): {exc}"
+            ) from exc
+
+    def schedule(self, num_modules: int) -> FaultSchedule:
+        """The kill as a fault schedule: open-ended ``fail`` windows over
+        every module of the shard's array."""
+        return FaultSchedule(
+            [FaultWindow("fail", m, self.cycle) for m in range(num_modules)]
+        )
+
+
+class FleetCoordinator:
+    """Step-drive N shards behind fleet-level routing and admission.
+
+    Parameters
+    ----------
+    shards:
+        The engines, one per shard.  They may share a profiler (spans roll
+        up) but must not share systems or recorders with each other.
+    router:
+        A :class:`~repro.fleet.router.Router` or registry name
+        (``"round-robin"``, ``"least-loaded"``, ``"affinity"``).
+    directory:
+        Per-tenant quota/SLO policies; the default directory is quota-free
+        best-effort.
+    recorder:
+        Receives ``fleet_route`` / ``fleet_shed`` / ``shard_down`` /
+        ``fleet_reroute`` events.  Defaults to a disabled
+        :class:`~repro.obs.events.NullRecorder`.
+    kills:
+        :class:`ShardKill` specs (or parseable strings).  Each is expanded
+        to a full-array fault schedule; the coordinator declares the shard
+        dead at the first cycle the schedule has every module down.
+    """
+
+    def __init__(
+        self,
+        shards: list[ServeEngine],
+        *,
+        router: Router | str = "round-robin",
+        directory: TenantDirectory | None = None,
+        recorder=None,
+        kills=(),
+    ):
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        self.shards = list(shards)
+        self.router = make_router(router) if isinstance(router, str) else router
+        self.directory = directory if directory is not None else TenantDirectory()
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self._feeds = [ShardFeed(i, self) for i in range(len(self.shards))]
+        self._kills: dict[int, FaultSchedule] = {}
+        self._kill_specs: list[ShardKill] = []
+        for kill in kills:
+            if isinstance(kill, str):
+                kill = ShardKill.parse(kill)
+            if not 0 <= kill.shard < len(self.shards):
+                raise ValueError(
+                    f"kill names shard {kill.shard}; fleet has "
+                    f"{len(self.shards)} shards"
+                )
+            if kill.shard in self._kills:
+                raise ValueError(f"shard {kill.shard} killed twice")
+            self._kill_specs.append(kill)
+            self._kills[kill.shard] = kill.schedule(
+                self.shards[kill.shard].system.num_modules
+            )
+        self._alive = [True] * len(self.shards)
+        self._dead: list[int] = []
+        self._clients: list[Client] = []
+        self._engine_done = [False] * len(self.shards)
+        self._outstanding: dict[str, int] = {}
+        self._rerouted_live: set[int] = set()
+        self._arrivals = 0
+        self._routed = 0
+        self._quota_shed = 0
+        self._rerouted = 0
+        self._rerouted_completed = 0
+        self._completed = 0
+        self._completed_items = 0
+        self._shard_shed = 0
+        self._alive_steps = 0
+        self._scheduled_steps = 0
+        self._max_cycles = 0
+        self._cycle = 0
+        self._active = False
+
+    # -- routing surface (used by Router implementations) ----------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def alive_shards(self) -> list[int]:
+        """Sorted ids of shards still taking traffic."""
+        return [s for s in range(len(self.shards)) if self._alive[s]]
+
+    def shard_load(self, shard: int) -> int:
+        """Backlog items a shard holds: routed-but-unpolled feed entries,
+        admitted + blocked queue items, and the in-flight batch."""
+        engine = self.shards[shard]
+        load = self._feeds[shard].backlog_items
+        load += engine.queue.pending_items
+        load += sum(req.size for req in engine.queue.waiting)
+        load += sum(req.size for req in engine._requests.values())
+        return load
+
+    # -- feed callbacks --------------------------------------------------------
+
+    def _settle(self, request: Request) -> None:
+        label = request.tenant if request.tenant is not None else "?"
+        count = self._outstanding.get(label, 0)
+        if count > 0:
+            self._outstanding[label] = count - 1
+
+    def _on_complete(self, shard: int, request: Request, cycle: int) -> None:
+        self._completed += 1
+        self._completed_items += request.size
+        self._settle(request)
+        key = id(request.instance)
+        if key in self._rerouted_live:
+            self._rerouted_live.discard(key)
+            self._rerouted_completed += 1
+
+    def _on_shed(self, shard: int, request: Request, cycle: int) -> None:
+        self._shard_shed += 1
+        self._settle(request)
+        self._rerouted_live.discard(id(request.instance))
+
+    # -- shard loss ------------------------------------------------------------
+
+    def _fully_down(self, shard: int, cycle: int) -> bool:
+        schedule = self._kills.get(shard)
+        if schedule is None:
+            return False
+        num_modules = self.shards[shard].system.num_modules
+        down = {
+            w.module
+            for w in schedule.windows
+            if w.kind == "fail"
+            and w.start <= cycle
+            and (w.end is None or cycle < w.end)
+        }
+        return len(down) >= num_modules
+
+    def _kill_shard(self, shard: int, cycle: int) -> None:
+        """Declare a shard dead and move its held work to the survivors.
+
+        The shard's engine is frozen exactly as it stood (its tracker keeps
+        what it measured); the work it can no longer serve — feed backlog,
+        admitted queue, blocked arrivals, the in-flight batch — re-enters
+        the fleet as fresh arrivals on surviving shards.  Failover is
+        at-least-once: items a dying batch already served are re-served by
+        the new shard; fleet counters still count the request once.
+        """
+        self._alive[shard] = False
+        self._dead.append(shard)
+        engine = self.shards[shard]
+        work: list[tuple[TemplateInstance, str]] = list(self._feeds[shard].drain())
+        seen: set[int] = set()
+        held = list(engine.queue.pending) + list(engine.queue.waiting)
+        held += list(engine._requests.values())
+        for req in held:
+            if req.request_id in seen:
+                continue
+            seen.add(req.request_id)
+            label = req.tenant if req.tenant is not None else str(req.client_id)
+            work.append((req.instance, label))
+        self.router.on_shard_down(shard, self)
+        rec = self.recorder
+        if rec.enabled:
+            rec.event("shard_down", cycle=cycle, shard=shard, rerouted=len(work))
+        if not self.alive_shards:
+            if work:
+                raise RuntimeError(
+                    f"shard {shard} died holding {len(work)} requests with no "
+                    f"surviving shard to take them"
+                )
+            return
+        for instance, label in work:
+            target = self.router.place(label, instance, self)
+            self._feeds[target].push(instance, label)
+            self._rerouted += 1
+            self._rerouted_live.add(id(instance))
+            if rec.enabled:
+                rec.event(
+                    "fleet_reroute",
+                    cycle=cycle,
+                    tenant=label,
+                    source=shard,
+                    shard=target,
+                    size=instance.size,
+                )
+
+    # -- main loop -------------------------------------------------------------
+
+    def start(
+        self,
+        clients: list[Client],
+        max_cycles: int,
+        drain: bool = True,
+        drain_limit: int = 1_000_000,
+    ) -> None:
+        """Arm a fresh fleet run and every shard under it."""
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        for kill in self._kill_specs:
+            if kill.cycle >= max_cycles:
+                raise ValueError(
+                    f"shard {kill.shard} killed at cycle {kill.cycle}, but "
+                    f"arrivals stop at {max_cycles}: re-routed work could "
+                    f"never re-enter the surviving shards"
+                )
+        ids = {client.client_id for client in clients}
+        if len(ids) != len(clients):
+            raise ValueError("fleet client ids must be unique")
+        self._clients = list(clients)
+        for shard, engine in enumerate(self.shards):
+            feed = self._feeds[shard]
+            feed._incoming.clear()
+            feed.generated = 0
+            engine.start([feed], max_cycles, drain=drain, drain_limit=drain_limit)
+        self.router.reset()
+        self._alive = [True] * len(self.shards)
+        self._dead = []
+        self._engine_done = [False] * len(self.shards)
+        self._outstanding = {}
+        self._rerouted_live = set()
+        self._arrivals = 0
+        self._routed = 0
+        self._quota_shed = 0
+        self._rerouted = 0
+        self._rerouted_completed = 0
+        self._completed = 0
+        self._completed_items = 0
+        self._shard_shed = 0
+        self._alive_steps = 0
+        self._scheduled_steps = 0
+        self._max_cycles = max_cycles
+        self._cycle = 0
+        self._active = True
+        rec = self.recorder
+        if rec.enabled:
+            rec.set_meta(
+                fleet_shards=len(self.shards),
+                fleet_router=self.router.name,
+                fleet_clients=len(clients),
+                fleet_kills=[(k.shard, k.cycle) for k in self._kill_specs],
+            )
+
+    def step(self) -> bool:
+        """Advance the fleet one cycle; ``False`` once every shard is done.
+
+        Like the engine's :meth:`~repro.serve.engine.ServeEngine.step`, a
+        ``False`` return leaves all state untouched.
+        """
+        if not self._active:
+            return False
+        cycle = self._cycle
+        arriving = cycle < self._max_cycles
+        if not arriving and all(
+            self._engine_done[s] for s in range(len(self.shards)) if self._alive[s]
+        ):
+            self._active = False
+            return False
+        rec = self.recorder
+        # 1. shard-loss edges (before arrivals: re-routed work re-enters
+        # the surviving feeds within this cycle's arrival window)
+        for shard in self.alive_shards:
+            if self._fully_down(shard, cycle):
+                self._kill_shard(shard, cycle)
+        # 2. fleet arrivals: weighted admission -> quota -> routing
+        if arriving:
+            batch: list[tuple[Client, TemplateInstance, str]] = []
+            for client in self._clients:
+                for instance, tenant in client.poll_tenants(cycle):
+                    label = (
+                        tenant if tenant is not None else str(client.client_id)
+                    )
+                    self._arrivals += 1
+                    batch.append((client, instance, label))
+            # stable sort: higher-weight classes claim quota and queue room
+            # first; arrival order breaks ties
+            batch.sort(key=lambda item: -self.directory.policy(item[2]).slo.weight)
+            for client, instance, label in batch:
+                policy = self.directory.policy(label)
+                if (
+                    policy.quota is not None
+                    and self._outstanding.get(label, 0) >= policy.quota
+                ):
+                    self._quota_shed += 1
+                    if rec.enabled:
+                        rec.event(
+                            "fleet_shed",
+                            cycle=cycle,
+                            tenant=label,
+                            size=instance.size,
+                            reason="quota",
+                        )
+                    client.notify_shed(
+                        Request(
+                            request_id=-1,
+                            client_id=client.client_id,
+                            instance=instance,
+                            arrival_cycle=cycle,
+                            tenant=label,
+                        ),
+                        cycle,
+                    )
+                    continue
+                shard = self.router.place(label, instance, self)
+                self._feeds[shard].push(instance, label)
+                self._outstanding[label] = self._outstanding.get(label, 0) + 1
+                self._routed += 1
+                if rec.enabled:
+                    rec.event(
+                        "fleet_route",
+                        cycle=cycle,
+                        tenant=label,
+                        shard=shard,
+                        size=instance.size,
+                        kind=instance.kind,
+                    )
+        # 3. lockstep: one cycle on every alive shard
+        self._scheduled_steps += len(self.shards)
+        self._alive_steps += len(self.alive_shards)
+        for shard, engine in enumerate(self.shards):
+            if self._alive[shard]:
+                self._engine_done[shard] = not engine.step()
+        self._cycle = cycle + 1
+        return True
+
+    def finish(self) -> FleetReport:
+        """Close every shard out and merge the fleet view."""
+        self._active = False
+        shard_reports = [engine.finish() for engine in self.shards]
+        merged = SLOTracker.merged(engine.tracker for engine in self.shards)
+        cycles = self._cycle
+        availability = (
+            self._alive_steps / self._scheduled_steps
+            if self._scheduled_steps
+            else 1.0
+        )
+        rec = self.recorder
+        if rec.enabled:
+            rec.set_meta(
+                fleet_cycles=cycles,
+                fleet_routed=self._routed,
+                fleet_rerouted=self._rerouted,
+                fleet_dead_shards=list(self._dead),
+            )
+        return FleetReport(
+            shards=len(self.shards),
+            router=self.router.name,
+            cycles=cycles,
+            arrivals=self._arrivals,
+            routed=self._routed,
+            quota_shed=self._quota_shed,
+            rerouted=self._rerouted,
+            rerouted_completed=self._rerouted_completed,
+            completed=self._completed,
+            completed_items=self._completed_items,
+            shard_shed=self._shard_shed,
+            goodput=self._completed_items / cycles if cycles else 0.0,
+            availability=availability,
+            latency=latency_summary(merged.sojourns) if merged.sojourns else None,
+            tenants=merged.tenant_summary(),
+            classes=self._class_table(merged),
+            dead_shards=list(self._dead),
+            shard_reports=shard_reports,
+            wall_time_s=max(
+                (report.wall_time_s for report in shard_reports), default=0.0
+            ),
+        )
+
+    def run(
+        self,
+        clients: list[Client],
+        max_cycles: int,
+        drain: bool = True,
+        drain_limit: int = 1_000_000,
+    ) -> FleetReport:
+        """Serve ``clients`` across the fleet for ``max_cycles`` of arrivals."""
+        self.start(clients, max_cycles, drain=drain, drain_limit=drain_limit)
+        while self.step():
+            pass
+        return self.finish()
+
+    # -- reporting helpers -----------------------------------------------------
+
+    def _class_table(self, merged: SLOTracker) -> dict | None:
+        """Per-SLO-class completions and deadline misses, scored fleet-side
+        from each tenant's sojourns against its class deadline."""
+        if not merged.tenants:
+            return None
+        table: dict[str, dict] = {}
+        for name, slo in self.directory.classes().items():
+            table[name] = {
+                "deadline": slo.deadline,
+                "completed": 0,
+                "deadline_misses": 0,
+                "miss_rate": 0.0,
+            }
+        for label in sorted(merged.tenants):
+            bucket = merged.tenants[label]
+            slo = self.directory.policy(label).slo
+            row = table.setdefault(
+                slo.name,
+                {
+                    "deadline": slo.deadline,
+                    "completed": 0,
+                    "deadline_misses": 0,
+                    "miss_rate": 0.0,
+                },
+            )
+            row["completed"] += bucket["completed"]
+            if slo.deadline is not None:
+                row["deadline_misses"] += sum(
+                    1 for s in bucket["sojourns"] if s > slo.deadline
+                )
+        for row in table.values():
+            if row["completed"]:
+                row["miss_rate"] = row["deadline_misses"] / row["completed"]
+        return table

@@ -1,0 +1,118 @@
+"""Fleet-level reporting: per-shard :class:`~repro.serve.slo.ServeReport`
+merged into one view.
+
+The headline counters (``routed`` / ``completed`` / ``quota_shed`` /
+``rerouted``) come from the coordinator's own exactly-once accounting —
+requests that failover re-routes arrive *again* at their new shard, so a
+naive sum of shard trackers would double-count them; the coordinator counts
+each logical request once.  Distributional figures (sojourn percentiles,
+per-tenant tables, batching stats) come from the merged shard trackers,
+labelled per shard so the per-shard view is still available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.slo import ServeReport
+
+__all__ = ["FleetReport"]
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of one fleet run."""
+
+    shards: int
+    router: str
+    cycles: int
+    #: instances polled from the fleet's tenant clients
+    arrivals: int
+    #: arrivals placed on a shard (arrivals - quota_shed)
+    routed: int
+    #: arrivals refused by per-tenant quota at fleet admission
+    quota_shed: int
+    #: queued / in-flight requests moved off dead shards
+    rerouted: int
+    #: re-routed requests that went on to complete on a surviving shard
+    rerouted_completed: int
+    completed: int
+    completed_items: int
+    #: requests shed *inside* shards (admission overflow, timeout ladder)
+    shard_shed: int
+    #: completed items per fleet cycle
+    goodput: float
+    #: alive shard-steps / scheduled shard-steps (1.0 = no shard loss)
+    availability: float
+    #: merged sojourn percentiles across shards, ``None`` if nothing completed
+    latency: dict | None
+    #: merged per-tenant table (see :meth:`SLOTracker.tenant_summary`)
+    tenants: dict | None
+    #: per-SLO-class outcome: {completed, deadline_misses, miss_rate, deadline}
+    classes: dict | None
+    #: shards declared dead during the run
+    dead_shards: list[int] = field(default_factory=list)
+    #: full per-shard reports, index = shard id
+    shard_reports: list[ServeReport] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed / routed; 0.0 on an empty run."""
+        return self.completed / self.routed if self.routed else 0.0
+
+    @property
+    def p50(self) -> float | None:
+        return self.latency["p50"] if self.latency else None
+
+    @property
+    def p95(self) -> float | None:
+        return self.latency["p95"] if self.latency else None
+
+    @property
+    def p99(self) -> float | None:
+        return self.latency["p99"] if self.latency else None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [
+            f"fleet[{self.router} x{self.shards}]: {self.completed}/{self.arrivals} "
+            f"requests completed in {self.cycles} cycles "
+            f"(routed {self.routed}, quota-shed {self.quota_shed}, "
+            f"shard-shed {self.shard_shed})",
+            f"  goodput {self.goodput:.3f} items/cycle, "
+            f"availability {self.availability:.4f}",
+        ]
+        if self.dead_shards:
+            lines.append(
+                f"  failover: dead shards {self.dead_shards}, "
+                f"rerouted {self.rerouted}, "
+                f"rerouted completed {self.rerouted_completed}"
+            )
+        if self.latency:
+            lines.append(
+                "  sojourn cycles: p50={p50:g} p95={p95:g} p99={p99:g} "
+                "max={max:g}".format(**self.latency)
+            )
+        if self.classes:
+            parts = []
+            for name, row in self.classes.items():
+                if row["deadline"] is None:
+                    parts.append(f"{name} completed {row['completed']} (best-effort)")
+                else:
+                    parts.append(
+                        f"{name} completed {row['completed']} "
+                        f"misses {row['deadline_misses']} "
+                        f"({100 * row['miss_rate']:.1f}% of deadline "
+                        f"{row['deadline']})"
+                    )
+            lines.append("  classes: " + ", ".join(parts))
+        for shard, report in enumerate(self.shard_reports):
+            status = " [dead]" if shard in self.dead_shards else ""
+            lines.append(
+                f"  shard {shard}{status}: {report.completed} completed, "
+                f"{report.shed} shed, goodput {report.goodput:.3f}, "
+                f"availability {report.availability:.4f}"
+            )
+        if self.wall_time_s > 0:
+            lines.append(f"  wall clock: {self.wall_time_s:.3f}s")
+        return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Request placement across shards.
+
+A :class:`Router` answers one question per admitted request: *which alive
+shard takes it?*  Three strategies ship:
+
+* :class:`RoundRobinRouter` — rotate over alive shards; the baseline.
+* :class:`LeastLoadedRouter` — cheapest backlog (queued + in-flight items).
+* :class:`AffinityRouter` — sticky tenant placement: a tenant keeps landing
+  on its shard, and new tenants are placed on the shard whose traffic looks
+  most like theirs (closest running mean request size).  This is the fleet
+  analogue of the paper's composite packing: a batch packs best from
+  same-shaped templates, and since an engine serves one batch at a time,
+  mixing a tenant's small path requests behind another's multi-round subtree
+  batches head-of-line blocks the small ones.  Segregating size classes
+  onto different shards gives small templates an express lane.
+
+Routers only ever see *alive* shards; on failover the coordinator calls
+:meth:`Router.on_shard_down` so sticky state for the dead shard is dropped
+and its tenants re-place among the survivors.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.templates.base import TemplateInstance
+
+__all__ = [
+    "ROUTERS",
+    "AffinityRouter",
+    "LeastLoadedRouter",
+    "Router",
+    "RoundRobinRouter",
+    "make_router",
+]
+
+
+class Router(abc.ABC):
+    """Placement strategy.  ``fleet`` is the coordinator, exposing
+    ``alive_shards`` (sorted ids) and ``shard_load(shard)`` (backlog items)."""
+
+    name = "router"
+
+    @abc.abstractmethod
+    def place(self, tenant: str, instance: TemplateInstance, fleet) -> int:
+        """Pick an alive shard for one admitted request."""
+
+    def on_shard_down(self, shard: int, fleet) -> None:
+        """A shard died; forget any state that points at it."""
+
+    def reset(self) -> None:
+        """Forget everything (called by the coordinator at run start)."""
+
+
+class RoundRobinRouter(Router):
+    """Rotate placements over the alive shards, tenant-blind."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def place(self, tenant: str, instance: TemplateInstance, fleet) -> int:
+        alive = fleet.alive_shards
+        shard = alive[self._turn % len(alive)]
+        self._turn += 1
+        return shard
+
+    def reset(self) -> None:
+        self._turn = 0
+
+
+class LeastLoadedRouter(Router):
+    """Send each request to the alive shard holding the fewest backlog items
+    (feed + admission queue + in flight), ties to the lowest shard id."""
+
+    name = "least-loaded"
+
+    def place(self, tenant: str, instance: TemplateInstance, fleet) -> int:
+        return min(fleet.alive_shards, key=lambda s: (fleet.shard_load(s), s))
+
+
+class AffinityRouter(Router):
+    """Sticky tenant -> shard placement by balance-bounded size affinity.
+
+    Placing a new tenant balances *committed weight* first and template
+    affinity second.  Every assignment charges the tenant's request size to
+    its shard's committed weight — for comparably active tenants, size is
+    proportional to the item rate the tenant will keep sending there, so
+    committed weight predicts each shard's long-term load before any queue
+    has had time to build (placements happen in the first cycles, when
+    backlogs are still uninformative).  The score is lexicographic:
+
+    1. committed weight quantized to ``bucket``-item steps — a shard a full
+       bucket heavier than another never wins on affinity alone;
+    2. template fit: ``|request size - shard's running mean routed size|``
+       (an idle shard that has routed nothing scores 0, so empty shards
+       attract new size classes);
+    3. exact committed weight, current backlog, shard id.
+
+    Shards whose current backlog exceeds the least-loaded by more than
+    ``slack`` items are excluded outright — affinity never buys isolation
+    at the price of an already-burning hotspot.  After placement the tenant
+    sticks to its shard until that shard dies *or melts down*: when a
+    tenant arrives and its home shard's backlog exceeds the least-loaded
+    shard by more than ``migrate * slack`` items (a noisy neighbour is
+    burning the shard), the tenant re-places as if new — the hot shard is
+    outside the slack bound, so the tenant lands on a calm one and sticks
+    there.  The *offender* — the shard's top tenant by routed items — never
+    migrates: it stays and burns alone while everyone else evacuates.
+    That is the containment story: round-robin sprays a burst over every
+    queue in the fleet, affinity walls it into one shard and keeps the
+    other tenants' latency clean.  The running means update on every
+    routed request, so the shard profile tracks actual traffic, not just
+    first impressions.
+    """
+
+    name = "affinity"
+
+    def __init__(self, slack: int = 32, bucket: int = 16, migrate: int = 4) -> None:
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        if bucket < 1:
+            raise ValueError(f"bucket must be >= 1, got {bucket}")
+        if migrate < 1:
+            raise ValueError(f"migrate must be >= 1, got {migrate}")
+        self.slack = slack
+        self.bucket = bucket
+        self.migrate = migrate
+        self.assignments: dict[str, int] = {}
+        self._assigned_weight: dict[int, int] = {}
+        self._routed_items: dict[int, int] = {}
+        self._routed_count: dict[int, int] = {}
+        self._tenant_items: dict[str, int] = {}
+
+    def _is_top_tenant(self, tenant: str, shard: int) -> bool:
+        mine = self._tenant_items.get(tenant, 0)
+        return all(
+            self._tenant_items.get(other, 0) <= mine
+            for other, s in self.assignments.items()
+            if s == shard and other != tenant
+        )
+
+    def _mean_size(self, shard: int) -> float | None:
+        count = self._routed_count.get(shard, 0)
+        if not count:
+            return None
+        return self._routed_items[shard] / count
+
+    def _note(self, shard: int, size: int) -> None:
+        self._routed_items[shard] = self._routed_items.get(shard, 0) + size
+        self._routed_count[shard] = self._routed_count.get(shard, 0) + 1
+
+    def place(self, tenant: str, instance: TemplateInstance, fleet) -> int:
+        alive = fleet.alive_shards
+        shard = self.assignments.get(tenant)
+        floor = min(fleet.shard_load(s) for s in alive)
+        if shard is not None and shard not in alive:
+            shard = None
+        elif (
+            shard is not None
+            and fleet.shard_load(shard) > floor + self.migrate * self.slack
+            and not self._is_top_tenant(tenant, shard)
+        ):
+            shard = None  # home melted down and someone else lit the fire
+        if shard is None:
+            size = instance.size
+            candidates = [
+                s for s in alive if fleet.shard_load(s) <= floor + self.slack
+            ]
+
+            def score(s: int) -> tuple[int, float, int, int, int]:
+                mean = self._mean_size(s)
+                fit = 0.0 if mean is None else abs(size - mean)
+                weight = self._assigned_weight.get(s, 0)
+                return (
+                    weight // self.bucket,
+                    fit,
+                    weight,
+                    fleet.shard_load(s),
+                    s,
+                )
+
+            shard = min(candidates, key=score)
+            self.assignments[tenant] = shard
+            self._assigned_weight[shard] = (
+                self._assigned_weight.get(shard, 0) + size
+            )
+        self._note(shard, instance.size)
+        self._tenant_items[tenant] = (
+            self._tenant_items.get(tenant, 0) + instance.size
+        )
+        return shard
+
+    def on_shard_down(self, shard: int, fleet) -> None:
+        self.assignments = {
+            tenant: s for tenant, s in self.assignments.items() if s != shard
+        }
+        self._assigned_weight.pop(shard, None)
+        self._routed_items.pop(shard, None)
+        self._routed_count.pop(shard, None)
+
+    def reset(self) -> None:
+        self.assignments = {}
+        self._assigned_weight = {}
+        self._routed_items = {}
+        self._routed_count = {}
+        self._tenant_items = {}
+
+
+ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+    AffinityRouter.name: AffinityRouter,
+}
+
+
+def make_router(name: str) -> Router:
+    """Instantiate a router from its registry name."""
+    try:
+        return ROUTERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; pick from {sorted(ROUTERS)}"
+        ) from None

@@ -1,0 +1,157 @@
+"""Tenants, quotas and SLO classes for the serving fleet.
+
+A *tenant* is the unit the fleet routes, meters and protects: requests carry
+a tenant label (:attr:`repro.serve.request.Request.tenant`), the router keys
+sticky placement on it, and fleet admission control enforces a per-tenant
+:class:`TenantPolicy` — an outstanding-request quota plus an :class:`SLOClass`
+(deadline + admission weight).  Classes are evaluated *fleet-side*: shard
+engines never see per-class deadlines; the coordinator scores each tenant's
+completed sojourns against its class deadline after the fact, so one shard
+can serve gold and bronze traffic simultaneously.
+
+:func:`heavy_tailed_tenants` builds the benchmark population: Zipf-weighted
+per-tenant arrival rates (a few heavy hitters, a long tail) with each tenant
+pinned to one template family — the traffic shape that gives affinity
+routing something to exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.clients import PoissonClient, TemplateMix, spawn_seeds
+from repro.trees import CompleteBinaryTree
+
+__all__ = [
+    "BRONZE",
+    "GOLD",
+    "SLOClass",
+    "TenantDirectory",
+    "TenantPolicy",
+    "TenantPopulation",
+    "heavy_tailed_tenants",
+]
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """A service class: completion ``deadline`` (in cycles from arrival,
+    ``None`` = best-effort) and an admission ``weight`` — higher-weight
+    classes are admitted first when arrivals race for quota and queue room."""
+
+    name: str
+    deadline: int | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.deadline is not None and self.deadline < 1:
+            raise ValueError(f"deadline must be >= 1, got {self.deadline}")
+
+
+#: default classes: gold pays for a deadline and admission priority,
+#: bronze is best-effort
+GOLD = SLOClass("gold", deadline=96, weight=4.0)
+BRONZE = SLOClass("bronze", deadline=None, weight=1.0)
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """What the fleet owes (and limits) one tenant: at most ``quota``
+    outstanding requests (``None`` = unmetered) at ``slo`` class service."""
+
+    quota: int | None = None
+    slo: SLOClass = BRONZE
+
+    def __post_init__(self) -> None:
+        if self.quota is not None and self.quota < 1:
+            raise ValueError(f"quota must be >= 1, got {self.quota}")
+
+
+class TenantDirectory:
+    """Tenant label -> :class:`TenantPolicy`, with a default for strangers."""
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        default: TenantPolicy = TenantPolicy(),
+    ):
+        self.policies = dict(policies or {})
+        self.default = default
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default)
+
+    def classes(self) -> dict[str, SLOClass]:
+        """Every distinct class in the directory, by name (default included)."""
+        out = {self.default.slo.name: self.default.slo}
+        for policy in self.policies.values():
+            out.setdefault(policy.slo.name, policy.slo)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantDirectory({len(self.policies)} tenants, "
+            f"default={self.default!r})"
+        )
+
+
+@dataclass(frozen=True)
+class TenantPopulation:
+    """A generated tenant cohort: traffic sources plus their directory."""
+
+    clients: list = field(default_factory=list)
+    directory: TenantDirectory = field(default_factory=TenantDirectory)
+
+
+def heavy_tailed_tenants(
+    tree: CompleteBinaryTree,
+    num_tenants: int,
+    workload: str,
+    total_rate: float,
+    seed: int = 0,
+    alpha: float = 1.2,
+    quota: int | None = None,
+    gold_every: int = 0,
+    gold: SLOClass = GOLD,
+    bronze: SLOClass = BRONZE,
+) -> TenantPopulation:
+    """Build a Zipf-rate tenant population over one template workload.
+
+    Tenant ``i`` gets arrival rate ``total_rate * (i+1)**-alpha / Z`` (heavy
+    head, long tail) and a *single-family* template mix cycling through the
+    entries of ``workload`` — tenants are template-homogeneous, which is what
+    makes tenant affinity meaningful placement information.  Seeds come from
+    :func:`~repro.serve.clients.spawn_seeds` so the population is bit-stable
+    under ``seed`` regardless of ``num_tenants``.
+
+    ``gold_every=k`` promotes every ``k``-th tenant (0, k, 2k, ...) to the
+    ``gold`` class; 0 leaves everyone ``bronze``.
+    """
+    if num_tenants < 1:
+        raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
+    if total_rate <= 0:
+        raise ValueError(f"total_rate must be > 0, got {total_rate}")
+    base_mix = TemplateMix.parse(tree, workload)
+    weights = [(i + 1) ** -alpha for i in range(num_tenants)]
+    norm = sum(weights)
+    seeds = spawn_seeds(seed, num_tenants)
+    clients = []
+    policies: dict[str, TenantPolicy] = {}
+    for i in range(num_tenants):
+        label = f"t{i}"
+        entry = base_mix.entries[i % len(base_mix.entries)]
+        clients.append(
+            PoissonClient(
+                client_id=i,
+                mix=TemplateMix(tree, [entry]),
+                rate=total_rate * weights[i] / norm,
+                seed=seeds[i],
+                tenant=label,
+            )
+        )
+        slo = gold if gold_every and i % gold_every == 0 else bronze
+        policies[label] = TenantPolicy(quota=quota, slo=slo)
+    directory = TenantDirectory(policies, default=TenantPolicy(quota=quota, slo=bronze))
+    return TenantPopulation(clients=clients, directory=directory)

@@ -15,6 +15,7 @@ from repro.memory.faults import (
     RemappedMapping,
     apply_faults,
     parse_faults,
+    per_shard_schedules,
     repair_comparison,
 )
 from repro.memory.interconnect import Crossbar, Interconnect, MultiBus, SharedBus
@@ -45,6 +46,7 @@ __all__ = [
     "apply_faults",
     "latency_summary",
     "parse_faults",
+    "per_shard_schedules",
     "profile_trace",
     "repair_comparison",
 ]

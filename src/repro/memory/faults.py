@@ -45,6 +45,7 @@ __all__ = [
     "RemappedMapping",
     "apply_faults",
     "parse_faults",
+    "per_shard_schedules",
     "repair_comparison",
 ]
 
@@ -384,6 +385,40 @@ def _parse_window(window_str: str) -> tuple[int, int | None]:
     start = int(start_str)
     end = int(end_str) if sep and end_str else None
     return start, end
+
+
+def per_shard_schedules(
+    schedule: "FaultSchedule | str | None",
+    shards: int,
+    seed: int | None = None,
+) -> "list[FaultSchedule | None]":
+    """Fan one seeded fault spec out into ``shards`` independent schedules.
+
+    Every shard sees the *same* timed windows (the spec describes the
+    environment, which all shards share) but gets its own drop-lottery
+    stream, derived via :func:`repro.serve.clients.spawn_seeds` from the
+    master seed — ``seed`` when given, else the spec's own ``seed=`` term.
+    Attaching one schedule object to N systems would interleave their
+    lottery draws nondeterministically with shard order; N derived copies
+    keep each shard bit-reproducible on its own.
+
+    ``schedule`` may be a :class:`FaultSchedule`, a spec string for
+    :meth:`FaultSchedule.parse`, or ``None`` (returns all-``None``).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if schedule is None:
+        return [None] * shards
+    if isinstance(schedule, str):
+        schedule = FaultSchedule.parse(schedule)
+    # local import: repro.serve imports this module at package-init time
+    from repro.serve.clients import spawn_seeds
+
+    master = schedule.seed if seed is None else seed
+    return [
+        FaultSchedule(schedule.windows, seed=child)
+        for child in spawn_seeds(master, shards)
+    ]
 
 
 def parse_faults(spec: str) -> FaultModel | FaultSchedule:

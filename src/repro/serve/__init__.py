@@ -49,6 +49,7 @@ from repro.serve.clients import (
     PoissonClient,
     TemplateMix,
     TraceClient,
+    spawn_seeds,
 )
 from repro.serve.durability import (
     CONTROL_EVENTS,
@@ -107,4 +108,5 @@ __all__ = [
     "journal_accounting",
     "make_policy",
     "run_with_recovery",
+    "spawn_seeds",
 ]

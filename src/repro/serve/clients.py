@@ -18,6 +18,7 @@ compact spec syntax (``"subtree:7=2,path:8=1,level:7=1,composite:15x3=1"``).
 from __future__ import annotations
 
 import abc
+import random as _stdlib_random
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,7 +40,31 @@ __all__ = [
     "PoissonClient",
     "TemplateMix",
     "TraceClient",
+    "spawn_seeds",
 ]
+
+
+def spawn_seeds(seed: int, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from one master seed.
+
+    Shards and traffic generators each need their own reproducible stream;
+    deriving them as ``seed + i`` couples neighbouring streams (two setups
+    whose master seeds differ by one share all but one child).  This helper
+    draws the children from a dedicated :mod:`random` stream (numpy-free, so
+    it never perturbs any generator the simulation itself uses), guaranteed
+    distinct within one spawn.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = _stdlib_random.Random(seed)
+    seeds: list[int] = []
+    seen: set[int] = set()
+    while len(seeds) < n:
+        child = rng.getrandbits(48)
+        if child not in seen:
+            seen.add(child)
+            seeds.append(child)
+    return seeds
 
 
 @dataclass(frozen=True)
@@ -151,13 +176,24 @@ class Client(abc.ABC):
     :mod:`repro.serve.durability` relies on for deterministic recovery.
     """
 
-    def __init__(self, client_id: int):
+    def __init__(self, client_id: int, tenant: str | None = None):
         self.client_id = client_id
+        self.tenant = tenant
         self.generated = 0
 
     @abc.abstractmethod
     def poll(self, cycle: int) -> list[TemplateInstance]:
         """Template instances arriving at ``cycle``."""
+
+    def poll_tenants(self, cycle: int) -> list[tuple[TemplateInstance, str | None]]:
+        """Like :meth:`poll`, but pairing each instance with its tenant.
+
+        The default tags every instance with this client's ``tenant`` (``None``
+        means "default from client id" downstream).  Multi-tenant sources —
+        e.g. a fleet shard's feed — override this to deliver per-instance
+        tenants; single-tenant clients only ever implement :meth:`poll`.
+        """
+        return [(instance, self.tenant) for instance in self.poll(cycle)]
 
     def notify(self, request: Request, cycle: int) -> None:
         """A request from this client completed at ``cycle``."""
@@ -183,8 +219,9 @@ class PoissonClient(Client):
         mix: TemplateMix,
         rate: float,
         seed: int | None = None,
+        tenant: str | None = None,
     ):
-        super().__init__(client_id)
+        super().__init__(client_id, tenant=tenant)
         if rate <= 0:
             raise ValueError(f"rate must be > 0, got {rate}")
         self.mix = mix
@@ -224,8 +261,9 @@ class BurstyClient(Client):
         mean_on: float = 20.0,
         mean_off: float = 20.0,
         seed: int | None = None,
+        tenant: str | None = None,
     ):
-        super().__init__(client_id)
+        super().__init__(client_id, tenant=tenant)
         if rate <= 0:
             raise ValueError(f"rate must be > 0, got {rate}")
         if mean_on < 1 or mean_off < 1:
@@ -270,8 +308,9 @@ class ClosedLoopClient(Client):
         concurrency: int = 1,
         think_time: int = 0,
         seed: int | None = None,
+        tenant: str | None = None,
     ):
-        super().__init__(client_id)
+        super().__init__(client_id, tenant=tenant)
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         if think_time < 0:
@@ -332,8 +371,14 @@ class TraceClient(Client):
     family, else tagged ``"trace"``.
     """
 
-    def __init__(self, client_id: int, trace: AccessTrace, interval: int = 1):
-        super().__init__(client_id)
+    def __init__(
+        self,
+        client_id: int,
+        trace: AccessTrace,
+        interval: int = 1,
+        tenant: str | None = None,
+    ):
+        super().__init__(client_id, tenant=tenant)
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
         self.interval = interval

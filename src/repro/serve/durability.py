@@ -73,6 +73,7 @@ __all__ = [
     "DurabilityError",
     "DurableServer",
     "EngineSnapshot",
+    "JOURNAL_COMPAT_FIELDS",
     "JournalError",
     "RecoveryResult",
     "ServeJournal",
@@ -91,6 +92,24 @@ JOURNAL_FORMAT = 1
 #: run-equivalence comparison (an uninterrupted run has no reason to carry
 #: them, and a recovered one necessarily does)
 CONTROL_EVENTS = frozenset({"checkpoint", "restore", "journal_replay"})
+
+#: journal-record fields added after the format froze: a journal written by
+#: an engine that predates them replays clean against an engine that emits
+#: them (the field is ignored iff the journalled record lacks it)
+JOURNAL_COMPAT_FIELDS = frozenset({"tenant"})
+
+
+def _compat_equal(journalled: dict, emitted: dict) -> bool:
+    """Record equality modulo :data:`JOURNAL_COMPAT_FIELDS` the journalled
+    record predates."""
+    missing = {
+        key
+        for key in JOURNAL_COMPAT_FIELDS
+        if key in emitted and key not in journalled
+    }
+    if not missing:
+        return False  # nothing to forgive; exact comparison already failed
+    return {k: v for k, v in emitted.items() if k not in missing} == journalled
 
 
 class DurabilityError(RuntimeError):
@@ -137,6 +156,7 @@ def _request_to_json(request: Request) -> dict:
     return {
         "id": request.request_id,
         "client": request.client_id,
+        "tenant": request.tenant,
         "instance": _instance_to_json(request.instance),
         "arrival": request.arrival_cycle,
         "deadline": request.deadline,
@@ -154,6 +174,9 @@ def _request_from_json(payload: dict) -> Request:
     return Request(
         request_id=int(payload["id"]),
         client_id=int(payload["client"]),
+        # snapshots from before multi-tenancy have no tenant: None makes the
+        # rebuilt request default it from the client id, as the engine would
+        tenant=payload.get("tenant"),
         instance=_instance_from_json(payload["instance"]),
         arrival_cycle=int(payload["arrival"]),
         deadline=None if payload["deadline"] is None else int(payload["deadline"]),
@@ -513,12 +536,19 @@ class ServeJournal:
     # -- recording -------------------------------------------------------------
 
     def record(self, kind: str, cycle: int, **fields) -> None:
-        """Append one record — or, during replay, verify it byte-for-byte."""
+        """Append one record — or, during replay, verify it byte-for-byte.
+
+        One deliberate relaxation: fields in :data:`JOURNAL_COMPAT_FIELDS`
+        that a journal written by an older engine never recorded are ignored
+        during verification, so adding such a field does not invalidate
+        existing journals.  A journal that *does* carry the field is still
+        compared exactly.
+        """
         rec = {"seq": self._next, "kind": kind, "cycle": cycle}
         rec.update(fields)
         if self._next < self._replay_upto:
             expected = self.records[self._next]
-            if expected != rec:
+            if expected != rec and not _compat_equal(expected, rec):
                 raise JournalError(
                     f"replay diverged at seqno {self._next}: the journal "
                     f"holds {expected!r} but the resumed run emitted {rec!r}"

@@ -356,6 +356,7 @@ class ServeEngine:
                     cycle=done_cycle,
                     request=request_id,
                     client=request.client_id,
+                    tenant=request.tenant,
                     sojourn=request.sojourn,
                     missed=request.missed_deadline,
                 )
@@ -603,7 +604,7 @@ class ServeEngine:
         with self._sp_admit:
             if arriving:
                 for client in self._clients:
-                    for instance in client.poll(cycle):
+                    for instance, tenant in client.poll_tenants(cycle):
                         request = Request(
                             request_id=self._next_id,
                             client_id=client.client_id,
@@ -614,6 +615,7 @@ class ServeEngine:
                                 if self.deadline is not None
                                 else None
                             ),
+                            tenant=tenant,
                         )
                         self._next_id += 1
                         tracker.on_arrival(request)
@@ -623,6 +625,7 @@ class ServeEngine:
                                 cycle=cycle,
                                 request=request.request_id,
                                 client=client.client_id,
+                                tenant=request.tenant,
                                 size=request.size,
                                 kind=instance.kind,
                             )
@@ -634,6 +637,7 @@ class ServeEngine:
                                 cycle,
                                 request=request.request_id,
                                 client=client.client_id,
+                                tenant=request.tenant,
                                 size=request.size,
                             )
                         elif outcome == "shed":
@@ -661,6 +665,7 @@ class ServeEngine:
                     cycle,
                     request=request.request_id,
                     client=request.client_id,
+                    tenant=request.tenant,
                     size=request.size,
                 )
         # 3. dispatch the next batch once the array is idle; requests in

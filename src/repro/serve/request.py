@@ -45,6 +45,11 @@ class Request:
     ``deadline`` is an absolute cycle; a request that completes after it
     still completes (the engine does not abort work) but counts as a
     deadline miss in the SLO report.
+
+    ``tenant`` names the logical owner of the request for fleet routing and
+    per-tenant accounting; it defaults to the client id so single-engine
+    setups (and snapshots written before the field existed) behave as
+    one-tenant-per-client.
     """
 
     request_id: int
@@ -52,6 +57,7 @@ class Request:
     instance: TemplateInstance
     arrival_cycle: int
     deadline: int | None = None
+    tenant: str | None = field(default=None, compare=False)
     # lifecycle timestamps, engine-owned (-1 = not reached)
     admit_cycle: int = field(default=-1, compare=False)
     dispatch_cycle: int = field(default=-1, compare=False)
@@ -63,6 +69,10 @@ class Request:
     attempts: int = field(default=0, compare=False)
     timeouts: int = field(default=0, compare=False)
     retry_at: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.tenant is None:
+            self.tenant = str(self.client_id)
 
     @property
     def nodes(self) -> np.ndarray:

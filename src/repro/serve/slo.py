@@ -78,6 +78,11 @@ class ServeReport:
     requests_per_sec: float = 0.0
     #: simulated cycles per wall-clock second (0.0 when unprofiled/empty)
     cycles_per_sec: float = 0.0
+    #: per-tenant summary table keyed by tenant label (arrivals / completed /
+    #: items / shed / sojourn percentiles); ``None`` when tenant accounting
+    #: saw no traffic — reports written before the field existed load as
+    #: ``None`` too
+    tenants: dict | None = None
 
     # -- defined-value accessors -----------------------------------------------
     # A run crashed or restored after 0 cycles / 0 completions still yields a
@@ -179,11 +184,30 @@ class SLOTracker:
     batch_components: list = field(default_factory=list)
     batch_conflicts: list = field(default_factory=list)
     batch_rounds: list = field(default_factory=list)
+    #: per-tenant lifecycle buckets keyed by tenant label; absent from
+    #: snapshots written before multi-tenancy existed (``from_state`` then
+    #: falls back to the empty default)
+    tenants: dict = field(default_factory=dict)
 
     # -- engine callbacks ------------------------------------------------------
 
+    def _tenant(self, request: Request) -> dict:
+        label = request.tenant if request.tenant is not None else str(request.client_id)
+        bucket = self.tenants.get(label)
+        if bucket is None:
+            bucket = {
+                "arrivals": 0,
+                "completed": 0,
+                "items": 0,
+                "shed": 0,
+                "sojourns": [],
+            }
+            self.tenants[label] = bucket
+        return bucket
+
     def on_arrival(self, request: Request) -> None:
         self.arrivals += 1
+        self._tenant(request)["arrivals"] += 1
 
     def on_admit(self, request: Request) -> None:
         self.admitted += 1
@@ -192,6 +216,7 @@ class SLOTracker:
 
     def on_shed(self, request: Request) -> None:
         self.shed += 1
+        self._tenant(request)["shed"] += 1
 
     def on_dispatch(self, batch: Batch, cycle: int) -> None:
         self.batch_sizes.append(len(batch))
@@ -218,6 +243,7 @@ class SLOTracker:
         """Ladder exhausted: retries and degradation both failed."""
         self.timeout_shed += 1
         self.shed += 1
+        self._tenant(request)["shed"] += 1
 
     def on_cycle(self, failed_modules: int, num_modules: int) -> None:
         """Per-cycle module availability sample from the engine loop."""
@@ -232,6 +258,10 @@ class SLOTracker:
             self.recoveries.append(request.sojourn)
         if request.missed_deadline:
             self.deadline_misses += 1
+        bucket = self._tenant(request)
+        bucket["completed"] += 1
+        bucket["items"] += request.size
+        bucket["sojourns"].append(request.sojourn)
 
     # -- checkpoint / restore --------------------------------------------------
 
@@ -243,6 +273,54 @@ class SLOTracker:
     def from_state(cls, state: dict) -> "SLOTracker":
         """Rebuild a tracker from a :meth:`state_dict` capture."""
         return cls(**state)
+
+    # -- fleet aggregation -----------------------------------------------------
+
+    def absorb(self, other: "SLOTracker") -> None:
+        """Fold another tracker's counters and distributions into this one.
+
+        Used by the fleet coordinator to merge per-shard trackers into one
+        fleet-wide view; availability folds correctly because the module-cycle
+        samples are extensive (sums), not per-shard ratios.
+        """
+        self.arrivals += other.arrivals
+        self.admitted += other.admitted
+        self.completed += other.completed
+        self.completed_items += other.completed_items
+        self.shed += other.shed
+        self.degraded += other.degraded
+        self.deadline_misses += other.deadline_misses
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.timeout_shed += other.timeout_shed
+        self.aborted_batches += other.aborted_batches
+        self.failed_module_cycles += other.failed_module_cycles
+        self.observed_module_cycles += other.observed_module_cycles
+        self.sojourns.extend(other.sojourns)
+        self.waits.extend(other.waits)
+        self.recoveries.extend(other.recoveries)
+        self.batch_sizes.extend(other.batch_sizes)
+        self.batch_components.extend(other.batch_components)
+        self.batch_conflicts.extend(other.batch_conflicts)
+        self.batch_rounds.extend(other.batch_rounds)
+        for label, bucket in other.tenants.items():
+            mine = self.tenants.setdefault(
+                label,
+                {"arrivals": 0, "completed": 0, "items": 0, "shed": 0, "sojourns": []},
+            )
+            mine["arrivals"] += bucket["arrivals"]
+            mine["completed"] += bucket["completed"]
+            mine["items"] += bucket["items"]
+            mine["shed"] += bucket["shed"]
+            mine["sojourns"].extend(bucket["sojourns"])
+
+    @classmethod
+    def merged(cls, trackers) -> "SLOTracker":
+        """A fresh tracker holding the union of ``trackers``."""
+        total = cls()
+        for tracker in trackers:
+            total.absorb(tracker)
+        return total
 
     # -- reporting -------------------------------------------------------------
 
@@ -289,4 +367,26 @@ class SLOTracker:
                 else 1.0
             ),
             recovery=latency_summary(self.recoveries) if self.recoveries else None,
+            tenants=self.tenant_summary(),
         )
+
+    def tenant_summary(self) -> dict | None:
+        """Per-tenant table: counts plus sojourn percentiles; ``None`` when
+        no tenant traffic was observed."""
+        if not self.tenants:
+            return None
+        out = {}
+        for label in sorted(self.tenants):
+            bucket = self.tenants[label]
+            out[label] = {
+                "arrivals": bucket["arrivals"],
+                "completed": bucket["completed"],
+                "items": bucket["items"],
+                "shed": bucket["shed"],
+                "latency": (
+                    latency_summary(bucket["sojourns"])
+                    if bucket["sojourns"]
+                    else None
+                ),
+            }
+        return out
