@@ -1,0 +1,131 @@
+"""E22 — self-healing fleet: kill/restart soak with exactly-once recovery.
+
+Four claims about the supervised fleet.  First, with three different
+shards killed mid-run and budgeted restarts enabled, every shard rejoins
+(>= 3 restarts in the soak) and the fleet-level exactly-once identity
+``completed + quota_shed + shard_shed + fleet_shed == arrivals`` survives
+every kill/restart cycle — reconciliation against the failover ledger
+means nothing executes twice.  Second, two identical supervised runs are
+byte-identical (``diff_fleet_reports`` empty).  Third, crashing the whole
+fleet mid-run and recovering from the newest fleet checkpoint reproduces
+the uninterrupted control exactly — per-shard journals verify the
+re-executed suffix record-for-record.  Fourth, restart-enabled goodput
+strictly exceeds failover-only goodput under the same kill schedule: a
+healed shard earns back the capacity a dead one forfeits.  This file pins
+all four and times the supervised step loop against plain failover.
+"""
+
+import pytest
+
+from repro.core import ColorMapping
+from repro.fleet import (
+    FleetCoordinator,
+    FleetSupervisor,
+    diff_fleet_reports,
+    heavy_tailed_tenants,
+)
+from repro.memory import ParallelMemorySystem
+from repro.memory.faults import FaultSchedule, per_shard_schedules
+from repro.serve import ServeEngine
+from repro.serve.durability import SimulatedCrash
+from repro.trees import CompleteBinaryTree
+
+WORKLOAD = "subtree:7=1,path:5=1,level:4=1"
+SHARDS = 4
+CYCLES = 450
+KILLS = ["1@75", "2@150", "3@225"]
+FAULT_SPEC = f"drop=0.03@0:{CYCLES},seed=3"
+
+
+def _build_engine(shard):
+    tree = CompleteBinaryTree(8)
+    mapping = ColorMapping.for_modules(tree, 7)
+    system = ParallelMemorySystem(mapping)
+    base = FaultSchedule.parse(FAULT_SPEC)
+    system.attach_faults(per_shard_schedules(base, SHARDS)[shard])
+    return ServeEngine(system, policy="greedy-pack")
+
+
+def _make_fleet(kills=()):
+    engines = [_build_engine(i) for i in range(SHARDS)]
+    coordinator = FleetCoordinator(
+        engines, router="least-loaded", kills=list(kills)
+    )
+    return coordinator, _build_engine
+
+
+def _population():
+    tree = CompleteBinaryTree(8)
+    return heavy_tailed_tenants(tree, 8, WORKLOAD, 4.0, seed=7).clients
+
+
+def _supervised(state_dir, crash_at=None):
+    coordinator, factory = _make_fleet(KILLS)
+    return FleetSupervisor(
+        coordinator,
+        factory=factory,
+        state_dir=state_dir,
+        checkpoint_every=50,
+        restart_after=50,
+        crash_at=crash_at,
+    )
+
+
+def _identity(report):
+    return (
+        report.completed + report.quota_shed + report.shard_shed
+        + report.fleet_shed
+        == report.arrivals
+    )
+
+
+def test_e22_claim_holds():
+    from repro.bench.experiments import e22_selfheal
+
+    result = e22_selfheal("quick")
+    assert result.holds, str(result)
+
+
+def test_e22_soak_heals_and_accounts_exactly_once(tmp_path):
+    """Three kills, three rejoins, books balanced across every cycle."""
+    report = _supervised(tmp_path / "soak").serve(_population(), CYCLES)
+    assert report.restarts >= 3
+    assert sorted(report.rejoined) == [1, 2, 3]
+    assert report.health == ["alive"] * SHARDS
+    assert _identity(report)
+
+
+def test_e22_crash_recovery_matches_control(tmp_path):
+    """Whole-fleet crash after the last rejoin, recovered from the newest
+    checkpoint: the recovered report equals the uninterrupted control."""
+    control = _supervised(tmp_path / "control").serve(_population(), CYCLES)
+    with pytest.raises(SimulatedCrash):
+        _supervised(tmp_path / "crashed", crash_at=325).serve(
+            _population(), CYCLES
+        )
+    recovered = _supervised(tmp_path / "crashed").recover(_population())
+    assert diff_fleet_reports(control, recovered) == []
+
+
+def test_e22_restarts_strictly_beat_failover(tmp_path):
+    """Same kill schedule, restarts on vs off: healing wins goodput and
+    availability outright."""
+    healed = _supervised(tmp_path / "healed").serve(_population(), CYCLES)
+    failover_coord, _ = _make_fleet(KILLS)
+    failover = FleetSupervisor(failover_coord).serve(_population(), CYCLES)
+    assert failover.restarts == 0
+    assert healed.goodput > failover.goodput
+    assert healed.availability > failover.availability
+
+
+@pytest.mark.parametrize("mode", ["failover", "selfheal"])
+def test_bench_supervised_step_loop(benchmark, tmp_path, mode):
+    def run():
+        if mode == "selfheal":
+            supervisor = _supervised(tmp_path / "bench")
+        else:
+            coordinator, _ = _make_fleet(KILLS)
+            supervisor = FleetSupervisor(coordinator)
+        return supervisor.serve(_population(), CYCLES)
+
+    benchmark(run)

@@ -43,6 +43,15 @@ EXPECTED_PHASES = {
     },
     # shard engines share one profiler, so the fleet rolls up engine phases
     "fleet": {"retire", "admit", "dispatch", "service"},
+    # the supervised fleet adds the per-shard durability write paths
+    "fleet_restart": {
+        "retire",
+        "admit",
+        "dispatch",
+        "service",
+        "checkpoint",
+        "journal",
+    },
 }
 
 #: scaled-down overrides per scenario kind for the record-and-diff claim
@@ -52,6 +61,12 @@ QUICK = {
     "serve_faults": {"cycles": 300},
     "serve_checkpoint": {"cycles": 300},
     "fleet": {"cycles": 200},
+    "fleet_restart": {
+        "cycles": 300,
+        "kills": "1@60,2@120",
+        "restart_after": 50,
+        "checkpoint_every": 50,
+    },
 }
 
 

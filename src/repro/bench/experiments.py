@@ -1176,6 +1176,153 @@ def e21_fleet(scale: str = "full") -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# E22 — self-healing fleet: kill/restart soak, exactly-once, deterministic
+# recovery, restart goodput
+# ---------------------------------------------------------------------------
+
+
+def e22_selfheal(scale: str = "full") -> ExperimentResult:
+    """Kill/restart soak: the supervised fleet heals, balances, and replays."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.fleet import (
+        FleetCoordinator,
+        FleetSupervisor,
+        diff_fleet_reports,
+        heavy_tailed_tenants,
+    )
+    from repro.memory.faults import FaultSchedule, per_shard_schedules
+    from repro.serve import ServeEngine
+    from repro.serve.durability import SimulatedCrash
+
+    cycles = 900 if _full(scale) else 450
+    kill_at = [cycles // 6, cycles // 3, cycles // 2]
+    restart_after = cycles // 9
+    checkpoint_every = cycles // 9
+    shards = 4
+    workload = "subtree:7=1,path:5=1,level:4=1"
+    fault_spec = f"drop=0.03@0:{cycles},seed=3"
+
+    result = ExperimentResult(
+        exp_id="E22",
+        title="Self-healing fleet: kill/restart soak with exactly-once recovery",
+        claim="with three shards killed mid-run and budgeted restarts, every "
+        "shard rejoins (>= 3 restarts), the exactly-once identity completed "
+        "+ quota_shed + shard_shed + fleet_shed == arrivals holds, two "
+        "identical supervised runs are byte-identical, a whole-fleet crash "
+        "recovered from the newest checkpoint reproduces the uninterrupted "
+        "control exactly, and restart-enabled goodput strictly exceeds "
+        "failover-only goodput under the same kill schedule",
+        columns=["setting", "restarts", "goodput", "availability",
+                 "fleet_shed", "reconciled", "note"],
+        notes=f"8-level tree, 7 modules per shard, {shards} shards, "
+        f"greedy-pack engines, least-loaded routing, 8 Zipf tenants at rate "
+        f"4.0 on {workload}; per-shard drop faults ({fault_spec}); kills at "
+        f"cycles {kill_at}, restart_after {restart_after}, checkpoints every "
+        f"{checkpoint_every} cycles",
+    )
+
+    def shard_schedule(shard: int) -> FaultSchedule:
+        base = FaultSchedule.parse(fault_spec)
+        return per_shard_schedules(base, shards)[shard]
+
+    def build_engine(shard: int) -> ServeEngine:
+        tree = CompleteBinaryTree(8)
+        mapping = ColorMapping.for_modules(tree, 7)
+        system = ParallelMemorySystem(mapping)
+        system.attach_faults(shard_schedule(shard))
+        return ServeEngine(system, policy="greedy-pack")
+
+    def make_fleet(kills):
+        engines = [build_engine(i) for i in range(shards)]
+        coordinator = FleetCoordinator(
+            engines, router="least-loaded", kills=kills
+        )
+        return coordinator, build_engine
+
+    def population():
+        tree = CompleteBinaryTree(8)
+        return heavy_tailed_tenants(tree, 8, workload, 4.0, seed=7).clients
+
+    kills = [f"{shard + 1}@{at}" for shard, at in enumerate(kill_at)]
+
+    def supervised(state_dir, crash_at=None):
+        coordinator, factory = make_fleet(kills)
+        return FleetSupervisor(
+            coordinator,
+            factory=factory,
+            state_dir=state_dir,
+            checkpoint_every=checkpoint_every,
+            restart_after=restart_after,
+            crash_at=crash_at,
+        )
+
+    def identity(report) -> bool:
+        return (
+            report.completed + report.quota_shed + report.shard_shed
+            + report.fleet_shed
+            == report.arrivals
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        # -- (a) kill/restart soak: >= 3 restarts, exactly-once ---------------
+        healed = supervised(tmp / "healed").serve(population(), cycles)
+        result.add_row(
+            "soak:healed", healed.restarts, round(healed.goodput, 3),
+            round(healed.availability, 4), healed.fleet_shed,
+            healed.reconciled, f"kills {kills}, restarts on",
+        )
+        result.require(healed.restarts >= 3)
+        result.require(sorted(healed.rejoined) == [1, 2, 3])
+        result.require(healed.health == ["alive"] * shards)
+        result.require(identity(healed))
+
+        # -- (b) determinism: identical re-run, and crash + recover -----------
+        rerun = supervised(tmp / "rerun").serve(population(), cycles)
+        rerun_diffs = diff_fleet_reports(healed, rerun)
+        result.add_row(
+            "determinism:rerun", rerun.restarts, round(rerun.goodput, 3),
+            round(rerun.availability, 4), rerun.fleet_shed, rerun.reconciled,
+            f"{len(rerun_diffs)} field diffs vs healed",
+        )
+        result.require(rerun_diffs == [])
+
+        crash_at = kill_at[-1] + restart_after + checkpoint_every
+        try:
+            supervised(tmp / "crashed", crash_at=crash_at).serve(
+                population(), cycles
+            )
+            result.require(False)  # the crash must fire
+        except SimulatedCrash:
+            pass
+        recovered = supervised(tmp / "crashed").recover(population())
+        recovered_diffs = diff_fleet_reports(healed, recovered)
+        result.add_row(
+            "determinism:crash+recover", recovered.restarts,
+            round(recovered.goodput, 3), round(recovered.availability, 4),
+            recovered.fleet_shed, recovered.reconciled,
+            f"crashed at {crash_at}; {len(recovered_diffs)} field diffs",
+        )
+        result.require(recovered_diffs == [])
+
+        # -- (c) restarts strictly beat failover-only -------------------------
+        failover_coord, _ = make_fleet(kills)
+        failover = FleetSupervisor(failover_coord).serve(population(), cycles)
+        result.add_row(
+            "failover-only", failover.restarts, round(failover.goodput, 3),
+            round(failover.availability, 4), failover.fleet_shed,
+            failover.reconciled, "same kills, restarts off",
+        )
+        result.require(failover.restarts == 0)
+        result.require(identity(failover))
+        result.require(healed.goodput > failover.goodput)
+        result.require(healed.availability > failover.availability)
+    return result
+
+
 EXPERIMENTS = {
     "E1": e01_cf_elementary,
     "E2": e02_lower_bound,
@@ -1198,6 +1345,7 @@ EXPERIMENTS = {
     "E19": e19_resilience,
     "E20": e20_durability,
     "E21": e21_fleet,
+    "E22": e22_selfheal,
 }
 
 

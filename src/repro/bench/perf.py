@@ -16,7 +16,11 @@ noise of the recorded wall clock.  The matrix spans the system's layers:
   (the :mod:`repro.serve.durability` write paths);
 * ``fleet``            — a 4-shard multi-tenant fleet under affinity
   routing (the :mod:`repro.fleet` coordinator step loop), spans rolled up
-  across all shard engines into one profile.
+  across all shard engines into one profile;
+* ``fleet_restart``    — a supervised fleet with two mid-run shard kills,
+  per-shard checkpoints/journals and budgeted restarts (the
+  :mod:`repro.fleet.supervisor` self-healing paths: death snapshots,
+  restore ladder, fleet snapshots).
 
 :func:`run_scenario` profiles ``repeats`` fresh runs and returns the
 element-wise median artifact (:func:`~repro.obs.trajectory.median_of`), the
@@ -97,6 +101,22 @@ SCENARIOS: dict[str, dict] = {
         "cycles": 600,
         "workload": "subtree:15=1,path:9=1,level:7=1",
         "seed": 5,
+    },
+    "fleet_restart": {
+        "kind": "fleet_restart",
+        "levels": 10,
+        "modules": 15,
+        "policy": "greedy-pack",
+        "shards": 4,
+        "router": "least-loaded",
+        "tenants": 12,
+        "arrival_rate": 2.0,
+        "cycles": 600,
+        "workload": "subtree:15=1,path:9=1,level:7=1",
+        "seed": 5,
+        "kills": "1@150,2@300",
+        "restart_after": 100,
+        "checkpoint_every": 100,
     },
 }
 
@@ -201,11 +221,59 @@ def _run_fleet(config: dict, profiler: PerfProfiler) -> None:
     profiler.count("requests", report.routed)
 
 
+def _run_fleet_restart(config: dict, profiler: PerfProfiler) -> None:
+    from repro.core import ColorMapping
+    from repro.fleet import (
+        FleetCoordinator,
+        FleetSupervisor,
+        heavy_tailed_tenants,
+    )
+    from repro.memory import ParallelMemorySystem
+    from repro.serve import ServeEngine
+    from repro.trees import CompleteBinaryTree
+
+    def factory(shard: int) -> ServeEngine:
+        tree = CompleteBinaryTree(config["levels"])
+        mapping = ColorMapping.for_modules(tree, config["modules"])
+        # same shared-profiler roll-up as the fleet scenario, and the
+        # supervisor reuses the factory for restarted shards
+        return ServeEngine(
+            ParallelMemorySystem(mapping, profiler=profiler),
+            policy=config["policy"],
+            profiler=profiler,
+        )
+
+    shards = [factory(i) for i in range(config["shards"])]
+    population = heavy_tailed_tenants(
+        CompleteBinaryTree(config["levels"]),
+        config["tenants"],
+        config["workload"],
+        config["arrival_rate"],
+        seed=config["seed"],
+    )
+    coordinator = FleetCoordinator(
+        shards,
+        router=config["router"],
+        kills=config["kills"].split(","),
+    )
+    with tempfile.TemporaryDirectory(prefix="pmtree-perf-") as state_dir:
+        supervisor = FleetSupervisor(
+            coordinator,
+            factory=factory,
+            state_dir=state_dir,
+            checkpoint_every=config["checkpoint_every"],
+            restart_after=config["restart_after"],
+        )
+        report = supervisor.serve(population.clients, config["cycles"])
+    profiler.count("requests", report.routed)
+
+
 _RUNNERS = {
     "simulate": _run_simulate,
     "serve": _run_serve,
     "serve_checkpoint": _run_serve_checkpoint,
     "fleet": _run_fleet,
+    "fleet_restart": _run_fleet_restart,
 }
 
 

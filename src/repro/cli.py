@@ -15,8 +15,14 @@ CLI under ``python -m repro.bench``):
   ``--repair``/``--retry-timeout`` exercise the resilience ladder, and
   ``--state-dir``/``--checkpoint-every`` make the run durable (checkpoints
   plus a write-ahead journal; ``--crash-at`` simulates a kill, exit 9);
-* ``pmtree recover``  — resume a crashed durable serve run from its latest
-  valid snapshot, replaying and verifying the journal;
+* ``pmtree recover``  — resume a crashed durable run from its latest valid
+  snapshot, replaying and verifying the journal (``--state-dir`` for a
+  serve run, ``--fleet`` for a supervised fleet run);
+* ``pmtree fleet``    — serve a multi-tenant stream across N engine shards
+  with routing, quotas and shard-loss failover (see :mod:`repro.fleet`);
+  ``--restart-after``/``--restart-budget`` turn on self-healing restarts
+  and ``--shard-state-dir``/``--checkpoint-every`` make the run durable
+  per shard (``--crash-at`` simulates a whole-fleet kill, exit 9);
 * ``pmtree obs``      — telemetry tooling: ``record`` / ``report`` /
   ``diff`` (regression gate) / ``export`` (Chrome trace);
 * ``pmtree perf``     — wall-clock perf tooling over the fixed scenario
@@ -363,12 +369,52 @@ def cmd_serve(args) -> int:
     return _finish_serve(report, recorder, args.obs)
 
 
+def _recover_fleet(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.fleet import FleetSupervisor
+
+    state_dir = Path(args.fleet)
+    config_path = state_dir / "config.json"
+    if not config_path.exists():
+        raise SystemExit(
+            f"{state_dir} has no config.json — was this run started with "
+            f"'pmtree fleet --shard-state-dir'?"
+        )
+    config = _json.loads(config_path.read_text())
+    coordinator, population, recorder, factory = _build_fleet(config)
+    budget = config.get("restart_budget")
+    supervisor = FleetSupervisor(
+        coordinator,
+        factory=factory,
+        state_dir=state_dir,
+        checkpoint_every=config.get("checkpoint_every") or 100,
+        restart_after=config.get("restart_after"),
+        restart_budget=3 if budget is None else budget,
+    )
+    report = supervisor.recover(population.clients)
+    print(
+        f"recovered fleet from cycle boundary in {state_dir}; "
+        f"health {report.health}"
+    )
+    obs_path = args.obs or config.get("obs")
+    return _finish_fleet(report, recorder, obs_path)
+
+
 def cmd_recover(args) -> int:
     import json as _json
     from pathlib import Path
 
     from repro.serve import DurableServer
 
+    if bool(args.state_dir) == bool(args.fleet):
+        raise SystemExit(
+            "pass exactly one of --state-dir (durable serve run) or "
+            "--fleet (supervised fleet run)"
+        )
+    if args.fleet:
+        return _recover_fleet(args)
     state_dir = Path(args.state_dir)
     config_path = state_dir / "config.json"
     if not config_path.exists():
@@ -393,64 +439,160 @@ def cmd_recover(args) -> int:
     return _finish_serve(report, recorder, obs_path)
 
 
-def cmd_fleet(args) -> int:
+#: args that fully determine a fleet setup; persisted to the fleet state
+#: dir's config.json so ``pmtree recover --fleet`` can rebuild the exact
+#: coordinator + tenant population + replacement-engine factory
+_FLEET_CONFIG_KEYS = (
+    "shards",
+    "router",
+    "levels",
+    "modules",
+    "policy",
+    "cycles",
+    "arrival_rate",
+    "workload",
+    "tenants",
+    "tenant_alpha",
+    "quota",
+    "gold_every",
+    "gold_deadline",
+    "gold_weight",
+    "kill_shard_at",
+    "queue_capacity",
+    "admission",
+    "batch_components",
+    "seed",
+    "faults",
+    "repair",
+    "retry_timeout",
+    "max_retries",
+    "obs",
+    "restart_after",
+    "restart_budget",
+    "checkpoint_every",
+)
+
+
+def _fleet_config(args) -> dict:
+    return {key: getattr(args, key, None) for key in _FLEET_CONFIG_KEYS}
+
+
+def _build_fleet(config: dict):
+    """Build ``(coordinator, population, recorder, factory)`` from a fleet
+    config dict.
+
+    Like :func:`_build_serve`, deliberately a pure function of the config:
+    ``factory(shard)`` rebuilds shard ``shard``'s engine (mapping, policy,
+    per-shard fault schedule) from scratch, which is what both a restart
+    after shard death and a whole-fleet recovery need."""
     from repro.fleet import FleetCoordinator, SLOClass, heavy_tailed_tenants
     from repro.memory import FaultSchedule, per_shard_schedules
     from repro.obs import EventRecorder
     from repro.serve import ServeEngine
 
-    tree = CompleteBinaryTree(args.levels)
-    schedule = None
-    if args.faults:
-        schedule = _resolve_faults(args.faults)
-        if not isinstance(schedule, FaultSchedule):
-            schedule = FaultSchedule.from_model(schedule)
-    schedules = per_shard_schedules(schedule, args.shards)
-    shards = []
-    for shard in range(args.shards):
-        mapping = ColorMapping.for_modules(tree, args.modules)
+    tree = CompleteBinaryTree(config["levels"])
+
+    def factory(shard: int) -> ServeEngine:
+        mapping = ColorMapping.for_modules(tree, config["modules"])
         pms = ParallelMemorySystem(mapping)
-        if schedules[shard] is not None:
-            pms.attach_faults(schedules[shard])
-        shards.append(
-            ServeEngine(
-                pms,
-                policy=args.policy,
-                queue_capacity=args.queue_capacity,
-                admission=args.admission,
-                max_batch_components=args.batch_components,
-                retry_timeout=args.retry_timeout,
-                max_retries=args.max_retries,
-                repair=args.repair,
+        if config["faults"]:
+            schedule = _resolve_faults(config["faults"])
+            if not isinstance(schedule, FaultSchedule):
+                schedule = FaultSchedule.from_model(schedule)
+            pms.attach_faults(
+                per_shard_schedules(schedule, config["shards"])[shard]
             )
+        return ServeEngine(
+            pms,
+            policy=config["policy"],
+            queue_capacity=config["queue_capacity"],
+            admission=config["admission"],
+            max_batch_components=config["batch_components"],
+            retry_timeout=config["retry_timeout"],
+            max_retries=config["max_retries"],
+            repair=config["repair"],
         )
-    gold = SLOClass("gold", deadline=args.gold_deadline, weight=args.gold_weight)
+
+    shards = [factory(shard) for shard in range(config["shards"])]
+    gold = SLOClass(
+        "gold", deadline=config["gold_deadline"], weight=config["gold_weight"]
+    )
     population = heavy_tailed_tenants(
         tree,
-        args.tenants,
-        args.workload,
-        args.arrival_rate,
-        seed=args.seed,
-        alpha=args.tenant_alpha,
-        quota=args.quota,
-        gold_every=args.gold_every,
+        config["tenants"],
+        config["workload"],
+        config["arrival_rate"],
+        seed=config["seed"],
+        alpha=config["tenant_alpha"],
+        quota=config["quota"],
+        gold_every=config["gold_every"],
         gold=gold,
     )
-    recorder = EventRecorder() if args.obs else None
-    fleet = FleetCoordinator(
+    recorder = EventRecorder() if config["obs"] else None
+    coordinator = FleetCoordinator(
         shards,
-        router=args.router,
+        router=config["router"],
         directory=population.directory,
         recorder=recorder,
-        kills=args.kill_shard_at or (),
+        kills=config["kill_shard_at"] or (),
     )
-    report = fleet.run(population.clients, args.cycles)
+    return coordinator, population, recorder, factory
+
+
+def _finish_fleet(report, recorder, obs_path) -> int:
     print(report)
     if recorder is not None:
         recorder.set_meta(mode="fleet")
-        path = recorder.save(args.obs)
+        path = recorder.save(obs_path)
         print(f"wrote telemetry ({len(recorder.events)} events) to {path}")
     return 0
+
+
+def cmd_fleet(args) -> int:
+    import json as _json
+
+    config = _fleet_config(args)
+    coordinator, population, recorder, factory = _build_fleet(config)
+    supervised = args.shard_state_dir or args.restart_after is not None
+    if not supervised:
+        if args.crash_at is not None:
+            raise SystemExit("--crash-at requires --shard-state-dir")
+        report = coordinator.run(population.clients, args.cycles)
+        return _finish_fleet(report, recorder, args.obs)
+
+    from pathlib import Path
+
+    from repro.fleet import FleetSupervisor
+    from repro.serve import SimulatedCrash
+
+    state_dir = Path(args.shard_state_dir) if args.shard_state_dir else None
+    if state_dir is None and args.crash_at is not None:
+        raise SystemExit("--crash-at requires --shard-state-dir")
+    if state_dir is not None:
+        state_dir.mkdir(parents=True, exist_ok=True)
+        (state_dir / "config.json").write_text(
+            _json.dumps(config, indent=2) + "\n"
+        )
+    supervisor = FleetSupervisor(
+        coordinator,
+        factory=factory,
+        state_dir=state_dir,
+        checkpoint_every=args.checkpoint_every,
+        restart_after=args.restart_after,
+        restart_budget=args.restart_budget,
+        crash_at=args.crash_at,
+    )
+    try:
+        report = supervisor.serve(population.clients, args.cycles)
+    except SimulatedCrash as crash:
+        print(f"crashed: {crash}")
+        print(
+            f"state dir {state_dir} holds per-shard journals and fleet "
+            f"snapshots;"
+        )
+        print(f"resume with: pmtree recover --fleet {state_dir}")
+        return 9
+    return _finish_fleet(report, recorder, args.obs)
 
 
 def cmd_obs_record(args) -> int:
@@ -779,10 +921,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     recover = sub.add_parser(
         "recover",
-        help="resume a crashed 'serve --state-dir' run to completion",
+        help="resume a crashed 'serve --state-dir' or "
+        "'fleet --shard-state-dir' run to completion",
     )
     recover.add_argument(
-        "--state-dir", required=True, metavar="DIR", help="durable run state dir"
+        "--state-dir", metavar="DIR", help="durable serve run state dir"
+    )
+    recover.add_argument(
+        "--fleet",
+        metavar="DIR",
+        help="supervised fleet state dir (from 'fleet --shard-state-dir')",
     )
     recover.add_argument(
         "--obs",
@@ -896,6 +1044,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--obs", metavar="PATH", help="record fleet routing telemetry to .jsonl"
+    )
+    fleet.add_argument(
+        "--restart-after",
+        type=int,
+        default=None,
+        help="self-heal: restart a dead shard this many cycles after its "
+        "death (omitted = pure failover)",
+    )
+    fleet.add_argument(
+        "--restart-budget",
+        type=int,
+        default=3,
+        help="max restart attempts per shard (capped exponential backoff)",
+    )
+    fleet.add_argument(
+        "--shard-state-dir",
+        metavar="DIR",
+        help="durable fleet: per-shard checkpoints + journals and fleet "
+        "snapshots here (resumable with 'pmtree recover --fleet')",
+    )
+    fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        help="fleet cycles between checkpoints (with --shard-state-dir)",
+    )
+    fleet.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="crash harness: kill the whole fleet at this cycle (exit 9)",
     )
     fleet.set_defaults(fn=cmd_fleet)
 

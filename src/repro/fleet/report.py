@@ -55,6 +55,18 @@ class FleetReport:
     #: full per-shard reports, index = shard id
     shard_reports: list[ServeReport] = field(default_factory=list)
     wall_time_s: float = 0.0
+    #: requests shed at the fleet edge: no alive shard to place on, or the
+    #: last shard died holding them
+    fleet_shed: int = 0
+    #: successful shard restarts (rejoins) during the run
+    restarts: int = 0
+    #: shards that rejoined, in rejoin order (repeats allowed)
+    rejoined: list[int] = field(default_factory=list)
+    #: stale requests reconciled away from restored shards (dedupe vs. the
+    #: failover ledger — the exactly-once guarantee across restarts)
+    reconciled: int = 0
+    #: final lifecycle state per shard (see ``HEALTH_STATES``)
+    health: list[str] = field(default_factory=list)
 
     @property
     def completion_rate(self) -> float:
@@ -81,7 +93,15 @@ class FleetReport:
             f"shard-shed {self.shard_shed})",
             f"  goodput {self.goodput:.3f} items/cycle, "
             f"availability {self.availability:.4f}",
+            f"  exactly-once: completed {self.completed} + "
+            f"quota-shed {self.quota_shed} + shard-shed {self.shard_shed} + "
+            f"fleet-shed {self.fleet_shed} == arrivals {self.arrivals}",
         ]
+        if self.restarts:
+            lines.append(
+                f"  self-heal: rejoined shards {self.rejoined} "
+                f"(restarts {self.restarts}, reconciled {self.reconciled})"
+            )
         if self.dead_shards:
             lines.append(
                 f"  failover: dead shards {self.dead_shards}, "
@@ -107,7 +127,11 @@ class FleetReport:
                     )
             lines.append("  classes: " + ", ".join(parts))
         for shard, report in enumerate(self.shard_reports):
-            status = " [dead]" if shard in self.dead_shards else ""
+            if self.health:
+                state = self.health[shard]
+                status = "" if state == "alive" else f" [{state}]"
+            else:
+                status = " [dead]" if shard in self.dead_shards else ""
             lines.append(
                 f"  shard {shard}{status}: {report.completed} completed, "
                 f"{report.shed} shed, goodput {report.goodput:.3f}, "

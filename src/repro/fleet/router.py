@@ -16,7 +16,12 @@ shard takes it?*  Three strategies ship:
 
 Routers only ever see *alive* shards; on failover the coordinator calls
 :meth:`Router.on_shard_down` so sticky state for the dead shard is dropped
-and its tenants re-place among the survivors.
+and its tenants re-place among the survivors.  When a restored shard
+rejoins, :meth:`Router.on_shard_up` lets placement rebalance back — the
+affinity router evicts a *bounded* number of assignments (``migrate``) so
+the returning shard refills without a fleet-wide reshuffle.  Routers also
+round-trip through :meth:`Router.state_dict` / :meth:`Router.load_state`
+so fleet checkpoints capture placement exactly.
 """
 
 from __future__ import annotations
@@ -48,8 +53,19 @@ class Router(abc.ABC):
     def on_shard_down(self, shard: int, fleet) -> None:
         """A shard died; forget any state that points at it."""
 
+    def on_shard_up(self, shard: int, fleet) -> None:
+        """A restored shard rejoined; rebalance toward it if the strategy
+        holds sticky state (bounded — never a fleet-wide reshuffle)."""
+
     def reset(self) -> None:
         """Forget everything (called by the coordinator at run start)."""
+
+    def state_dict(self) -> dict:
+        """JSON-serializable placement state for fleet checkpoints."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (inverse, after ``reset``)."""
 
 
 class RoundRobinRouter(Router):
@@ -68,6 +84,12 @@ class RoundRobinRouter(Router):
 
     def reset(self) -> None:
         self._turn = 0
+
+    def state_dict(self) -> dict:
+        return {"turn": self._turn}
+
+    def load_state(self, state: dict) -> None:
+        self._turn = int(state.get("turn", 0))
 
 
 class LeastLoadedRouter(Router):
@@ -200,12 +222,63 @@ class AffinityRouter(Router):
         self._routed_items.pop(shard, None)
         self._routed_count.pop(shard, None)
 
+    def on_shard_up(self, shard: int, fleet) -> None:
+        """Evict up to ``migrate`` assignments so the rejoined shard refills.
+
+        Candidates are tenants homed elsewhere that are *not* their shard's
+        top tenant (the offender stays walled in), heaviest first — moving
+        the busiest movable tenants restores balance fastest.  Evicted
+        tenants re-place on their next arrival; the rejoined shard starts
+        with zero committed weight and an affinity-neutral (empty) profile,
+        so it wins those placements without any forced hand-off.  The old
+        home keeps its one-request committed-weight charge — the same
+        bounded staleness every assignment already carries.
+        """
+        movable = sorted(
+            (
+                tenant
+                for tenant, home in self.assignments.items()
+                if home != shard and not self._is_top_tenant(tenant, home)
+            ),
+            key=lambda tenant: (-self._tenant_items.get(tenant, 0), tenant),
+        )
+        for tenant in movable[: self.migrate]:
+            self.assignments.pop(tenant)
+
     def reset(self) -> None:
         self.assignments = {}
         self._assigned_weight = {}
         self._routed_items = {}
         self._routed_count = {}
         self._tenant_items = {}
+
+    def state_dict(self) -> dict:
+        return {
+            "assignments": dict(self.assignments),
+            "assigned_weight": {
+                str(s): w for s, w in self._assigned_weight.items()
+            },
+            "routed_items": {str(s): n for s, n in self._routed_items.items()},
+            "routed_count": {str(s): n for s, n in self._routed_count.items()},
+            "tenant_items": dict(self._tenant_items),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.assignments = {
+            str(t): int(s) for t, s in state.get("assignments", {}).items()
+        }
+        self._assigned_weight = {
+            int(s): int(w) for s, w in state.get("assigned_weight", {}).items()
+        }
+        self._routed_items = {
+            int(s): int(n) for s, n in state.get("routed_items", {}).items()
+        }
+        self._routed_count = {
+            int(s): int(n) for s, n in state.get("routed_count", {}).items()
+        }
+        self._tenant_items = {
+            str(t): int(n) for t, n in state.get("tenant_items", {}).items()
+        }
 
 
 ROUTERS = {

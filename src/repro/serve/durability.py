@@ -69,6 +69,7 @@ from repro.templates.composite import CompositeInstance, make_composite
 __all__ = [
     "CONTROL_EVENTS",
     "CRASH_MODES",
+    "CheckpointStore",
     "CrashPlan",
     "DurabilityError",
     "DurableServer",
@@ -81,7 +82,11 @@ __all__ = [
     "assert_equivalent",
     "diff_reports",
     "filter_control",
+    "instance_from_json",
+    "instance_to_json",
     "journal_accounting",
+    "request_from_json",
+    "request_to_json",
     "run_with_recovery",
 ]
 
@@ -188,6 +193,14 @@ def _request_from_json(payload: dict) -> Request:
         timeouts=int(payload["timeouts"]),
         retry_at=int(payload["retry_at"]),
     )
+
+
+# public aliases: the fleet layer (shard feeds, fleet snapshots) serializes
+# instances/requests with the exact scheme engine snapshots use
+instance_to_json = _instance_to_json
+instance_from_json = _instance_from_json
+request_to_json = _request_to_json
+request_from_json = _request_from_json
 
 
 # -- engine snapshot -----------------------------------------------------------
@@ -599,6 +612,71 @@ class CrashPlan:
             )
 
 
+class CheckpointStore:
+    """One state directory's checkpoint + journal layout.
+
+    Owns the on-disk naming scheme (``journal.jsonl``, ``snap-<cycle>.json``),
+    snapshot writes with retention pruning, and the recovery-side selection
+    of the newest snapshot that still loads cleanly.
+    :class:`DurableServer` keeps one for its state dir; the fleet
+    supervisor (:class:`~repro.fleet.supervisor.FleetSupervisor`) gives
+    every shard its own under ``<state_dir>/shard-<i>/``.
+    """
+
+    def __init__(self, state_dir: str | Path, retain: int = 3):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / "journal.jsonl"
+
+    def snapshot_path(self, cycle: int) -> Path:
+        return self.state_dir / f"snap-{cycle:09d}.json"
+
+    def create_journal(self) -> "ServeJournal":
+        return ServeJournal.create(self.journal_path)
+
+    def recover_journal(self) -> "ServeJournal":
+        return ServeJournal.recover(self.journal_path)
+
+    def write_snapshot(self, engine: ServeEngine) -> EngineSnapshot:
+        """Capture + persist the engine at its current cycle, then prune.
+
+        The capture and write run under the engine's ``checkpoint``
+        profiler span, so durable fleets report checkpoint wall-cost the
+        same way :class:`DurableServer` does.
+        """
+        with engine.profiler.span("checkpoint"):
+            snapshot = engine.checkpoint()
+            save_snapshot(snapshot.to_json(), self.snapshot_path(engine._cycle))
+        self.prune()
+        return snapshot
+
+    def prune(self) -> None:
+        for stale in sorted(self.state_dir.glob("snap-*.json"))[: -self.retain]:
+            stale.unlink()
+
+    def latest_snapshot(self, max_cycle: int | None = None) -> EngineSnapshot | None:
+        """Newest snapshot that loads and checksums cleanly, else ``None``.
+
+        ``max_cycle`` bounds the search: fleet recovery must not restore a
+        shard *past* the fleet-checkpoint cycle it is rejoining.
+        """
+        for path in sorted(self.state_dir.glob("snap-*.json"), reverse=True):
+            try:
+                snapshot = EngineSnapshot.from_json(load_snapshot(path))
+            except (ValueError, KeyError):
+                continue  # torn or corrupt: fall back to an older snapshot
+            if max_cycle is not None and snapshot.cycle > max_cycle:
+                continue
+            return snapshot
+        return None
+
+
 class DurableServer:
     """Supervises a serving run with periodic checkpoints and a WAL.
 
@@ -626,12 +704,10 @@ class DurableServer:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
-        if retain < 1:
-            raise ValueError(f"retain must be >= 1, got {retain}")
         self.engine = engine
         self.clients = list(clients)
-        self.state_dir = Path(state_dir)
-        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.store = CheckpointStore(state_dir, retain=retain)
+        self.state_dir = self.store.state_dir
         self.checkpoint_every = checkpoint_every
         self.crash_plan = crash_plan
         self.retain = retain
@@ -644,14 +720,14 @@ class DurableServer:
 
     @property
     def journal_path(self) -> Path:
-        return self.state_dir / "journal.jsonl"
+        return self.store.journal_path
 
     @property
     def manifest_path(self) -> Path:
         return self.state_dir / "run.json"
 
     def _snapshot_path(self, cycle: int) -> Path:
-        return self.state_dir / f"snap-{cycle:09d}.json"
+        return self.store.snapshot_path(cycle)
 
     @property
     def checkpoint_overhead(self) -> float:
@@ -679,7 +755,7 @@ class DurableServer:
             )
             + "\n"
         )
-        self.journal = ServeJournal.create(self.journal_path)
+        self.journal = self.store.create_journal()
         self.journal.profiler = self.engine.profiler
         self.engine.journal = self.journal
         self.engine.start(
@@ -701,7 +777,7 @@ class DurableServer:
                 f"{self.state_dir} holds no run manifest; nothing to recover"
             )
         manifest = json.loads(self.manifest_path.read_text())
-        self.journal = ServeJournal.recover(self.journal_path)
+        self.journal = self.store.recover_journal()
         self.journal.profiler = self.engine.profiler
         engine = self.engine
         snapshot = self._latest_snapshot()
@@ -733,12 +809,7 @@ class DurableServer:
 
     def _latest_snapshot(self) -> EngineSnapshot | None:
         """Newest snapshot that loads and checksums cleanly, else ``None``."""
-        for path in sorted(self.state_dir.glob("snap-*.json"), reverse=True):
-            try:
-                return EngineSnapshot.from_json(load_snapshot(path))
-            except (ValueError, KeyError):
-                continue  # torn or corrupt: fall back to an older snapshot
-        return None
+        return self.store.latest_snapshot()
 
     # -- the supervised loop ---------------------------------------------------
 
@@ -794,14 +865,10 @@ class DurableServer:
                 "checkpoint", cycle=engine._cycle, seqno=self.journal.position
             )
         started = time.perf_counter()
-        with engine.profiler.span("checkpoint"):
-            snapshot = engine.checkpoint()
-            save_snapshot(snapshot.to_json(), self._snapshot_path(engine._cycle))
+        self.store.write_snapshot(engine)
         self.checkpoint_seconds += time.perf_counter() - started
         self.checkpoints_written += 1
         self._last_checkpoint = engine._cycle
-        for stale in sorted(self.state_dir.glob("snap-*.json"))[: -self.retain]:
-            stale.unlink()
 
     def _crash(self, plan: CrashPlan) -> None:
         engine = self.engine

@@ -323,3 +323,79 @@ class TestPerfCommands:
         assert main(["perf", "expose", str(artifact)]) == 0
         text = capsys.readouterr().out
         assert "# TYPE pmtree_total_conflicts gauge" in text
+
+
+class TestFleetCLI:
+    FLEET = [
+        "fleet", "--shards", "3", "--levels", "8", "--modules", "7",
+        "--router", "least-loaded", "--cycles", "400",
+        "--arrival-rate", "1.2", "--workload", "subtree:7=1,path:5=1",
+        "--seed", "0",
+    ]
+
+    def test_plain_fleet_run(self, capsys):
+        assert main(self.FLEET) == 0
+        out = capsys.readouterr().out
+        assert "exactly-once:" in out
+        assert "self-heal" not in out
+
+    def test_supervised_restart_prints_selfheal(self, tmp_path, capsys):
+        assert main(self.FLEET + [
+            "--kill-shard-at", "2@150", "--restart-after", "80",
+            "--shard-state-dir", str(tmp_path / "state"),
+            "--checkpoint-every", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "self-heal: rejoined shards [2]" in out
+        assert "exactly-once:" in out
+        assert (tmp_path / "state" / "config.json").exists()
+        assert (tmp_path / "state" / "shard-2" / "journal.jsonl").exists()
+
+    def test_crash_exits_9_and_recover_fleet_resumes(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        argv = self.FLEET + [
+            "--kill-shard-at", "2@150", "--restart-after", "80",
+            "--shard-state-dir", str(state), "--checkpoint-every", "50",
+        ]
+        assert main(argv + ["--crash-at", "300"]) == 9
+        assert "pmtree recover --fleet" in capsys.readouterr().out
+        assert main(["recover", "--fleet", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered fleet" in out
+        assert "health ['alive', 'alive', 'alive']" in out
+        assert "exactly-once:" in out
+
+    def test_recovered_report_matches_uninterrupted_run(
+        self, tmp_path, capsys
+    ):
+        argv = self.FLEET + [
+            "--kill-shard-at", "2@150", "--restart-after", "80",
+            "--checkpoint-every", "50",
+        ]
+        assert main(argv + ["--shard-state-dir", str(tmp_path / "a")]) == 0
+        control = capsys.readouterr().out
+        assert main(argv + [
+            "--shard-state-dir", str(tmp_path / "b"), "--crash-at", "300",
+        ]) == 9
+        capsys.readouterr()
+        assert main(["recover", "--fleet", str(tmp_path / "b")]) == 0
+        recovered = capsys.readouterr().out
+        tail = control[control.index("fleet["):]
+        assert tail.strip() in recovered
+
+    def test_recover_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["recover"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main([
+                "recover", "--state-dir", str(tmp_path),
+                "--fleet", str(tmp_path),
+            ])
+        with pytest.raises(SystemExit, match="config.json"):
+            main(["recover", "--fleet", str(tmp_path)])
+
+    def test_crash_at_requires_state_dir(self):
+        with pytest.raises(SystemExit, match="--shard-state-dir"):
+            main(self.FLEET + ["--crash-at", "10"])
+        with pytest.raises(SystemExit, match="--shard-state-dir"):
+            main(self.FLEET + ["--crash-at", "10", "--restart-after", "50"])

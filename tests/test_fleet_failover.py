@@ -131,10 +131,23 @@ def test_killed_fleet_loses_bounded_goodput(tree):
     assert killed.completed + killed.shard_shed == killed.routed
 
 
-def test_last_shard_dying_with_work_raises(tree):
-    coordinator = FleetCoordinator(make_shards(1), kills=["0@50"])
-    with pytest.raises(RuntimeError, match="no surviving shard"):
-        coordinator.run(population(tree, rate=3.0).clients, 100)
+def test_last_shard_dying_with_work_sheds_cleanly(tree):
+    # the last shard dying while holding work used to raise mid-run; it now
+    # sheds the held work at the fleet edge with exactly-once accounting
+    recorder = EventRecorder()
+    coordinator = FleetCoordinator(
+        make_shards(1), recorder=recorder, kills=["0@50"]
+    )
+    report = coordinator.run(population(tree, rate=3.0).clients, 100)
+    assert report.dead_shards == [0]
+    assert report.fleet_shed > 0
+    assert (
+        report.completed + report.quota_shed + report.shard_shed
+        + report.fleet_shed
+        == report.arrivals
+    )
+    sheds = [e for e in recorder.events if e["ev"] == "fleet_shed"]
+    assert {e["reason"] for e in sheds} == {"shard-loss", "no-capacity"}
 
 
 def test_affinity_forgets_assignments_on_shard_down(tree):

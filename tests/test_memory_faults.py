@@ -191,6 +191,33 @@ class TestFaultSchedule:
         with pytest.raises(ValueError):
             pms.attach_faults(FaultSchedule.parse("fail=99@0:10"))
 
+    def test_per_shard_schedule_rng_survives_save_load_mid_stream(
+        self, tmp_path
+    ):
+        """A fleet shard's drop lottery round-trips through save_faults /
+        load_faults mid-run: the restored stream *continues* where the saved
+        one stood rather than restarting from the seed."""
+        from repro.io import load_faults, save_faults
+        from repro.memory.faults import per_shard_schedules
+
+        base = FaultSchedule.parse("fail=2@50:80,drop=0.2@0:600,seed=13")
+        sched = per_shard_schedules(base, 3)[1]
+        sched.rng.random(17)  # burn part of the lottery, as a run would
+        sched.cursor = 1  # one fault transition already applied
+        path = save_faults(sched, tmp_path / "shard1.json")
+        expected = sched.rng.random(8)  # where the saved stream goes next
+
+        restored = load_faults(path)
+        assert isinstance(restored, FaultSchedule)
+        assert restored.cursor == 1
+        assert restored.seed == sched.seed
+        assert np.array_equal(restored.rng.random(8), expected)
+
+        # a fresh child schedule (same seed, rewound) draws a different
+        # prefix — proof the restored stream continued, not restarted
+        rewound = per_shard_schedules(base, 3)[1]
+        assert not np.array_equal(rewound.rng.random(8), expected)
+
 
 class TestApplyFaults:
     def test_slow_module_stretches_cycles(self, tree12):
