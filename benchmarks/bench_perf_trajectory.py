@@ -52,6 +52,15 @@ EXPECTED_PHASES = {
         "checkpoint",
         "journal",
     },
+    # the daemon stack is a durable run with live telemetry sinks on top
+    "daemon": {
+        "retire",
+        "admit",
+        "dispatch",
+        "service",
+        "checkpoint",
+        "journal",
+    },
 }
 
 #: scaled-down overrides per scenario kind for the record-and-diff claim
@@ -67,6 +76,7 @@ QUICK = {
         "restart_after": 50,
         "checkpoint_every": 50,
     },
+    "daemon": {"cycles": 300},
 }
 
 

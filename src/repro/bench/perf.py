@@ -20,7 +20,12 @@ noise of the recorded wall clock.  The matrix spans the system's layers:
 * ``fleet_restart``    — a supervised fleet with two mid-run shard kills,
   per-shard checkpoints/journals and budgeted restarts (the
   :mod:`repro.fleet.supervisor` self-healing paths: death snapshots,
-  restore ladder, fleet snapshots).
+  restore ladder, fleet snapshots);
+* ``daemon``           — the daemon's hosting stack without the asyncio
+  pacing: a durable serve run with a bounded ring-buffer recorder
+  streaming every event through a live JSONL sink, plus a
+  :class:`~repro.host.daemon.SubmitFeed` injecting out-of-band work (the
+  :mod:`repro.host` tick path + obs sink fanout the control plane rides).
 
 :func:`run_scenario` profiles ``repeats`` fresh runs and returns the
 element-wise median artifact (:func:`~repro.obs.trajectory.median_of`), the
@@ -118,6 +123,20 @@ SCENARIOS: dict[str, dict] = {
         "restart_after": 100,
         "checkpoint_every": 100,
     },
+    "daemon": {
+        "kind": "daemon",
+        "levels": 11,
+        "modules": 15,
+        "policy": "greedy-pack",
+        "traffic": "poisson",
+        "arrival_rate": 0.3,
+        "clients": 4,
+        "cycles": 1200,
+        "workload": "subtree:15=1,path:11=1,level:7=1",
+        "seed": 0,
+        "checkpoint_every": 100,
+        "events_capacity": 4096,
+    },
 }
 
 
@@ -137,7 +156,7 @@ def _run_simulate(config: dict, profiler: PerfProfiler) -> None:
     profiler.count("requests", len(trace))
 
 
-def _build_engine(config: dict, profiler: PerfProfiler):
+def _build_engine(config: dict, profiler: PerfProfiler, recorder=None):
     from repro.core import ColorMapping
     from repro.memory import ParallelMemorySystem, parse_faults
     from repro.memory.faults import FaultSchedule
@@ -147,7 +166,7 @@ def _build_engine(config: dict, profiler: PerfProfiler):
 
     tree = CompleteBinaryTree(config["levels"])
     mapping = ColorMapping.for_modules(tree, config["modules"])
-    pms = ParallelMemorySystem(mapping, profiler=profiler)
+    pms = ParallelMemorySystem(mapping, profiler=profiler, recorder=recorder)
     if config.get("faults"):
         faults = parse_faults(config["faults"])
         if not isinstance(faults, FaultSchedule):
@@ -187,6 +206,37 @@ def _run_serve_checkpoint(config: dict, profiler: PerfProfiler) -> None:
             checkpoint_every=config["checkpoint_every"],
         )
         server.serve(config["cycles"])
+
+
+def _run_daemon(config: dict, profiler: PerfProfiler) -> None:
+    from repro.host.daemon import SubmitFeed
+    from repro.obs import EventRecorder
+    from repro.serve import DurableServer
+    from repro.serve.clients import spawn_seeds
+
+    recorder = EventRecorder(capacity=config["events_capacity"])
+    engine, clients = _build_engine(config, profiler, recorder=recorder)
+    # the submit feed rides index N, exactly as the daemon wires it, and
+    # injects a deterministic burst of out-of-band work up front
+    seeds = spawn_seeds(config["seed"], config["clients"] + 1)
+    feed = SubmitFeed(
+        config["clients"],
+        engine.system.mapping.tree,
+        seed=seeds[config["clients"]],
+    )
+    for kind, size in (("subtree", 15), ("path", 11), ("composite", 24)):
+        feed.submit(kind, size, count=4)
+    clients.append(feed)
+    with tempfile.TemporaryDirectory(prefix="pmtree-perf-") as state_dir:
+        stream = recorder.stream_to(f"{state_dir}/events.jsonl")
+        server = DurableServer(
+            engine,
+            clients,
+            state_dir,
+            checkpoint_every=config["checkpoint_every"],
+        )
+        server.serve(config["cycles"])
+        stream.close()
 
 
 def _run_fleet(config: dict, profiler: PerfProfiler) -> None:
@@ -272,6 +322,7 @@ _RUNNERS = {
     "simulate": _run_simulate,
     "serve": _run_serve,
     "serve_checkpoint": _run_serve_checkpoint,
+    "daemon": _run_daemon,
     "fleet": _run_fleet,
     "fleet_restart": _run_fleet_restart,
 }

@@ -244,6 +244,7 @@ _SERVE_CONFIG_KEYS = (
     "backoff_base",
     "backoff_cap",
     "checkpoint_every",
+    "events_capacity",
 )
 
 
@@ -251,12 +252,16 @@ def _serve_config(args) -> dict:
     return {key: getattr(args, key, None) for key in _SERVE_CONFIG_KEYS}
 
 
-def _build_serve(config: dict):
+def _build_engine(config: dict):
     """Build ``(engine, clients, recorder)`` from a serve config dict.
 
     Deliberately a pure function of the config: calling it twice yields two
     identically configured setups, which is exactly what crash recovery
-    needs to restart "the process"."""
+    needs to restart "the process".  Shared by ``pmtree serve``, ``pmtree
+    recover`` and ``pmtree daemon`` — a daemon config (``daemon: true``)
+    additionally gets a :class:`~repro.host.daemon.SubmitFeed` appended
+    after the traffic clients, on its own derived seed, so HTTP-submitted
+    work is part of the same deterministic, recoverable client set."""
     from repro.memory import FaultSchedule
     from repro.obs import EventRecorder
     from repro.serve import (
@@ -275,7 +280,11 @@ def _build_serve(config: dict):
         tree = CompleteBinaryTree(config["levels"])
         mapping = ColorMapping.for_modules(tree, config["modules"])
     mix = TemplateMix.parse(tree, config["workload"])
-    recorder = EventRecorder() if config["obs"] else None
+    recorder = (
+        EventRecorder(capacity=config.get("events_capacity"))
+        if config["obs"]
+        else None
+    )
     pms = ParallelMemorySystem(mapping, recorder=recorder)
     if config["faults"]:
         faults = _resolve_faults(config["faults"])
@@ -297,9 +306,12 @@ def _build_serve(config: dict):
         repair=config["repair"],
     )
     per_client = config["arrival_rate"] / config["clients"]
-    seeds = spawn_seeds(config["seed"], config["clients"])
+    num_clients = config["clients"]
+    # the feed's seed rides index N so the traffic clients' seeds 0..N-1
+    # are exactly what a plain serve run draws (spawn_seeds is sequential)
+    seeds = spawn_seeds(config["seed"], num_clients + 1)
     clients = []
-    for i in range(config["clients"]):
+    for i in range(num_clients):
         if config["traffic"] == "poisson":
             clients.append(PoissonClient(i, mix, per_client, seed=seeds[i]))
         elif config["traffic"] == "bursty":
@@ -313,6 +325,10 @@ def _build_serve(config: dict):
                     seed=seeds[i],
                 )
             )
+    if config.get("daemon"):
+        from repro.host.daemon import SubmitFeed
+
+        clients.append(SubmitFeed(num_clients, tree, seed=seeds[num_clients]))
     return engine, clients, recorder
 
 
@@ -329,7 +345,7 @@ def cmd_serve(args) -> int:
     import json as _json
 
     config = _serve_config(args)
-    engine, clients, recorder = _build_serve(config)
+    engine, clients, recorder = _build_engine(config)
     if not args.state_dir:
         if args.crash_at is not None:
             raise SystemExit("--crash-at requires --state-dir")
@@ -423,7 +439,7 @@ def cmd_recover(args) -> int:
             f"'pmtree serve --state-dir'?"
         )
     config = _json.loads(config_path.read_text())
-    engine, clients, recorder = _build_serve(config)
+    engine, clients, recorder = _build_engine(config)
     server = DurableServer(
         engine,
         clients,
@@ -437,6 +453,52 @@ def cmd_recover(args) -> int:
     )
     obs_path = args.obs or config.get("obs")
     return _finish_serve(report, recorder, obs_path)
+
+
+def cmd_daemon(args) -> int:
+    import asyncio
+    import json as _json
+    from pathlib import Path
+
+    from repro.host.daemon import ServeDaemon
+    from repro.serve import DurableServer
+
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    if not args.obs:
+        args.obs = str(state_dir / "telemetry.jsonl")
+    config = _serve_config(args)
+    config["daemon"] = True
+    engine, clients, recorder = _build_engine(config)
+    config_path = state_dir / "config.json"
+    config_path.write_text(_json.dumps(config, indent=2) + "\n")
+    server = DurableServer(
+        engine, clients, state_dir, checkpoint_every=args.checkpoint_every
+    )
+    daemon = ServeDaemon(
+        server,
+        clients[-1],  # the SubmitFeed _build_engine appended
+        config=config,
+        config_path=config_path,
+        host=args.host,
+        port=args.port,
+        max_cycles=args.cycles,
+        tick_interval=args.tick_interval,
+        cycles_per_tick=args.cycles_per_tick,
+    )
+    stream = recorder.stream_to(args.obs) if recorder is not None else None
+    try:
+        report = asyncio.run(daemon.run())
+    finally:
+        if stream is not None:
+            stream.close()
+    print(report)
+    if recorder is not None:
+        print(
+            f"streamed telemetry ({len(recorder.events)} buffered, "
+            f"{recorder.evicted} evicted) to {args.obs}"
+        )
+    return 0
 
 
 #: args that fully determine a fleet setup; persisted to the fleet state
@@ -481,7 +543,7 @@ def _build_fleet(config: dict):
     """Build ``(coordinator, population, recorder, factory)`` from a fleet
     config dict.
 
-    Like :func:`_build_serve`, deliberately a pure function of the config:
+    Like :func:`_build_engine`, deliberately a pure function of the config:
     ``factory(shard)`` rebuilds shard ``shard``'s engine (mapping, policy,
     per-shard fault schedule) from scratch, which is what both a restart
     after shard death and a whole-fleet recovery need."""
@@ -745,6 +807,88 @@ def cmd_obs_export(args) -> int:
     return 0
 
 
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """The serve-engine configuration flags shared by ``serve`` and
+    ``daemon`` (everything :data:`_SERVE_CONFIG_KEYS` persists except the
+    per-command extras like ``--state-dir`` and ``--events-capacity``)."""
+    parser.add_argument("--levels", type=int, default=11, help="tree levels H")
+    parser.add_argument(
+        "--modules", type=int, default=15, help="memory modules M (COLOR mapping)"
+    )
+    parser.add_argument(
+        "--mapping", help="mapping .npz (overrides --levels/--modules)"
+    )
+    parser.add_argument(
+        "--policy",
+        choices=["fifo", "greedy-pack", "load-aware"],
+        default="greedy-pack",
+    )
+    parser.add_argument(
+        "--traffic",
+        choices=["poisson", "bursty", "closed-loop"],
+        default="poisson",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.2,
+        help="total open-loop arrivals per cycle across all clients",
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--cycles", type=int, default=2000, help="arrival window")
+    parser.add_argument(
+        "--workload",
+        default="subtree:15=1,path:11=1,level:7=1",
+        help="template mix, kind:size=weight terms (composite:SIZExC=weight)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=256, help="admission bound in items"
+    )
+    parser.add_argument(
+        "--admission", choices=["block", "shed", "degrade"], default="block"
+    )
+    parser.add_argument(
+        "--batch-components", type=int, default=4, help="the paper's c"
+    )
+    parser.add_argument(
+        "--deadline", type=int, default=None, help="per-request deadline in cycles"
+    )
+    parser.add_argument(
+        "--think-time", type=int, default=0, help="closed-loop think time"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault schedule: 'fail=3@50:400,slow=7:4@100:300,drop=0.02@0:600,"
+        "seed=7' or '@faults.json' (static specs become open-ended windows)",
+    )
+    parser.add_argument(
+        "--repair",
+        choices=["none", "oblivious", "color"],
+        default="none",
+        help="remap dead modules' nodes while they are down",
+    )
+    parser.add_argument(
+        "--retry-timeout",
+        type=int,
+        default=None,
+        help="cycles before an in-flight batch is aborted and retried",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, help="retries before degrading"
+    )
+    parser.add_argument(
+        "--backoff-base", type=int, default=8, help="initial retry backoff (cycles)"
+    )
+    parser.add_argument(
+        "--backoff-cap", type=int, default=128, help="max retry backoff (cycles)"
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pmtree", description="tree mappings for parallel memory systems"
@@ -817,82 +961,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve an online request stream with composite batching"
     )
-    serve.add_argument("--levels", type=int, default=11, help="tree levels H")
-    serve.add_argument(
-        "--modules", type=int, default=15, help="memory modules M (COLOR mapping)"
-    )
-    serve.add_argument(
-        "--mapping", help="mapping .npz (overrides --levels/--modules)"
-    )
-    serve.add_argument(
-        "--policy",
-        choices=["fifo", "greedy-pack", "load-aware"],
-        default="greedy-pack",
-    )
-    serve.add_argument(
-        "--traffic",
-        choices=["poisson", "bursty", "closed-loop"],
-        default="poisson",
-    )
-    serve.add_argument(
-        "--arrival-rate",
-        type=float,
-        default=0.2,
-        help="total open-loop arrivals per cycle across all clients",
-    )
-    serve.add_argument("--clients", type=int, default=4)
-    serve.add_argument("--cycles", type=int, default=2000, help="arrival window")
-    serve.add_argument(
-        "--workload",
-        default="subtree:15=1,path:11=1,level:7=1",
-        help="template mix, kind:size=weight terms (composite:SIZExC=weight)",
-    )
-    serve.add_argument(
-        "--queue-capacity", type=int, default=256, help="admission bound in items"
-    )
-    serve.add_argument(
-        "--admission", choices=["block", "shed", "degrade"], default="block"
-    )
-    serve.add_argument(
-        "--batch-components", type=int, default=4, help="the paper's c"
-    )
-    serve.add_argument(
-        "--deadline", type=int, default=None, help="per-request deadline in cycles"
-    )
-    serve.add_argument(
-        "--think-time", type=int, default=0, help="closed-loop think time"
-    )
-    serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument(
-        "--obs", metavar="PATH", help="record cycle-level telemetry to a .jsonl artifact"
-    )
-    serve.add_argument(
-        "--faults",
-        metavar="SPEC",
-        help="fault schedule: 'fail=3@50:400,slow=7:4@100:300,drop=0.02@0:600,"
-        "seed=7' or '@faults.json' (static specs become open-ended windows)",
-    )
-    serve.add_argument(
-        "--repair",
-        choices=["none", "oblivious", "color"],
-        default="none",
-        help="remap dead modules' nodes while they are down",
-    )
-    serve.add_argument(
-        "--retry-timeout",
-        type=int,
-        default=None,
-        help="cycles before an in-flight batch is aborted and retried",
-    )
-    serve.add_argument(
-        "--max-retries", type=int, default=3, help="retries before degrading"
-    )
-    serve.add_argument(
-        "--backoff-base", type=int, default=8, help="initial retry backoff (cycles)"
-    )
-    serve.add_argument(
-        "--backoff-cap", type=int, default=128, help="max retry backoff (cycles)"
-    )
+    _add_serve_flags(serve)
     serve.add_argument(
         "--state-dir",
         metavar="DIR",
@@ -918,6 +987,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="what the simulated crash leaves behind",
     )
     serve.set_defaults(fn=cmd_serve)
+
+    daemon = sub.add_parser(
+        "daemon",
+        help="host a durable serving engine long-lived behind an HTTP "
+        "control plane (submit/status/metrics/policy/events; SIGTERM "
+        "writes a final checkpoint for 'pmtree recover')",
+    )
+    _add_serve_flags(daemon)
+    daemon.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        required=True,
+        help="durable state: checkpoints, journal and config.json live here",
+    )
+    daemon.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        help="cycles between checkpoints",
+    )
+    daemon.add_argument(
+        "--host", default="127.0.0.1", help="control-plane bind address"
+    )
+    daemon.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="control-plane port (0 = pick a free one, printed at start)",
+    )
+    daemon.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.01,
+        help="seconds yielded to the control plane between pump bursts",
+    )
+    daemon.add_argument(
+        "--cycles-per-tick",
+        type=int,
+        default=25,
+        help="engine cycles advanced per pump burst",
+    )
+    daemon.add_argument(
+        "--events-capacity",
+        type=int,
+        default=65536,
+        help="ring-buffer bound on the in-memory event buffer "
+        "(live sinks and metrics see everything regardless)",
+    )
+    daemon.set_defaults(fn=cmd_daemon)
 
     recover = sub.add_parser(
         "recover",

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 
 from repro.fleet.report import FleetReport
 from repro.fleet.router import Router, make_router
+from repro.host.driver import Driver
 from repro.fleet.tenancy import TenantDirectory
 from repro.memory.faults import FaultSchedule, FaultWindow
 from repro.memory.stats import latency_summary
@@ -587,6 +588,16 @@ class FleetCoordinator:
 
     # -- main loop -------------------------------------------------------------
 
+    @property
+    def cycle(self) -> int:
+        """The next cycle :meth:`step` will execute (0 before any work)."""
+        return self._cycle
+
+    @property
+    def active(self) -> bool:
+        """True between :meth:`start` and the run's natural end."""
+        return self._active
+
     def start(
         self,
         clients: list[Client],
@@ -802,10 +813,9 @@ class FleetCoordinator:
         drain_limit: int = 1_000_000,
     ) -> FleetReport:
         """Serve ``clients`` across the fleet for ``max_cycles`` of arrivals."""
-        self.start(clients, max_cycles, drain=drain, drain_limit=drain_limit)
-        while self.step():
-            pass
-        return self.finish()
+        return Driver(self).run(
+            clients, max_cycles, drain=drain, drain_limit=drain_limit
+        )
 
     # -- fleet checkpoint ------------------------------------------------------
 

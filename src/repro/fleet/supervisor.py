@@ -48,6 +48,7 @@ from pathlib import Path
 
 from repro.fleet.coordinator import FLEET_SNAPSHOT_VERSION, FleetCoordinator
 from repro.fleet.report import FleetReport
+from repro.host.driver import Driver
 from repro.io import load_snapshot, save_snapshot
 from repro.serve.clients import Client
 from repro.serve.durability import (
@@ -155,7 +156,33 @@ class FleetSupervisor:
         self._attempts: dict[int, int] = {}
         self._pending: dict[int, int] = {}
         self._deaths_seen = 0
-        self._last_checkpoint = -1
+        self.driver = Driver(
+            coordinator,
+            checkpoint_every=checkpoint_every if self.stores is not None else None,
+            checkpoint=self._write_checkpoints,
+            crash_at=crash_at,
+            crash=self._crash,
+            after_step=[self._after_step],
+        )
+
+    @property
+    def _last_checkpoint(self) -> int:
+        """Checkpoint-cadence state; lives on the driver."""
+        return self.driver.last_checkpoint
+
+    @_last_checkpoint.setter
+    def _last_checkpoint(self, cycle: int) -> None:
+        self.driver.last_checkpoint = cycle
+
+    @property
+    def cycle(self) -> int:
+        """The fleet's clock (delegates to the coordinator)."""
+        return self.coordinator._cycle
+
+    @property
+    def active(self) -> bool:
+        """True between :meth:`start` and the fleet's natural end."""
+        return self.coordinator._active
 
     @property
     def manifest_path(self) -> Path:
@@ -176,10 +203,10 @@ class FleetSupervisor:
         drain_limit: int = 1_000_000,
     ) -> FleetReport:
         """Run the fleet from cycle 0 under supervision."""
-        self._start(clients, max_cycles, drain=drain, drain_limit=drain_limit)
+        self.start(clients, max_cycles, drain=drain, drain_limit=drain_limit)
         return self._loop()
 
-    def _start(
+    def start(
         self,
         clients: list[Client],
         max_cycles: int,
@@ -211,6 +238,9 @@ class FleetSupervisor:
                 journal = self.stores[shard].create_journal()
                 journal.profiler = engine.profiler
                 engine.journal = journal
+
+    # back-compat spelling from before the supervisor was a Steppable
+    _start = start
 
     def recover(self, clients: list[Client]) -> FleetReport:
         """Resume a crashed fleet run from ``state_dir`` and drive it home.
@@ -320,27 +350,17 @@ class FleetSupervisor:
 
     def step(self) -> bool:
         """One supervised fleet cycle: checkpoint, step, note deaths, run
-        due restarts.  ``False`` once the fleet is done."""
-        coord = self.coordinator
-        if (
-            self.crash_at is not None
-            and coord._active
-            and coord._cycle >= self.crash_at
-        ):
-            raise SimulatedCrash(
-                f"fleet crash injected at cycle {coord._cycle}"
-            )
-        self._maybe_checkpoint()
-        if not self.coordinator.step():
-            return False
-        self._note_deaths()
-        self._run_due_restarts()
-        return True
+        due restarts (all owned by the driver).  ``False`` once the fleet
+        is done."""
+        return self.driver.tick()
 
     def _loop(self) -> FleetReport:
+        self.driver.loop()
+        return self.finish()
+
+    def finish(self) -> FleetReport:
+        """Verify shard journals drained, close them, fold the fleet report."""
         coord = self.coordinator
-        while self.step():
-            pass
         for shard, engine in enumerate(coord.shards):
             if engine.journal is None:
                 continue
@@ -353,16 +373,15 @@ class FleetSupervisor:
             engine.journal.close()
         return coord.finish()
 
-    def _maybe_checkpoint(self) -> None:
-        coord = self.coordinator
+    def _crash(self, coord: FleetCoordinator) -> None:
+        raise SimulatedCrash(f"fleet crash injected at cycle {coord._cycle}")
+
+    def _after_step(self, coord: FleetCoordinator) -> None:
+        self._note_deaths()
+        self._run_due_restarts()
+
+    def _write_checkpoints(self, coord: FleetCoordinator) -> None:
         cycle = coord._cycle
-        if (
-            self.stores is None
-            or not coord._active
-            or cycle % self.checkpoint_every != 0
-            or cycle == self._last_checkpoint
-        ):
-            return
         rec = coord.recorder
         if rec.enabled:
             rec.event("checkpoint", cycle=cycle, fleet=True)
@@ -370,7 +389,6 @@ class FleetSupervisor:
             if coord._steppable(shard):
                 self.stores[shard].write_snapshot(engine)
         self._write_fleet_snapshot(cycle)
-        self._last_checkpoint = cycle
 
     def _write_fleet_snapshot(self, cycle: int) -> None:
         payload = {

@@ -1,0 +1,28 @@
+"""Host layer: the shared run loop and the long-lived daemon built on it.
+
+``Steppable`` names the ``start/step/finish`` contract; ``Driver`` owns the
+loop (tick pacing, checkpoint cadence, crash plans, step hooks) that
+``ServeEngine.run``, ``DurableServer``, ``FleetCoordinator.run`` and
+``FleetSupervisor`` all delegate to.  ``ServeDaemon`` (in
+:mod:`repro.host.daemon`) hosts an engine long-lived behind a stdlib-asyncio
+HTTP control plane.
+
+The daemon names are exported lazily: ``repro.host.daemon`` imports
+``repro.serve``, whose engine imports :mod:`repro.host.driver` — an eager
+import here would close that cycle.
+"""
+
+from repro.host.driver import Driver
+from repro.host.steppable import Steppable
+
+__all__ = ["Driver", "Steppable", "ServeDaemon", "SubmitFeed", "QueueSink"]
+
+_DAEMON_NAMES = {"ServeDaemon", "SubmitFeed", "QueueSink"}
+
+
+def __getattr__(name):
+    if name in _DAEMON_NAMES:
+        from repro.host import daemon
+
+        return getattr(daemon, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

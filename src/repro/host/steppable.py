@@ -1,0 +1,61 @@
+"""The ``start / step / finish`` contract every run loop in the system obeys.
+
+:class:`~repro.serve.engine.ServeEngine` pinned the contract first (PR 7's
+step-contract tests); :class:`~repro.fleet.coordinator.FleetCoordinator` and
+:class:`~repro.fleet.supervisor.FleetSupervisor` implement the same shape.
+:class:`Steppable` names it as a :class:`typing.Protocol` so hosts — the
+:class:`~repro.host.driver.Driver` batch loop, the asyncio daemon
+(:mod:`repro.host.daemon`), tests — can be written once against the
+contract instead of once per implementation.
+
+The contract:
+
+* ``start(clients, max_cycles, drain=..., drain_limit=...)`` arms a fresh
+  run and zeroes the clock;
+* ``step()`` advances exactly one cycle and returns ``False`` once the run
+  is over — and a ``False`` return leaves all state untouched (the exit
+  checks run before any work), so a host may checkpoint right up to the
+  end and call ``step`` again harmlessly;
+* ``finish()`` closes the run out and returns its report;
+* ``cycle`` / ``active`` expose the clock a host paces, checkpoints and
+  crash-tests by, without reaching into private attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Steppable"]
+
+
+@runtime_checkable
+class Steppable(Protocol):
+    """A run loop a :class:`~repro.host.driver.Driver` can own."""
+
+    @property
+    def cycle(self) -> int:
+        """The next cycle :meth:`step` will execute (0 before any work)."""
+        ...
+
+    @property
+    def active(self) -> bool:
+        """True between :meth:`start` and the run's natural end."""
+        ...
+
+    def start(
+        self,
+        clients: list,
+        max_cycles: int,
+        drain: bool = True,
+        drain_limit: int = 1_000_000,
+    ) -> None:
+        """Arm a fresh run over ``clients`` with an arrival horizon."""
+        ...
+
+    def step(self) -> bool:
+        """Advance one cycle; ``False`` (with state untouched) when done."""
+        ...
+
+    def finish(self) -> Any:
+        """Close the run out and return its report."""
+        ...

@@ -8,6 +8,8 @@ package records them:
 * :mod:`repro.obs.events` — the cycle-level event tracer, JSON-lines
   artifacts, Chrome-trace export, and the process-default recorder that
   :class:`~repro.memory.system.ParallelMemorySystem` picks up;
+* :mod:`repro.obs.sinks` — live event subscribers (``EventRecorder.attach``):
+  the streaming JSONL exporter and the callback adapter;
 * :mod:`repro.obs.report` — derived views (utilization, occupancy,
   conflict heatmaps, queue-depth percentiles) with ASCII rendering;
 * :mod:`repro.obs.regress` — artifact diffing with growth thresholds, for
@@ -41,11 +43,15 @@ from repro.obs.metrics import (
     expose_snapshot_text,
 )
 from repro.obs.perf import NULL_PROFILER, NullProfiler, PerfProfiler, PerfSpan
+from repro.obs.sinks import CallbackSink, EventSink, JsonlSink
 from repro.obs.trajectory import PerfArtifact, PerfTrajectory, median_of
 
 __all__ = [
+    "CallbackSink",
     "Counter",
     "EventRecorder",
+    "EventSink",
+    "JsonlSink",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

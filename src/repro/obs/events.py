@@ -114,17 +114,57 @@ class EventRecorder(NullRecorder):
     :meth:`end_access` after each drain and the recorder keeps per-event
     cycles monotone on one shared timeline (``cycle`` in the artifact is
     always global; ``local_cycle`` is not stored).
+
+    ``capacity`` bounds the in-memory buffer (a ring: once full, the oldest
+    events are evicted and counted in :attr:`evicted`) so a long-lived
+    daemon cannot grow without bound.  Metrics and attached sinks see every
+    event regardless of eviction — only the replayable buffer is bounded.
+
+    Sinks (:mod:`repro.obs.sinks`) attached with :meth:`attach` receive
+    each event as it is recorded, after the metrics fold and before any
+    eviction, so export streams during the run instead of after it.
     """
 
     enabled = True
 
-    def __init__(self, metrics: MetricsRegistry | None = None):
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        capacity: int | None = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.events: list[dict] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.meta: dict = {"schema": SCHEMA_VERSION}
+        self.capacity = capacity
+        self.evicted = 0
+        self.sinks: list = []
         self.clock_offset = 0
         self.access_index = -1
         self._access_label = ""
+
+    # -- sinks -----------------------------------------------------------------
+
+    def attach(self, sink) -> None:
+        """Subscribe ``sink`` to every subsequently recorded event."""
+        self.sinks.append(sink)
+
+    def detach(self, sink) -> None:
+        """Unsubscribe ``sink`` (no-op if it was never attached)."""
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def stream_to(self, path: str | Path):
+        """Attach (and return) a :class:`~repro.obs.sinks.JsonlSink` on
+        ``path``, streaming the standard artifact format live."""
+        from repro.obs.sinks import JsonlSink
+
+        sink = JsonlSink(path, recorder=self)
+        self.attach(sink)
+        return sink
 
     # -- instrumentation interface (called from the simulator hot path) ------
 
@@ -137,6 +177,12 @@ class EventRecorder(NullRecorder):
             fields["access"] = self.access_index
         self.events.append(fields)
         self._update_metrics(ev, fields)
+        for sink in self.sinks:
+            sink.on_event(fields)
+        if self.capacity is not None and len(self.events) > self.capacity:
+            drop = len(self.events) - self.capacity
+            del self.events[:drop]
+            self.evicted += drop
 
     def _update_metrics(self, ev: str, fields: dict) -> None:
         """Fold one event into the registry.
@@ -164,30 +210,44 @@ class EventRecorder(NullRecorder):
     # -- checkpoint / restore --------------------------------------------------
 
     def state_dict(self) -> dict:
-        """JSON-serializable capture of the buffered events and clock state."""
+        """JSON-serializable capture of the buffered events and clock state.
+
+        The registry snapshot rides along: with a bounded buffer the
+        surviving events can no longer rebuild the metrics by replay, so
+        the aggregates are first-class checkpoint state.  Sinks are *not*
+        captured — they are wiring, re-attached by whoever restores.
+        """
         return {
             "events": [dict(event) for event in self.events],
             "meta": dict(self.meta),
             "clock_offset": self.clock_offset,
             "access_index": self.access_index,
             "access_label": self._access_label,
+            "evicted": self.evicted,
+            "metrics": self.metrics.snapshot(),
         }
 
     def load_state(self, state: dict) -> None:
         """Resume from a :meth:`state_dict` capture.
 
-        The metrics registry is rebuilt by replaying the restored events
-        through the same update logic that built it live, so restored
-        metrics equal the originals without being serialized separately.
+        The metrics registry restores from the captured snapshot when one
+        is present; older captures (pre-snapshot schema) fall back to
+        rebuilding it by replaying the restored events through the same
+        update logic that built it live — exact whenever nothing was
+        evicted, which is always true for an unbounded recorder.
         """
         self.events = [dict(event) for event in state["events"]]
         self.meta = dict(state["meta"])
         self.clock_offset = int(state["clock_offset"])
         self.access_index = int(state["access_index"])
         self._access_label = state["access_label"]
-        self.metrics = MetricsRegistry()
-        for event in self.events:
-            self._update_metrics(event["ev"], event)
+        self.evicted = int(state.get("evicted", 0))
+        if "metrics" in state:
+            self.metrics = MetricsRegistry.from_snapshot(state["metrics"])
+        else:
+            self.metrics = MetricsRegistry()
+            for event in self.events:
+                self._update_metrics(event["ev"], event)
 
     # -- export ---------------------------------------------------------------
 
@@ -202,20 +262,21 @@ class EventRecorder(NullRecorder):
         return max(last, self.clock_offset)
 
     def save(self, path: str | Path) -> Path:
-        """Write the artifact as JSON lines: meta, events, metrics."""
-        path = Path(path)
-        meta = dict(self.meta)
-        meta["span"] = self.span
-        meta["num_events"] = len(self.events)
-        with path.open("w", encoding="utf-8") as fh:
-            fh.write(json.dumps({"type": "meta", **meta}) + "\n")
-            for event in self.events:
-                fh.write(json.dumps({"type": "event", **event}) + "\n")
-            fh.write(
-                json.dumps({"type": "metrics", "metrics": self.metrics.snapshot()})
-                + "\n"
-            )
-        return path
+        """Write the artifact as JSON lines: meta, events, metrics.
+
+        Implemented as a one-shot :class:`~repro.obs.sinks.JsonlSink`
+        replay of the buffered events, so the batch export and the live
+        stream are the same code path (and the same format: header meta
+        line, event lines, final meta + metrics lines — ``load_artifact``
+        lets the last meta line win).
+        """
+        from repro.obs.sinks import JsonlSink
+
+        sink = JsonlSink(path, recorder=self)
+        for event in self.events:
+            sink.on_event(event)
+        sink.close()
+        return sink.path
 
 
 # -- process-wide default (lets harnesses instrument without plumbing) --------

@@ -187,6 +187,40 @@ class MetricsRegistry:
         """Serializable view of every metric, keyed by name."""
         return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
 
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, dict]) -> MetricsRegistry:
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The inverse of :meth:`snapshot` up to the derived histogram fields
+        (p50/p95/p99 are recomputed from the restored counts).  This is what
+        lets a bounded :class:`~repro.obs.events.EventRecorder` checkpoint
+        its aggregates directly: once eviction has dropped events, replaying
+        the surviving buffer can no longer reproduce the registry.
+        """
+        registry = cls()
+        for name, metric in snapshot.items():
+            kind = metric.get("type", "gauge")
+            if kind == "counter":
+                registry.counter(name).inc(int(metric["value"]))
+            elif kind == "histogram":
+                hist = registry.histogram(name, buckets=metric["buckets"])
+                hist.counts = [int(c) for c in metric["counts"]]
+                hist.total = int(metric["total"])
+                hist.sum = float(metric["sum"])
+                hist.max_seen = (
+                    -math.inf if metric["max"] is None else float(metric["max"])
+                )
+            else:  # gauge
+                gauge = registry.gauge(name)
+                gauge.value = metric["value"]
+                gauge.min_seen = (
+                    math.inf if metric["min"] is None else float(metric["min"])
+                )
+                gauge.max_seen = (
+                    -math.inf if metric["max"] is None else float(metric["max"])
+                )
+        return registry
+
     def expose_text(self, prefix: str = "pmtree") -> str:
         """Prometheus-style text exposition of every metric.
 

@@ -1,0 +1,105 @@
+"""Event sinks: live subscribers to an :class:`~repro.obs.events.EventRecorder`.
+
+Until PR 9 the recorder was buffer-then-export: events accumulated in
+memory and became visible only when :meth:`EventRecorder.save` wrote the
+JSONL artifact after the run.  Sinks invert that — a sink attached with
+:meth:`EventRecorder.attach` sees every event *as it is recorded*, so
+telemetry streams during a run.  JSONL export is now just one sink
+(:class:`JsonlSink`); the daemon's live ``/events`` feed is another
+(:class:`~repro.host.daemon.QueueSink`).
+
+Sink contract: ``on_event(fields)`` receives the exact event dict the
+recorder buffered (treat it as read-only — it is shared with the buffer),
+after the recorder's own bookkeeping (metrics fold) and before any
+ring-buffer eviction; ``close()`` flushes/releases whatever the sink holds.
+Sinks must not raise from ``on_event`` on the hot path they care about —
+the recorder does not catch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["EventSink", "CallbackSink", "JsonlSink"]
+
+
+class EventSink:
+    """No-op base class; subclass and override what you need."""
+
+    def on_event(self, fields: dict) -> None:
+        """One recorded event (the buffered dict itself — don't mutate)."""
+
+    def close(self) -> None:
+        """Flush and release resources; idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class CallbackSink(EventSink):
+    """Adapts a plain callable into a sink (``CallbackSink(print)``)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def on_event(self, fields: dict) -> None:
+        self.fn(fields)
+
+
+class JsonlSink(EventSink):
+    """Streams the standard JSONL artifact format to ``path``.
+
+    Writes the ``meta`` header line at open and one ``event`` line per
+    event as it arrives; :meth:`close` appends a *final* ``meta`` line
+    (with the run's span / event count, which are only known at the end)
+    and, when constructed with the recorder, the trailing ``metrics``
+    line.  :func:`~repro.obs.events.load_artifact` lets the last ``meta``
+    line win, so a streamed artifact reads back exactly like a
+    :meth:`~repro.obs.events.EventRecorder.save`-d one — and a truncated
+    stream (daemon killed mid-run) still parses up to the cut.
+    """
+
+    def __init__(self, path: str | Path, recorder=None):
+        self.path = Path(path)
+        self.recorder = recorder
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._num_events = 0
+        self._span = 0
+        self._closed = False
+        meta = dict(recorder.meta) if recorder is not None else {}
+        self._fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+        self._fh.flush()
+
+    def on_event(self, fields: dict) -> None:
+        cycle = fields.get("cycle")
+        if cycle is not None:
+            span = cycle + fields.get("latency", 0)
+            if span > self._span:
+                self._span = span
+        self._num_events += 1
+        self._fh.write(json.dumps({"type": "event", **fields}) + "\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        rec = self.recorder
+        if rec is not None:
+            meta = dict(rec.meta)
+            meta["span"] = max(self._span, rec.clock_offset)
+            meta["num_events"] = self._num_events
+            if rec.evicted:
+                meta["evicted"] = rec.evicted
+            self._fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+            self._fh.write(
+                json.dumps({"type": "metrics", "metrics": rec.metrics.snapshot()})
+                + "\n"
+            )
+        self._fh.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlSink({str(self.path)!r}, events={self._num_events})"

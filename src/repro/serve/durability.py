@@ -56,6 +56,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.host.driver import Driver
 from repro.io import load_snapshot, save_snapshot
 from repro.obs.perf import NULL_PROFILER
 from repro.serve.batching import Batch, _elementary_components
@@ -716,7 +717,24 @@ class DurableServer:
         self.run_seconds = 0.0
         self.checkpoints_written = 0
         self.replayed_records = 0
-        self._last_checkpoint = -1
+        self.driver = Driver(
+            engine,
+            checkpoint_every=checkpoint_every,
+            checkpoint=lambda target: self._write_checkpoint(),
+            crash_at=crash_plan.at_cycle if crash_plan is not None else None,
+            crash=(lambda target: self._crash(self.crash_plan))
+            if crash_plan is not None
+            else None,
+        )
+
+    @property
+    def _last_checkpoint(self) -> int:
+        """Checkpoint-cadence state; lives on the driver."""
+        return self.driver.last_checkpoint
+
+    @_last_checkpoint.setter
+    def _last_checkpoint(self, cycle: int) -> None:
+        self.driver.last_checkpoint = cycle
 
     @property
     def journal_path(self) -> Path:
@@ -745,6 +763,22 @@ class DurableServer:
         drain_limit: int = 1_000_000,
     ) -> ServeReport:
         """Run from cycle 0 with checkpoints + journal in ``state_dir``."""
+        self.begin_serve(max_cycles, drain=drain, drain_limit=drain_limit)
+        return self._loop()
+
+    def begin_serve(
+        self,
+        max_cycles: int,
+        drain: bool = True,
+        drain_limit: int = 1_000_000,
+    ) -> None:
+        """Arm a fresh durable run without driving it.
+
+        Writes the run manifest, creates the journal and starts the engine;
+        the caller then owns the loop — :meth:`serve` drives it to the end
+        via :meth:`_loop`, while the daemon (:mod:`repro.host.daemon`) pumps
+        ``self.driver.tick()`` from asyncio one boundary at a time.
+        """
         self.manifest_path.write_text(
             json.dumps(
                 {
@@ -761,7 +795,6 @@ class DurableServer:
         self.engine.start(
             self.clients, max_cycles, drain=drain, drain_limit=drain_limit
         )
-        return self._loop()
 
     def recover(self) -> ServeReport:
         """Resume a crashed run from ``state_dir`` and drive it to the end.
@@ -813,38 +846,39 @@ class DurableServer:
 
     # -- the supervised loop ---------------------------------------------------
 
+    def _replay_watch(self):
+        """After-step hook that notices the journal leaving replay mode.
+
+        Fresh per :meth:`_loop` call: it latches whether the journal was
+        replaying when the loop began, and on the step where replay
+        completes records ``replayed_records`` and emits the one-time
+        ``journal_replay`` event.
+        """
+        journal = self.journal
+        state = {"pending": journal.replaying}
+
+        def watch(engine) -> None:
+            if state["pending"] and not journal.replaying:
+                state["pending"] = False
+                self.replayed_records = journal.replay_total
+                rec = engine.system.recorder
+                if rec.enabled:
+                    rec.event(
+                        "journal_replay",
+                        cycle=engine._cycle,
+                        records=journal.replay_total,
+                    )
+
+        return watch
+
     def _loop(self) -> ServeReport:
         engine = self.engine
         journal = self.journal
-        plan = self.crash_plan
-        replay_pending = journal.replaying
+        driver = self.driver
+        driver.after_step = [self._replay_watch()]
         started = time.perf_counter()
         try:
-            while True:
-                if (
-                    plan is not None
-                    and engine._active
-                    and engine._cycle >= plan.at_cycle
-                ):
-                    self._crash(plan)
-                if (
-                    engine._active
-                    and engine._cycle % self.checkpoint_every == 0
-                    and engine._cycle != self._last_checkpoint
-                ):
-                    self._write_checkpoint()
-                if not engine.step():
-                    break
-                if replay_pending and not journal.replaying:
-                    replay_pending = False
-                    self.replayed_records = journal.replay_total
-                    rec = engine.system.recorder
-                    if rec.enabled:
-                        rec.event(
-                            "journal_replay",
-                            cycle=engine._cycle,
-                            records=journal.replay_total,
-                        )
+            driver.loop()
             if journal.replaying:
                 raise JournalError(
                     f"the journal holds {journal.replay_total} records past "

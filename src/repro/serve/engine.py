@@ -46,6 +46,7 @@ import heapq
 from collections import OrderedDict, deque
 
 from repro.core.mapping import TreeMapping
+from repro.host.driver import Driver
 from repro.memory.system import ParallelMemorySystem
 from repro.obs.perf import NULL_PROFILER, NullProfiler
 from repro.serve.batching import Batch, BatchPolicy, make_policy
@@ -469,6 +470,16 @@ class ServeEngine:
 
     # -- main loop -------------------------------------------------------------
 
+    @property
+    def cycle(self) -> int:
+        """The next cycle :meth:`step` will execute (0 before any work)."""
+        return self._cycle
+
+    @property
+    def active(self) -> bool:
+        """True between :meth:`start` and the run's natural end."""
+        return self._active
+
     def start(
         self,
         clients: list[Client],
@@ -740,10 +751,9 @@ class ServeEngine:
         full offered load; ``drain_limit`` bounds the post-arrival cycles as
         a runaway guard.
         """
-        self.start(clients, max_cycles, drain=drain, drain_limit=drain_limit)
-        while self.step():
-            pass
-        return self.finish()
+        return Driver(self).run(
+            clients, max_cycles, drain=drain, drain_limit=drain_limit
+        )
 
     # -- checkpoint / restore ----------------------------------------------------
 

@@ -1,0 +1,127 @@
+"""The Steppable contract, parametrized over every implementation.
+
+PR 7 pinned the ``start/step/finish`` contract for ``ServeEngine`` only
+(tests/test_serve_step_contract.py); the host layer now names it as the
+:class:`repro.host.Steppable` protocol and three classes implement it —
+``ServeEngine``, ``FleetCoordinator`` and ``FleetSupervisor``.  These tests
+hold all three to the same promises:
+
+* the protocol surface exists (``cycle``/``active`` properties included);
+* ``cycle``/``active`` track the run (0/False before start, monotone
+  cycles while active, False again at the natural end);
+* a step-driven run equals ``run()``/``serve()``;
+* a ``False`` step leaves all state untouched, repeatedly.
+"""
+
+import pytest
+
+from repro.core import ColorMapping
+from repro.fleet import FleetCoordinator, FleetSupervisor, heavy_tailed_tenants
+from repro.host import Driver, Steppable
+from repro.memory import ParallelMemorySystem
+from repro.serve import PoissonClient, ServeEngine, TemplateMix
+from repro.serve.clients import spawn_seeds
+from repro.trees import CompleteBinaryTree
+
+CYCLES = 120
+WORKLOAD = "subtree:7=1,path:5=1,level:4=1"
+
+
+def _engine(levels=8, modules=7):
+    tree = CompleteBinaryTree(levels)
+    mapping = ColorMapping.for_modules(tree, modules)
+    return ServeEngine(ParallelMemorySystem(mapping), policy="greedy-pack")
+
+
+def build_serve_engine():
+    engine = _engine()
+    tree = engine.system.mapping.tree
+    mix = TemplateMix.parse(tree, WORKLOAD)
+    clients = [
+        PoissonClient(i, mix, rate=0.2, seed=child)
+        for i, child in enumerate(spawn_seeds(5, 3))
+    ]
+    return engine, clients, lambda: engine.checkpoint().to_json()
+
+
+def build_fleet_coordinator():
+    coordinator = FleetCoordinator([_engine() for _ in range(2)])
+    clients = heavy_tailed_tenants(
+        CompleteBinaryTree(8), 6, WORKLOAD, 2.0, seed=7
+    ).clients
+    return coordinator, clients, coordinator.state_dict
+
+
+def build_fleet_supervisor():
+    coordinator = FleetCoordinator([_engine() for _ in range(2)])
+    supervisor = FleetSupervisor(coordinator)
+    clients = heavy_tailed_tenants(
+        CompleteBinaryTree(8), 6, WORKLOAD, 2.0, seed=7
+    ).clients
+
+    def capture():
+        state = coordinator.state_dict()
+        state["supervisor"] = {
+            "attempts": dict(supervisor._attempts),
+            "pending": dict(supervisor._pending),
+            "deaths_seen": supervisor._deaths_seen,
+        }
+        return state
+
+    return supervisor, clients, capture
+
+
+BUILDERS = {
+    "ServeEngine": build_serve_engine,
+    "FleetCoordinator": build_fleet_coordinator,
+    "FleetSupervisor": build_fleet_supervisor,
+}
+
+
+@pytest.fixture(params=sorted(BUILDERS))
+def target_builder(request):
+    return BUILDERS[request.param]
+
+
+def test_implements_protocol(target_builder):
+    target, _, _ = target_builder()
+    assert isinstance(target, Steppable)
+
+
+def test_cycle_and_active_track_the_run(target_builder):
+    target, clients, _ = target_builder()
+    assert target.cycle == 0
+    assert target.active is False
+    target.start(clients, CYCLES)
+    assert target.cycle == 0
+    assert target.active is True
+    seen = [target.cycle]
+    while target.step():
+        seen.append(target.cycle)
+    assert target.active is False
+    assert seen == sorted(seen)
+    assert seen[-1] >= CYCLES
+    target.finish()
+
+
+def test_step_driven_run_matches_batch_run(target_builder):
+    target_a, clients_a, _ = target_builder()
+    report_a = Driver(target_a).run(clients_a, CYCLES)
+
+    target_b, clients_b, _ = target_builder()
+    target_b.start(clients_b, CYCLES)
+    while target_b.step():
+        pass
+    report_b = target_b.finish()
+    assert repr(report_a) == repr(report_b)
+
+
+def test_false_step_freezes_state(target_builder):
+    target, clients, capture = target_builder()
+    target.start(clients, CYCLES)
+    while target.step():
+        pass
+    frozen = capture()
+    for _ in range(5):
+        assert target.step() is False
+    assert capture() == frozen
